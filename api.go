@@ -1,0 +1,550 @@
+package transfusion
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/cascade"
+	"github.com/fusedmindlab/transfusion/internal/dpipe"
+	"github.com/fusedmindlab/transfusion/internal/einsum"
+	"github.com/fusedmindlab/transfusion/internal/eval"
+	"github.com/fusedmindlab/transfusion/internal/experiments"
+	"github.com/fusedmindlab/transfusion/internal/model"
+	"github.com/fusedmindlab/transfusion/internal/pipeline"
+	"github.com/fusedmindlab/transfusion/internal/report"
+	"github.com/fusedmindlab/transfusion/internal/tensor"
+	"github.com/fusedmindlab/transfusion/internal/tiling"
+)
+
+// RunSpec selects one evaluation.
+type RunSpec struct {
+	// Arch is an architecture preset name: "cloud", "edge", "edge32",
+	// "edge64".
+	Arch string
+	// Model is a workload name: "bert", "trxl", "t5", "xlm", "llama3".
+	Model string
+	// SeqLen is the sequence length (e.g. 65536). Must be divisible by the
+	// tiling factors the search considers; powers of two are safe.
+	SeqLen int
+	// System selects the modelled dataflow: "unfused", "flat", "fusemax",
+	// "fusemax+layerfuse", "transfusion".
+	System string
+	// Batch overrides the batch size (default 64, the paper's setting).
+	Batch int
+	// SearchBudget overrides TileSeek's rollout budget (default 128;
+	// only meaningful for the "transfusion" system).
+	SearchBudget int
+	// Causal selects decoder-style masked attention (each query attends
+	// only to itself and earlier positions). The paper's evaluation uses
+	// the bidirectional formulation; this is the decoder extension.
+	Causal bool
+	// ArchFile, when set, loads the architecture from a JSON description
+	// instead of a preset (see internal/arch's schema); Arch is ignored.
+	ArchFile string
+	// CustomModel, when non-nil, replaces the zoo model named by Model.
+	CustomModel *CustomModel
+}
+
+// CustomModel describes a Transformer outside the five-entry zoo by its
+// hyper-parameters; D is derived as Heads*HeadDim.
+type CustomModel struct {
+	Name       string
+	Heads      int
+	HeadDim    int
+	FFNHidden  int
+	Layers     int
+	Activation string
+}
+
+// EnergyBreakdown is the per-component energy in picojoules — the Figure 13
+// decomposition.
+type EnergyBreakdown struct {
+	DRAM    float64
+	Buffer  float64
+	RegFile float64
+	PE      float64
+}
+
+// Total sums the components.
+func (e EnergyBreakdown) Total() float64 { return e.DRAM + e.Buffer + e.RegFile + e.PE }
+
+// RunResult is the outcome of one evaluation, with plain serialisable
+// fields.
+type RunResult struct {
+	Arch   string
+	Model  string
+	System string
+	SeqLen int
+	Batch  int
+	// Cycles is the modelled end-to-end latency in PE clock cycles.
+	Cycles float64
+	// Seconds is Cycles under the architecture's clock.
+	Seconds float64
+	// EnergyPJ is the modelled energy breakdown.
+	EnergyPJ EnergyBreakdown
+	// Utilization1D / Utilization2D are the PE arrays' busy fractions.
+	Utilization1D float64
+	Utilization2D float64
+	// LayerCycles attributes latency to the sub-layers ("QKV", "MHA",
+	// "Add&LayerNorm", "FFN").
+	LayerCycles map[string]float64
+	// Tile describes the chosen outer tile.
+	Tile string
+	// DRAMBytes is the total off-chip traffic.
+	DRAMBytes float64
+	// TileSearchEvals counts TileSeek objective evaluations (zero for the
+	// baselines' static heuristic).
+	TileSearchEvals int
+}
+
+// ArchNames lists the architecture presets.
+func ArchNames() []string {
+	names := make([]string, 0, 4)
+	for n := range arch.Presets() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ModelNames lists the workload models.
+func ModelNames() []string {
+	out := make([]string, 0, 5)
+	for _, m := range model.All() {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+// SystemNames lists the modelled systems in comparison order.
+func SystemNames() []string {
+	out := make([]string, 0, 5)
+	for _, s := range pipeline.AllSystems() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+func (s RunSpec) resolve() (arch.Spec, model.Config, pipeline.System, pipeline.Options, int, error) {
+	var spec arch.Spec
+	var err error
+	if s.ArchFile != "" {
+		spec, err = arch.FromJSONFile(s.ArchFile)
+	} else {
+		spec, err = arch.ByName(s.Arch)
+	}
+	if err != nil {
+		return arch.Spec{}, model.Config{}, pipeline.System{}, pipeline.Options{}, 0, err
+	}
+	var m model.Config
+	if cm := s.CustomModel; cm != nil {
+		m, err = model.Custom(cm.Name, cm.Heads, cm.HeadDim, cm.FFNHidden, cm.Layers, cm.Activation)
+	} else {
+		m, err = model.ByName(s.Model)
+	}
+	if err != nil {
+		return arch.Spec{}, model.Config{}, pipeline.System{}, pipeline.Options{}, 0, err
+	}
+	sys, err := pipeline.SystemByName(s.System)
+	if err != nil {
+		return arch.Spec{}, model.Config{}, pipeline.System{}, pipeline.Options{}, 0, err
+	}
+	if s.SeqLen <= 0 {
+		return arch.Spec{}, model.Config{}, pipeline.System{}, pipeline.Options{}, 0,
+			fmt.Errorf("transfusion: non-positive sequence length %d", s.SeqLen)
+	}
+	batch := s.Batch
+	if batch == 0 {
+		batch = model.EvalBatch
+	}
+	opts := pipeline.DefaultOptions()
+	if s.SearchBudget > 0 {
+		opts.TileSeekIterations = s.SearchBudget
+	}
+	return spec, m, sys, opts, batch, nil
+}
+
+func toRunResult(r pipeline.Result, batch int) RunResult {
+	layers := make(map[string]float64, 4)
+	for _, k := range pipeline.LayerKinds() {
+		layers[k.String()] = r.LayerCycles[k]
+	}
+	return RunResult{
+		Arch:    r.Arch,
+		Model:   r.Workload.Model.Name,
+		System:  r.System,
+		SeqLen:  r.Workload.SeqLen,
+		Batch:   batch,
+		Cycles:  r.TotalCycles,
+		Seconds: r.Seconds,
+		EnergyPJ: EnergyBreakdown{
+			DRAM: r.Energy.DRAM, Buffer: r.Energy.Buffer,
+			RegFile: r.Energy.Reg, PE: r.Energy.PE,
+		},
+		Utilization1D:   r.Utilization1D(),
+		Utilization2D:   r.Utilization2D(),
+		LayerCycles:     layers,
+		Tile:            r.Tile.String(),
+		DRAMBytes:       r.Traffic.DRAMBytes,
+		TileSearchEvals: r.TileSearchEvals,
+	}
+}
+
+// Run evaluates one system on one workload/architecture.
+func Run(s RunSpec) (RunResult, error) {
+	spec, m, sys, opts, batch, err := s.resolve()
+	if err != nil {
+		return RunResult{}, err
+	}
+	w := pipeline.Workload{Model: m, SeqLen: s.SeqLen, Batch: batch, Causal: s.Causal}
+	res, err := pipeline.Evaluate(w, spec, sys, opts)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return toRunResult(res, batch), nil
+}
+
+// Compare evaluates all five systems on one workload/architecture, in the
+// paper's comparison order (Unfused first — the common baseline).
+func Compare(archName, modelName string, seqLen int) ([]RunResult, error) {
+	out := make([]RunResult, 0, 5)
+	for _, name := range SystemNames() {
+		r, err := Run(RunSpec{Arch: archName, Model: modelName, SeqLen: seqLen, System: name})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ExperimentIDs lists the regenerable paper artifacts (tables, figures,
+// headline aggregates, ablations).
+func ExperimentIDs() []string {
+	out := make([]string, 0, 16)
+	for _, e := range experiments.All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// ExperimentDescription returns the one-line description of an experiment.
+func ExperimentDescription(id string) (string, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return "", err
+	}
+	return e.Description, nil
+}
+
+// RunExperiment regenerates one paper artifact and returns its rendered
+// table. searchBudget tunes TileSeek's rollout count (0 = default); the
+// figures involving TransFusion get slower but slightly better-tiled as it
+// grows.
+func RunExperiment(id string, searchBudget int) (string, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return "", err
+	}
+	opts := pipeline.DefaultOptions()
+	if searchBudget > 0 {
+		opts.TileSeekIterations = searchBudget
+	}
+	table, err := e.Run(experiments.NewRunner(opts))
+	if err != nil {
+		return "", err
+	}
+	return table.Render(), nil
+}
+
+// RunExperimentCSV regenerates one paper artifact as CSV (header row plus
+// one record per table row), for downstream plotting.
+func RunExperimentCSV(id string, searchBudget int) (string, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return "", err
+	}
+	opts := pipeline.DefaultOptions()
+	if searchBudget > 0 {
+		opts.TileSeekIterations = searchBudget
+	}
+	table, err := e.Run(experiments.NewRunner(opts))
+	if err != nil {
+		return "", err
+	}
+	return table.CSV(), nil
+}
+
+// VerifyCascades executes the functional layer end to end: one full
+// Transformer layer (QKV -> streaming MHA -> Add&LayerNorm -> FFN) is run
+// through the Einsum-cascade interpreter on deterministic random tensors
+// and compared against naive reference implementations. It returns the
+// maximum absolute deviation (which should be ~1e-12).
+func VerifyCascades(seed uint64) (float64, error) {
+	const d, h, e, p, s, m0 = 8, 2, 4, 6, 10, 3
+	input := tensor.Rand(seed+100, tensor.Dim{Name: "d", Size: d}, tensor.Dim{Name: "p", Size: p})
+	w := cascade.RandLayerWeights(seed, d, h, e, e, s)
+	got, err := cascade.RunLayer(input, w, m0, "gelu")
+	if err != nil {
+		return 0, err
+	}
+	// Reference composition.
+	q := cascade.RefProject(input, w.WQ, "e")
+	k := cascade.RefProject(input, w.WK, "e")
+	v := cascade.RefProject(input, w.WV, "f")
+	kM := renameDim(k, "p", "m")
+	vM := renameDim(v, "p", "m")
+	av := cascade.RefAttention(q, kM, vM)
+	nr := cascade.RefAddLayerNorm(renameDim(q, "e", "f"), av)
+	gelu := func(x float64) float64 { return einsum.GeLU([]float64{x}) }
+	want := cascade.RefFFN(nr, w.WF1, w.BF1, w.WF2, w.BF2, gelu)
+	return tensor.MaxAbsDiff(got, want), nil
+}
+
+// RunStreamingAttention executes Einsum Cascade 1 (the 1-pass streaming
+// attention) on the given tensors via the interpreter and returns the
+// output AV[h,f,p]; exposed so examples can drive the functional layer
+// directly. q is [h,e,p]; k and v are [h,e,m] / [h,f,m]; m0 is the inner
+// tile length and must divide m.
+func RunStreamingAttention(q, k, v *tensor.Tensor, m0 int) (*tensor.Tensor, error) {
+	m := k.MustSize("m")
+	if m0 <= 0 || m%m0 != 0 {
+		return nil, fmt.Errorf("transfusion: m0=%d does not divide m=%d", m0, m)
+	}
+	env := eval.Env{
+		"Q":  q,
+		"BK": k.SplitDim("m", "m1", "m0", m0),
+		"BV": v.SplitDim("m", "m1", "m0", m0),
+	}
+	dims := map[string]int{
+		"h": q.MustSize("h"), "e": q.MustSize("e"), "f": v.MustSize("f"),
+		"p": q.MustSize("p"), "m1": m / m0, "m0": m0,
+	}
+	out, err := cascade.Attention().Run(env, dims)
+	if err != nil {
+		return nil, err
+	}
+	return out["AV"], nil
+}
+
+// ReferenceAttention computes naive full-softmax attention for comparison
+// with RunStreamingAttention. q is [h,e,p]; k and v are [h,e,m] / [h,f,m].
+func ReferenceAttention(q, k, v *tensor.Tensor) *tensor.Tensor {
+	return cascade.RefAttention(q, k, v)
+}
+
+// RandTensor builds a deterministic pseudo-random tensor; dims alternate
+// name/size pairs, e.g. RandTensor(1, "h", 2, "e", 4, "p", 8).
+func RandTensor(seed uint64, dims ...interface{}) (*tensor.Tensor, error) {
+	if len(dims)%2 != 0 {
+		return nil, fmt.Errorf("transfusion: RandTensor needs name/size pairs")
+	}
+	td := make([]tensor.Dim, 0, len(dims)/2)
+	for i := 0; i < len(dims); i += 2 {
+		name, ok := dims[i].(string)
+		if !ok {
+			return nil, fmt.Errorf("transfusion: dim name %v is not a string", dims[i])
+		}
+		size, ok := dims[i+1].(int)
+		if !ok {
+			return nil, fmt.Errorf("transfusion: dim size %v is not an int", dims[i+1])
+		}
+		td = append(td, tensor.Dim{Name: name, Size: size})
+	}
+	return tensor.Rand(seed, td...), nil
+}
+
+// MaxAbsDiff compares two tensors elementwise (dimension-order
+// insensitive).
+func MaxAbsDiff(a, b *tensor.Tensor) float64 { return tensor.MaxAbsDiff(a, b) }
+
+func renameDim(t *tensor.Tensor, from, to string) *tensor.Tensor {
+	dims := t.Dims()
+	for i := range dims {
+		if dims[i].Name == from {
+			dims[i].Name = to
+		}
+	}
+	out := tensor.New(dims...)
+	copy(out.Data(), t.Data())
+	return out
+}
+
+// ScheduleTrace builds the DPipe schedule for one sub-layer of a workload
+// ("qproj", "kvproj", "mha", "ln", "ffn") and renders it as an ASCII Gantt
+// chart over the given number of explicit epochs, plus the schedule
+// statistics. It is the introspection behind `transfusion -trace`.
+func ScheduleTrace(archName, modelName string, seqLen int, layer string, epochs, width int) (string, error) {
+	spec, err := arch.ByName(archName)
+	if err != nil {
+		return "", err
+	}
+	m, err := model.ByName(modelName)
+	if err != nil {
+		return "", err
+	}
+	w := pipeline.Workload{Model: m, SeqLen: seqLen, Batch: model.EvalBatch}
+	tile, err := tiling.HeuristicTile(w, spec)
+	if err != nil {
+		return "", err
+	}
+	probs, err := pipeline.BuildProblems(w, spec, pipeline.TransFusion(), tile)
+	if err != nil {
+		return "", err
+	}
+	prob, ok := probs[layer]
+	if !ok {
+		return "", fmt.Errorf("transfusion: unknown sub-layer %q (have qproj, kvproj, mha, ln, ffn)", layer)
+	}
+	plan, err := dpipe.Plan(prob, spec, dpipe.DefaultOptions())
+	if err != nil {
+		return "", err
+	}
+	if epochs < 1 {
+		epochs = 4
+	}
+	if int64(epochs) > prob.Epochs {
+		epochs = int(prob.Epochs)
+	}
+	tr, err := dpipe.TraceSchedule(prob, spec, plan.Order, plan.Bipartition.First, epochs, nil)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(tr.Gantt(width))
+	busy2, busy1 := tr.BusyCycles()
+	fmt.Fprintf(&b, "2D busy %.0f%%, 1D busy %.0f%% over %d explicit epochs; full-problem plan: %.4g cycles, %d candidate schedules\n",
+		100*busy2/tr.Makespan, 100*busy1/tr.Makespan, epochs, plan.TotalCycles, plan.Candidates)
+	return b.String(), nil
+}
+
+// RunCausalAttention executes the masked (decoder-style) streaming
+// attention cascade: each query at global position qStart+i attends only to
+// keys at positions <= qStart+i. Shapes follow RunStreamingAttention.
+func RunCausalAttention(q, k, v *tensor.Tensor, m0, qStart int) (*tensor.Tensor, error) {
+	m := k.MustSize("m")
+	if m0 <= 0 || m%m0 != 0 {
+		return nil, fmt.Errorf("transfusion: m0=%d does not divide m=%d", m0, m)
+	}
+	if qStart < 0 {
+		return nil, fmt.Errorf("transfusion: negative qStart %d", qStart)
+	}
+	m1 := m / m0
+	p := q.MustSize("p")
+	env := eval.Env{
+		"Q":    q,
+		"BK":   k.SplitDim("m", "m1", "m0", m0),
+		"BV":   v.SplitDim("m", "m1", "m0", m0),
+		"MASK": cascade.CausalMask(m1, m0, p, qStart),
+	}
+	dims := map[string]int{
+		"h": q.MustSize("h"), "e": q.MustSize("e"), "f": v.MustSize("f"),
+		"p": p, "m1": m1, "m0": m0,
+	}
+	out, err := cascade.CausalAttention().Run(env, dims)
+	if err != nil {
+		return nil, err
+	}
+	return out["AV"], nil
+}
+
+// ReferenceCausalAttention is the naive masked reference for
+// RunCausalAttention.
+func ReferenceCausalAttention(q, k, v *tensor.Tensor, qStart int) *tensor.Tensor {
+	return cascade.RefCausalAttention(q, k, v, qStart)
+}
+
+// StackSpec selects an encoder-decoder evaluation (§3.2's hybrid
+// composition): an encoder stack over EncSeq source tokens, a causal
+// decoder stack over DecSeq target tokens, and per-decoder-layer
+// cross-attention over the encoder memory.
+type StackSpec struct {
+	Arch         string
+	Model        string
+	System       string
+	EncSeq       int
+	DecSeq       int
+	Batch        int
+	SearchBudget int
+}
+
+// StackResult aggregates the three stages of an encoder-decoder run.
+type StackResult struct {
+	Encoder      RunResult
+	DecoderSelf  RunResult
+	DecoderCross RunResult
+	Cycles       float64
+	Seconds      float64
+	EnergyPJ     EnergyBreakdown
+}
+
+// RunEncoderDecoder evaluates a full encoder-decoder Transformer stack.
+func RunEncoderDecoder(s StackSpec) (StackResult, error) {
+	spec, m, sys, opts, batch, err := RunSpec{
+		Arch: s.Arch, Model: s.Model, System: s.System,
+		SeqLen: s.EncSeq, Batch: s.Batch, SearchBudget: s.SearchBudget,
+	}.resolve()
+	if err != nil {
+		return StackResult{}, err
+	}
+	w := pipeline.Workload{Model: m, Batch: batch}
+	res, err := pipeline.EvaluateEncoderDecoder(w, s.EncSeq, s.DecSeq, spec, sys, opts)
+	if err != nil {
+		return StackResult{}, err
+	}
+	out := StackResult{
+		Encoder:      toRunResult(res.Encoder, batch),
+		DecoderSelf:  toRunResult(res.DecoderSelf, batch),
+		DecoderCross: toRunResult(res.DecoderCross, batch),
+		Cycles:       res.TotalCycles,
+		Seconds:      res.Seconds,
+	}
+	out.EnergyPJ = EnergyBreakdown{
+		DRAM:    res.Energy.DRAM,
+		Buffer:  res.Energy.Buffer,
+		RegFile: res.Energy.Reg,
+		PE:      res.Energy.PE,
+	}
+	return out, nil
+}
+
+// Explain evaluates a run and renders its per-phase anatomy: each phase's
+// instance count, compute cycles, DRAM bytes, rooflined time, and whether
+// it is compute- or memory-bound — the roofline analysis behind
+// `transfusion -explain`.
+func Explain(s RunSpec) (string, error) {
+	spec, m, sys, opts, batch, err := s.resolve()
+	if err != nil {
+		return "", err
+	}
+	w := pipeline.Workload{Model: m, SeqLen: s.SeqLen, Batch: batch, Causal: s.Causal}
+	res, err := pipeline.Evaluate(w, spec, sys, opts)
+	if err != nil {
+		return "", err
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("%s / %s / %s @ %d tokens: per-phase anatomy (one layer's phases; x%d layers)",
+			sys.Name, spec.Name, m.Name, s.SeqLen, m.Layers),
+		"Phase", "Instances", "Compute cyc", "DRAM bytes", "Time cyc", "Bound", "Share")
+	for _, ph := range res.Phases {
+		bound := "compute"
+		if ph.TimeCycles > ph.ComputeCycles {
+			bound = "memory"
+		}
+		share := ph.TimeCycles * float64(ph.Instances) * float64(m.Layers) / res.TotalCycles
+		tb.AddRow(ph.Name,
+			fmt.Sprint(ph.Instances),
+			report.Sci(ph.ComputeCycles),
+			report.Sci(float64(ph.DRAMBytes)),
+			report.Sci(ph.TimeCycles),
+			bound,
+			report.Pct(share))
+	}
+	var b strings.Builder
+	b.WriteString(tb.Render())
+	fmt.Fprintf(&b, "total %.4g cycles (%.4g s), tile %s, 2D util %.0f%%, 1D util %.0f%%\n",
+		res.TotalCycles, res.Seconds, res.Tile, res.Utilization2D()*100, res.Utilization1D()*100)
+	return b.String(), nil
+}

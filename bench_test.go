@@ -1,0 +1,170 @@
+package transfusion_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§6), plus the headline aggregate and the two ablations. Each
+// benchmark regenerates its artifact through the same code path as
+// cmd/experiments; the benchmark time is the cost of reproducing that
+// artifact (dominated by TileSeek rollouts and DPipe schedule search, i.e.
+// the framework's own search cost — the quantity a MICRO artifact
+// evaluation would measure).
+//
+// A reduced TileSeek budget keeps a full `go test -bench=.` run tractable;
+// cmd/experiments uses the full budget for the recorded numbers.
+
+import (
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/dpipe"
+	"github.com/fusedmindlab/transfusion/internal/experiments"
+	"github.com/fusedmindlab/transfusion/internal/model"
+	"github.com/fusedmindlab/transfusion/internal/pipeline"
+	"github.com/fusedmindlab/transfusion/internal/tiling"
+)
+
+func benchOpts() pipeline.Options {
+	opts := pipeline.DefaultOptions()
+	opts.TileSeekIterations = 8
+	opts.DPipe = dpipe.DefaultOptions()
+	return opts
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		runner := experiments.NewRunner(benchOpts())
+		e, err := experiments.ByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		table, err := e.Run(runner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if table.NumRows() == 0 {
+			b.Fatalf("%s produced an empty table", id)
+		}
+	}
+}
+
+// Tables.
+
+func BenchmarkTable1Mapping(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkTable2BufferReqs(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3ArchSpecs(b *testing.B)  { benchExperiment(b, "table3") }
+
+// Figure 8: speedup over Unfused.
+
+func BenchmarkFig8aSpeedupScaling(b *testing.B) { benchExperiment(b, "fig8a") }
+func BenchmarkFig8bSpeedupModels(b *testing.B)  { benchExperiment(b, "fig8b") }
+
+// Figure 9: PE-size scaling on edge.
+
+func BenchmarkFig9aPEScaling(b *testing.B)       { benchExperiment(b, "fig9a") }
+func BenchmarkFig9bPEScalingModels(b *testing.B) { benchExperiment(b, "fig9b") }
+
+// Figure 10: utilization.
+
+func BenchmarkFig10aUtilizationScaling(b *testing.B) { benchExperiment(b, "fig10a") }
+func BenchmarkFig10bUtilizationModels(b *testing.B)  { benchExperiment(b, "fig10b") }
+
+// Figure 11: speedup-contribution breakdown.
+
+func BenchmarkFig11Contribution(b *testing.B) { benchExperiment(b, "fig11") }
+
+// Figure 12: energy.
+
+func BenchmarkFig12aEnergyScaling(b *testing.B) { benchExperiment(b, "fig12a") }
+func BenchmarkFig12bEnergyModels(b *testing.B)  { benchExperiment(b, "fig12b") }
+
+// Figure 13: energy breakdown across the memory hierarchy.
+
+func BenchmarkFig13EnergyBreakdown(b *testing.B) { benchExperiment(b, "fig13") }
+
+// Headline geometric means (abstract / conclusion numbers).
+
+func BenchmarkHeadlineGeomeans(b *testing.B) { benchExperiment(b, "headline") }
+
+// Ablations.
+
+func BenchmarkAblationTileSeek(b *testing.B) { benchExperiment(b, "ablation-tileseek") }
+func BenchmarkAblationDPipe(b *testing.B)    { benchExperiment(b, "ablation-dpipe") }
+
+// Component micro-benchmarks: the costs of the framework's two search
+// engines in isolation.
+
+func BenchmarkDPipePlanMHA(b *testing.B) {
+	probs := buildLlamaProblems(b)
+	prob := probs["mha"]
+	spec := cloudSpec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dpipe.Plan(prob, spec, dpipe.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDPipePlanFFN(b *testing.B) {
+	probs := buildLlamaProblems(b)
+	prob := probs["ffn"]
+	spec := cloudSpec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dpipe.Plan(prob, spec, dpipe.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateTransFusionCloud64K(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experimentsEval(b, "cloud"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateTransFusionEdge64K(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experimentsEval(b, "edge"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Helpers for the component micro-benchmarks.
+
+func cloudSpec() arch.Spec { return arch.Cloud() }
+
+func buildLlamaProblems(b *testing.B) map[string]*dpipe.Problem {
+	b.Helper()
+	w := pipeline.Workload{Model: model.Llama3(), SeqLen: model.SeqLength64K, Batch: model.EvalBatch}
+	tile, err := tiling.HeuristicTile(w, arch.Cloud())
+	if err != nil {
+		b.Fatal(err)
+	}
+	probs, err := pipeline.BuildProblems(w, arch.Cloud(), pipeline.TransFusion(), tile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return probs
+}
+
+func experimentsEval(b *testing.B, archName string) (pipeline.Result, error) {
+	b.Helper()
+	spec, err := arch.ByName(archName)
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	w := pipeline.Workload{Model: model.Llama3(), SeqLen: model.SeqLength64K, Batch: model.EvalBatch}
+	return pipeline.Evaluate(w, spec, pipeline.TransFusion(), benchOpts())
+}
+
+// Sensitivity extensions.
+
+func BenchmarkSensitivityBandwidth(b *testing.B) { benchExperiment(b, "sensitivity-bandwidth") }
+func BenchmarkSensitivityCausal(b *testing.B)    { benchExperiment(b, "sensitivity-causal") }
+
+func BenchmarkAblationAttentionPasses(b *testing.B) { benchExperiment(b, "ablation-attention-passes") }
+func BenchmarkStackT5(b *testing.B)                 { benchExperiment(b, "stack-t5") }

@@ -1,0 +1,56 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (§6). Without flags it runs every experiment in
+// presentation order; -exp selects one by ID.
+//
+// Usage:
+//
+//	experiments                 # everything (several minutes)
+//	experiments -list           # list experiment IDs
+//	experiments -exp fig8a      # one artifact
+//	experiments -budget 32      # faster, smaller TileSeek budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/fusedmindlab/transfusion"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment ID to run (empty = all)")
+	budget := flag.Int("budget", 0, "TileSeek rollout budget (0 = default)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Parse()
+
+	if *list {
+		for _, id := range transfusion.ExperimentIDs() {
+			desc, _ := transfusion.ExperimentDescription(id)
+			fmt.Printf("%-18s %s\n", id, desc)
+		}
+		return
+	}
+
+	ids := transfusion.ExperimentIDs()
+	if *exp != "" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		var out string
+		var err error
+		if *format == "csv" {
+			out, err = transfusion.RunExperimentCSV(id, *budget)
+		} else {
+			out, err = transfusion.RunExperiment(id, *budget)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (%.1fs) ==\n%s\n", id, time.Since(start).Seconds(), out)
+	}
+}

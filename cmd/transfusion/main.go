@@ -1,0 +1,124 @@
+// Command transfusion evaluates a Transformer workload on a modelled
+// spatial accelerator under one of the five systems from the paper's
+// evaluation, printing latency, energy, utilization, and the per-layer
+// latency breakdown.
+//
+// Usage:
+//
+//	transfusion -arch cloud -model llama3 -seq 65536 -system transfusion
+//	transfusion -arch edge -model bert -seq 4096 -compare
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/fusedmindlab/transfusion"
+)
+
+func main() {
+	archName := flag.String("arch", "cloud", "architecture preset: "+strings.Join(transfusion.ArchNames(), ", "))
+	modelName := flag.String("model", "llama3", "workload model: "+strings.Join(transfusion.ModelNames(), ", "))
+	seq := flag.Int("seq", 65536, "sequence length (powers of two are safe)")
+	system := flag.String("system", "transfusion", "system: "+strings.Join(transfusion.SystemNames(), ", "))
+	batch := flag.Int("batch", 0, "batch size (0 = the paper's default of 64)")
+	budget := flag.Int("budget", 0, "TileSeek rollout budget (0 = default)")
+	compare := flag.Bool("compare", false, "evaluate all five systems and print speedups over Unfused")
+	trace := flag.String("trace", "", "render the DPipe schedule Gantt for a sub-layer (qproj, kvproj, mha, ln, ffn)")
+	causal := flag.Bool("causal", false, "decoder-style causal masking")
+	asJSON := flag.Bool("json", false, "emit the result as JSON")
+	explain := flag.Bool("explain", false, "print the per-phase roofline anatomy")
+	archFile := flag.String("arch-file", "", "load the architecture from a JSON file instead of a preset")
+	sweep := flag.Bool("sweep", false, "sweep the 1K-1M sequence range for the chosen system, CSV to stdout")
+	flag.Parse()
+
+	base := transfusion.RunSpec{
+		Arch: *archName, Model: *modelName, SeqLen: *seq, System: *system,
+		Batch: *batch, SearchBudget: *budget, Causal: *causal, ArchFile: *archFile,
+	}
+
+	if *sweep {
+		fmt.Println("seq,cycles,seconds,energy_pj,util2d,util1d")
+		for _, n := range []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20} {
+			spec := base
+			spec.SeqLen = n
+			r, err := transfusion.Run(spec)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%d,%.6g,%.6g,%.6g,%.3f,%.3f\n",
+				n, r.Cycles, r.Seconds, r.EnergyPJ.Total(), r.Utilization2D, r.Utilization1D)
+		}
+		return
+	}
+
+	if *explain {
+		out, err := transfusion.Explain(base)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	if *trace != "" {
+		out, err := transfusion.ScheduleTrace(*archName, *modelName, *seq, *trace, 6, 100)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	if *compare {
+		results, err := transfusion.Compare(*archName, *modelName, *seq)
+		if err != nil {
+			fatal(err)
+		}
+		unfused := results[0]
+		fmt.Printf("%-18s %-12s %-12s %-9s %-8s %-8s %s\n",
+			"system", "cycles", "seconds", "speedup", "2D util", "1D util", "energy (pJ)")
+		for _, r := range results {
+			fmt.Printf("%-18s %-12.4g %-12.4g %-9.2f %-8.0f %-8.0f %.4g\n",
+				r.System, r.Cycles, r.Seconds, unfused.Cycles/r.Cycles,
+				r.Utilization2D*100, r.Utilization1D*100, r.EnergyPJ.Total())
+		}
+		return
+	}
+
+	res, err := transfusion.Run(base)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("system        %s on %s (%s, seq %d, batch %d)\n", res.System, res.Arch, res.Model, res.SeqLen, res.Batch)
+	fmt.Printf("latency       %.4g cycles  (%.4g s)\n", res.Cycles, res.Seconds)
+	fmt.Printf("utilization   2D %.0f%%   1D %.0f%%\n", res.Utilization2D*100, res.Utilization1D*100)
+	fmt.Printf("outer tile    %s\n", res.Tile)
+	if res.TileSearchEvals > 0 {
+		fmt.Printf("tile search   %d objective evaluations\n", res.TileSearchEvals)
+	}
+	fmt.Printf("DRAM traffic  %.4g bytes\n", res.DRAMBytes)
+	e := res.EnergyPJ
+	fmt.Printf("energy        %.4g pJ  (DRAM %.0f%%, buffer %.0f%%, RF %.0f%%, PE %.0f%%)\n",
+		e.Total(), 100*e.DRAM/e.Total(), 100*e.Buffer/e.Total(), 100*e.RegFile/e.Total(), 100*e.PE/e.Total())
+	fmt.Println("per-layer latency share:")
+	for _, k := range []string{"QKV", "MHA", "Add&LayerNorm", "FFN"} {
+		fmt.Printf("  %-14s %.1f%%\n", k, 100*res.LayerCycles[k]/res.Cycles)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "transfusion:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+// Package transfusion is the public API of the TransFusion framework — a
+// reproduction of "TransFusion: End-to-End Transformer Acceleration via
+// Graph Fusion and Pipelining" (MICRO 2025).
+//
+// TransFusion models end-to-end Transformer inference on spatial
+// accelerators (a 2D PE array for matrix work, a 1D PE array for streaming
+// work, a shared on-chip buffer, and off-chip DRAM). It expresses every
+// sub-layer — QKV projection, 1-pass streaming multi-head attention,
+// Add & LayerNorm, and the FFN — as Cascades of Extended Einsums, schedules
+// them with DPipe (a DAG-bipartition + dynamic-programming pipelining
+// scheduler), and chooses outer tiles with TileSeek (an MCTS search under
+// closed-form buffer constraints).
+//
+// # Quick start
+//
+//	res, err := transfusion.Run(transfusion.RunSpec{
+//		Arch:   "cloud",
+//		Model:  "llama3",
+//		SeqLen: 65536,
+//		System: "transfusion",
+//	})
+//	if err != nil { ... }
+//	fmt.Printf("latency: %.3f ms, 2D util %.0f%%\n",
+//		res.Seconds*1e3, res.Utilization2D*100)
+//
+// Compare evaluates all five modelled systems (Unfused, FLAT, FuseMax,
+// FuseMax+LayerFuse, TransFusion) on one workload; RunExperiment
+// regenerates any table or figure from the paper's evaluation section.
+//
+// The functional layer (the Einsum interpreter and the cascade executor)
+// can be exercised with VerifyCascades, which runs the streaming attention
+// cascade numerically against a naive reference.
+package transfusion

@@ -1,0 +1,65 @@
+package transfusion_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/fusedmindlab/transfusion"
+)
+
+// Running one system on one workload/architecture.
+func ExampleRun() {
+	res, err := transfusion.Run(transfusion.RunSpec{
+		Arch:   "edge",
+		Model:  "bert",
+		SeqLen: 4096,
+		System: "fusemax",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Arch, res.Model, res.System, res.Cycles > 0)
+	// Output: edge bert fusemax true
+}
+
+// The streaming 1-pass attention cascade is numerically identical to naive
+// softmax attention for any inner tile size.
+func ExampleRunStreamingAttention() {
+	q, _ := transfusion.RandTensor(1, "h", 2, "e", 8, "p", 4)
+	k, _ := transfusion.RandTensor(2, "h", 2, "e", 8, "m", 16)
+	v, _ := transfusion.RandTensor(3, "h", 2, "f", 8, "m", 16)
+
+	streaming, err := transfusion.RunStreamingAttention(q, k, v, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	naive := transfusion.ReferenceAttention(q, k, v)
+	fmt.Println(transfusion.MaxAbsDiff(streaming, naive) < 1e-9)
+	// Output: true
+}
+
+// Comparing the five modelled systems; TransFusion is always the fastest.
+func ExampleCompare() {
+	results, err := transfusion.Compare("edge", "t5", 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fastest := results[0]
+	for _, r := range results {
+		if r.Cycles < fastest.Cycles {
+			fastest = r
+		}
+	}
+	fmt.Println(len(results), fastest.System)
+	// Output: 5 transfusion
+}
+
+// Regenerating a paper artifact.
+func ExampleRunExperiment() {
+	out, err := transfusion.RunExperiment("table1", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(out) > 0)
+	// Output: true
+}

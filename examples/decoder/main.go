@@ -1,0 +1,59 @@
+// Decoder: the causal-masking extension. Validates the masked streaming
+// attention cascade against a naive reference (including the fully-masked
+// block edge case that breaks shift-free implementations), then shows the
+// end-to-end effect of decoder masking on modelled latency.
+//
+//	go run ./examples/decoder
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/fusedmindlab/transfusion"
+)
+
+func main() {
+	const h, e, f, p, m = 4, 16, 16, 8, 64
+
+	q, err := transfusion.RandTensor(11, "h", h, "e", e, "p", p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, _ := transfusion.RandTensor(12, "h", h, "e", e, "m", m)
+	v, _ := transfusion.RandTensor(13, "h", h, "f", f, "m", m)
+
+	fmt.Println("masked streaming attention vs masked reference:")
+	for _, qStart := range []int{0, 17, m - p} {
+		got, err := transfusion.RunCausalAttention(q, k, v, 8, qStart)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want := transfusion.ReferenceCausalAttention(q, k, v, qStart)
+		fmt.Printf("  queries at %2d..%2d  max deviation %.2e\n",
+			qStart, qStart+p-1, transfusion.MaxAbsDiff(got, want))
+	}
+
+	// qStart = 0 means the first query sees exactly one key and six of the
+	// eight KV blocks are fully masked for it — the case where a -inf
+	// running max would produce NaN. The deviations above prove the finite
+	// sentinel handles it exactly.
+
+	fmt.Println("\nend-to-end effect of decoder masking (Llama3 on cloud, TransFusion):")
+	for _, n := range []int{16 << 10, 256 << 10} {
+		bi, err := transfusion.Run(transfusion.RunSpec{
+			Arch: "cloud", Model: "llama3", SeqLen: n, System: "transfusion", SearchBudget: 24})
+		if err != nil {
+			log.Fatal(err)
+		}
+		causal, err := transfusion.Run(transfusion.RunSpec{
+			Arch: "cloud", Model: "llama3", SeqLen: n, System: "transfusion", SearchBudget: 24, Causal: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  seq %4dK: bidirectional %.3e cycles, causal %.3e cycles (%.2fx)\n",
+			n>>10, bi.Cycles, causal.Cycles, bi.Cycles/causal.Cycles)
+	}
+	fmt.Println("\nthe saving grows with sequence length as the (quadratic, halved-by-masking)")
+	fmt.Println("attention term comes to dominate the (linear, unchanged) projection/FFN terms.")
+}

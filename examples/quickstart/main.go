@@ -1,0 +1,44 @@
+// Quickstart: evaluate TransFusion on the paper's cloud architecture and
+// compare all five modelled systems on one workload.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/fusedmindlab/transfusion"
+)
+
+func main() {
+	// One evaluation: TransFusion (end-to-end fusion + DPipe + TileSeek)
+	// running Llama3-8B with a 64K context on the TPU-class cloud preset.
+	res, err := transfusion.Run(transfusion.RunSpec{
+		Arch:   "cloud",
+		Model:  "llama3",
+		SeqLen: 64 << 10,
+		System: "transfusion",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TransFusion / %s / %s @ %dK tokens (batch %d)\n",
+		res.Arch, res.Model, res.SeqLen>>10, res.Batch)
+	fmt.Printf("  latency  %.4g cycles (%.1f s modelled)\n", res.Cycles, res.Seconds)
+	fmt.Printf("  tile     %s (found by TileSeek in %d evaluations)\n", res.Tile, res.TileSearchEvals)
+	fmt.Printf("  arrays   2D %.0f%% busy, 1D %.0f%% busy\n\n",
+		res.Utilization2D*100, res.Utilization1D*100)
+
+	// The five-way comparison of §6.2.
+	results, err := transfusion.Compare("cloud", "llama3", 64<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	unfused := results[0]
+	fmt.Println("speedup over Unfused:")
+	for _, r := range results {
+		fmt.Printf("  %-18s %6.2fx   (energy %.2fx)\n",
+			r.System, unfused.Cycles/r.Cycles, r.EnergyPJ.Total()/unfused.EnergyPJ.Total())
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/fusedmindlab/transfusion
+
+go 1.22

@@ -1,0 +1,97 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// JSON configuration loading: downstream users describe their own
+// accelerator instead of editing the presets. The schema mirrors Table 3
+// plus the modelling knobs:
+//
+//	{
+//	  "name": "myNPU",
+//	  "pe2dRows": 64, "pe2dCols": 64,
+//	  "pe1dLanes": 512,
+//	  "bufferBytes": 8388608,
+//	  "dramBandwidthGBs": 100,
+//	  "clockGHz": 1.0,
+//	  "bytesPerElement": 2,
+//	  "energy": {                       // optional; defaults to 45 nm table
+//	    "dramPerByte": 160, "bufferPerByte": 12.5,
+//	    "regPerByte": 0.25, "macOp": 4.6, "vectorOp": 1.1
+//	  }
+//	}
+
+type jsonEnergy struct {
+	DRAMPerByte   *float64 `json:"dramPerByte"`
+	BufferPerByte *float64 `json:"bufferPerByte"`
+	RegPerByte    *float64 `json:"regPerByte"`
+	MACOp         *float64 `json:"macOp"`
+	VectorOp      *float64 `json:"vectorOp"`
+}
+
+type jsonSpec struct {
+	Name             string      `json:"name"`
+	PE2DRows         int         `json:"pe2dRows"`
+	PE2DCols         int         `json:"pe2dCols"`
+	PE1DLanes        int         `json:"pe1dLanes"`
+	BufferBytes      int64       `json:"bufferBytes"`
+	DRAMBandwidthGBs float64     `json:"dramBandwidthGBs"`
+	ClockGHz         float64     `json:"clockGHz"`
+	BytesPerElement  int         `json:"bytesPerElement"`
+	Energy           *jsonEnergy `json:"energy"`
+}
+
+// FromJSON parses an architecture description. Missing optional fields
+// (element width, energy entries) take the preset defaults.
+func FromJSON(data []byte) (Spec, error) {
+	var js jsonSpec
+	if err := json.Unmarshal(data, &js); err != nil {
+		return Spec{}, fmt.Errorf("arch: parse JSON: %w", err)
+	}
+	s := Spec{
+		Name:            js.Name,
+		PE2D:            Array2D{Rows: js.PE2DRows, Cols: js.PE2DCols},
+		PE1DLanes:       js.PE1DLanes,
+		BufferBytes:     js.BufferBytes,
+		DRAMBandwidth:   js.DRAMBandwidthGBs * 1e9,
+		ClockHz:         js.ClockGHz * 1e9,
+		BytesPerElement: js.BytesPerElement,
+		Energy:          Default45nm,
+	}
+	if s.BytesPerElement == 0 {
+		s.BytesPerElement = 2
+	}
+	if e := js.Energy; e != nil {
+		if e.DRAMPerByte != nil {
+			s.Energy.DRAMPerByte = *e.DRAMPerByte
+		}
+		if e.BufferPerByte != nil {
+			s.Energy.BufferPerByte = *e.BufferPerByte
+		}
+		if e.RegPerByte != nil {
+			s.Energy.RegPerByte = *e.RegPerByte
+		}
+		if e.MACOp != nil {
+			s.Energy.MACOp = *e.MACOp
+		}
+		if e.VectorOp != nil {
+			s.Energy.VectorOp = *e.VectorOp
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// FromJSONFile loads an architecture description from a file.
+func FromJSONFile(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("arch: %w", err)
+	}
+	return FromJSON(data)
+}

@@ -1,0 +1,209 @@
+// Package cascade implements Cascades of Einsums — ordered sequences of
+// Extended Einsums with optional cross-tile recurrences — and provides the
+// four Transformer cascades from the paper:
+//
+//	Einsum Cascade 1: 1-pass streaming attention (Eqs. 12–24)
+//	Einsum Cascade 2: tiled QKV projections      (Eqs. 25–27)
+//	Einsum Cascade 3: Add & LayerNorm            (Eqs. 28–36)
+//	Einsum Cascade 4: Feed-Forward Network       (Eqs. 37–39)
+//
+// A cascade is both executable (via the internal/eval interpreter, for
+// functional validation) and analyzable (its Body is the operation-level DAG
+// that DPipe partitions and schedules, and its Einsums carry the Eq. 40
+// compute loads the performance model consumes).
+package cascade
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fusedmindlab/transfusion/internal/einsum"
+	"github.com/fusedmindlab/transfusion/internal/eval"
+	"github.com/fusedmindlab/transfusion/internal/tensor"
+)
+
+// StateVar is a tensor carried across loop iterations (the streaming-softmax
+// running max, running denominator, and running numerator-times-V in Cascade
+// 1). Within an iteration the *previous* value is visible under Name and the
+// updated value must be produced by an Einsum named Name+"_next"; the
+// executor swaps them at the end of each iteration.
+type StateVar struct {
+	Name string
+	// Idx are the dimension labels of the state tensor (sizes come from the
+	// execution environment).
+	Idx []string
+	// Init is the initial fill value (e.g. -Inf for a running max).
+	Init float64
+}
+
+// NextName returns the name of the Einsum that produces this state's update.
+func (s StateVar) NextName() string { return s.Name + "_next" }
+
+// Cascade is an ordered sequence of Einsums, optionally wrapped in a
+// recurrence loop over LoopIndex.
+type Cascade struct {
+	Name string
+	// LoopIndex, when non-empty, names the outer tile index (m1 in Cascade
+	// 1). Inputs carrying this dimension are sliced per iteration; state
+	// variables carry values across iterations.
+	LoopIndex string
+	// Body is executed once per loop iteration (or exactly once if
+	// LoopIndex is empty).
+	Body []*einsum.Einsum
+	// Final is executed after the loop completes (e.g. AV = RNV / RD).
+	Final []*einsum.Einsum
+	// State lists the recurrent tensors.
+	State []StateVar
+	// Inputs names the externally supplied tensors.
+	Inputs []string
+	// Outputs names the tensors the cascade produces for downstream layers.
+	Outputs []string
+}
+
+// All returns Body followed by Final.
+func (c *Cascade) All() []*einsum.Einsum {
+	out := make([]*einsum.Einsum, 0, len(c.Body)+len(c.Final))
+	out = append(out, c.Body...)
+	return append(out, c.Final...)
+}
+
+// Find returns the Einsum producing the named tensor, or nil.
+func (c *Cascade) Find(name string) *einsum.Einsum {
+	for _, e := range c.All() {
+		if e.Name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// Validate checks that the cascade is internally consistent under the given
+// dimension sizes: every Einsum validates, every Einsum input is an external
+// input, a state variable, or a previously produced tensor, and every state
+// variable has an update Einsum in the body.
+func (c *Cascade) Validate(dims map[string]int) error {
+	available := make(map[string]bool)
+	for _, in := range c.Inputs {
+		available[in] = true
+	}
+	for _, s := range c.State {
+		available[s.Name] = true
+	}
+	produced := make(map[string]bool)
+	for _, e := range c.All() {
+		if err := e.Validate(dims); err != nil {
+			return fmt.Errorf("cascade %s: %w", c.Name, err)
+		}
+		if produced[e.Name] {
+			return fmt.Errorf("cascade %s: tensor %q produced twice", c.Name, e.Name)
+		}
+		for _, in := range e.InputTensors() {
+			if !available[in] {
+				return fmt.Errorf("cascade %s: einsum %s reads %q before it is produced", c.Name, e.Name, in)
+			}
+		}
+		available[e.Name] = true
+		produced[e.Name] = true
+	}
+	for _, s := range c.State {
+		if !produced[s.NextName()] {
+			return fmt.Errorf("cascade %s: state %q has no update einsum %q", c.Name, s.Name, s.NextName())
+		}
+	}
+	for _, out := range c.Outputs {
+		if !available[out] {
+			return fmt.Errorf("cascade %s: declared output %q never produced", c.Name, out)
+		}
+	}
+	if c.LoopIndex == "" && len(c.State) > 0 {
+		return fmt.Errorf("cascade %s: state variables without a loop index", c.Name)
+	}
+	return nil
+}
+
+// Run executes the cascade on env and returns a new environment containing
+// env plus every tensor the cascade produced (final state values included).
+// dims must give the extent of every index label, including LoopIndex.
+func (c *Cascade) Run(env eval.Env, dims map[string]int) (eval.Env, error) {
+	if err := c.Validate(dims); err != nil {
+		return nil, err
+	}
+	out := make(eval.Env, len(env)+len(c.Body)+len(c.Final))
+	for k, v := range env {
+		out[k] = v
+	}
+	for _, in := range c.Inputs {
+		if _, ok := out[in]; !ok {
+			return nil, fmt.Errorf("cascade %s: input tensor %q not supplied", c.Name, in)
+		}
+	}
+
+	if c.LoopIndex == "" {
+		for _, e := range c.Body {
+			t, err := eval.ApplyFast(e, out, dims)
+			if err != nil {
+				return nil, err
+			}
+			out[e.Name] = t
+		}
+	} else {
+		iters, ok := dims[c.LoopIndex]
+		if !ok {
+			return nil, fmt.Errorf("cascade %s: loop index %q has no size", c.Name, c.LoopIndex)
+		}
+		// Initialise state.
+		for _, s := range c.State {
+			sdims := make([]tensor.Dim, len(s.Idx))
+			for i, idx := range s.Idx {
+				size, ok := dims[idx]
+				if !ok {
+					return nil, fmt.Errorf("cascade %s: state %s: index %q has no size", c.Name, s.Name, idx)
+				}
+				sdims[i] = tensor.Dim{Name: idx, Size: size}
+			}
+			out[s.Name] = tensor.New(sdims...).Fill(s.Init)
+		}
+		// Loop-sliced dimension sizes: within an iteration the loop index is
+		// fixed, so body Einsums are written without it.
+		bodyDims := make(map[string]int, len(dims))
+		for k, v := range dims {
+			if k != c.LoopIndex {
+				bodyDims[k] = v
+			}
+		}
+		for t := 0; t < iters; t++ {
+			iterEnv := make(eval.Env, len(out))
+			for name, tt := range out {
+				if tt.HasDim(c.LoopIndex) {
+					iterEnv[name] = tt.Slice(c.LoopIndex, t)
+				} else {
+					iterEnv[name] = tt
+				}
+			}
+			for _, e := range c.Body {
+				res, err := eval.ApplyFast(e, iterEnv, bodyDims)
+				if err != nil {
+					return nil, fmt.Errorf("cascade %s: iteration %d: %w", c.Name, t, err)
+				}
+				iterEnv[e.Name] = res
+			}
+			// Commit state updates.
+			for _, s := range c.State {
+				out[s.Name] = iterEnv[s.NextName()]
+			}
+		}
+		// Expose final state to the Final einsums under the state names.
+	}
+
+	for _, e := range c.Final {
+		t, err := eval.ApplyFast(e, out, dims)
+		if err != nil {
+			return nil, err
+		}
+		out[e.Name] = t
+	}
+	return out, nil
+}
+
+// negInf is the running-max initialiser.
+var negInf = math.Inf(-1)

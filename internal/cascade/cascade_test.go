@@ -1,0 +1,357 @@
+package cascade
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/fusedmindlab/transfusion/internal/einsum"
+	"github.com/fusedmindlab/transfusion/internal/eval"
+	"github.com/fusedmindlab/transfusion/internal/tensor"
+)
+
+func attentionDims(h, e, f, p, m1, m0 int) map[string]int {
+	return map[string]int{"h": h, "e": e, "f": f, "p": p, "m1": m1, "m0": m0}
+}
+
+func randQKV(seed uint64, h, e, f, p, m1, m0 int) eval.Env {
+	return eval.Env{
+		"Q": tensor.Rand(seed+1, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "e", Size: e}, tensor.Dim{Name: "p", Size: p}),
+		"BK": tensor.Rand(seed+2, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "e", Size: e},
+			tensor.Dim{Name: "m1", Size: m1}, tensor.Dim{Name: "m0", Size: m0}),
+		"BV": tensor.Rand(seed+3, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "f", Size: f},
+			tensor.Dim{Name: "m1", Size: m1}, tensor.Dim{Name: "m0", Size: m0}),
+	}
+}
+
+// mergeKV converts blocked BK[h,e,m1,m0] back to flat K[h,e,m] for the
+// reference implementation.
+func mergeKV(t *tensor.Tensor) *tensor.Tensor {
+	return t.MergeDims("m1", "m0", "m")
+}
+
+func TestAttentionCascadeValidates(t *testing.T) {
+	c := Attention()
+	if err := c.Validate(attentionDims(2, 3, 3, 4, 2, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Body) + len(c.Final); got != 12 {
+		t.Fatalf("attention cascade has %d einsums, want 12 (the paper's primitive-operator count)", got)
+	}
+}
+
+// The headline functional test: the streaming 1-pass attention cascade
+// (Einsum Cascade 1) must compute exactly the same function as naive
+// full-softmax attention.
+func TestAttentionMatchesReference(t *testing.T) {
+	h, e, f, p, m1, m0 := 2, 4, 4, 3, 4, 2
+	env := randQKV(42, h, e, f, p, m1, m0)
+	out, err := Attention().Run(env, attentionDims(h, e, f, p, m1, m0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RefAttention(env["Q"], mergeKV(env["BK"]), mergeKV(env["BV"]))
+	if d := tensor.MaxAbsDiff(out["AV"], want); d > 1e-9 {
+		t.Fatalf("streaming attention deviates from reference by %v", d)
+	}
+}
+
+// Property: the result is independent of how the key/value sequence is split
+// into (m1, m0) tiles — the tile-size invariance that makes outer-tiling a
+// pure performance decision.
+func TestQuickAttentionTileInvariance(t *testing.T) {
+	f := func(seed uint64, m0raw uint8) bool {
+		const h, e, fv, p, m = 2, 3, 3, 2, 12
+		splits := []int{1, 2, 3, 4, 6, 12}
+		m0 := splits[int(m0raw)%len(splits)]
+		m1 := m / m0
+		// Build flat K/V, then split.
+		k := tensor.Rand(seed+2, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "e", Size: e}, tensor.Dim{Name: "m", Size: m})
+		v := tensor.Rand(seed+3, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "f", Size: fv}, tensor.Dim{Name: "m", Size: m})
+		q := tensor.Rand(seed+1, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "e", Size: e}, tensor.Dim{Name: "p", Size: p})
+		env := eval.Env{"Q": q, "BK": k.SplitDim("m", "m1", "m0", m0), "BV": v.SplitDim("m", "m1", "m0", m0)}
+		out, err := Attention().Run(env, attentionDims(h, e, fv, p, m1, m0))
+		if err != nil {
+			return false
+		}
+		want := RefAttention(q, k, v)
+		return tensor.MaxAbsDiff(out["AV"], want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The streaming softmax must stay numerically stable for large score
+// magnitudes where a naive exp would overflow.
+func TestAttentionNumericalStability(t *testing.T) {
+	h, e, f, p, m1, m0 := 1, 2, 2, 1, 3, 2
+	env := randQKV(7, h, e, f, p, m1, m0)
+	// Scale Q so raw scores reach ~1e3; exp(1e3) overflows float64.
+	env["Q"].Apply(func(v float64) float64 { return v * 500 })
+	out, err := Attention().Run(env, attentionDims(h, e, f, p, m1, m0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["AV"].Each(func(_ map[string]int, v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("streaming attention produced %v on large scores", v)
+		}
+	})
+	want := RefAttention(env["Q"], mergeKV(env["BK"]), mergeKV(env["BV"]))
+	if d := tensor.MaxAbsDiff(out["AV"], want); d > 1e-9 {
+		t.Fatalf("deviation %v on large-score input", d)
+	}
+}
+
+func TestQKVMatchesReference(t *testing.T) {
+	d, h, e, f, p, m1, m0 := 6, 2, 3, 3, 4, 2, 2
+	dims := map[string]int{"d": d, "h": h, "e": e, "f": f, "p": p, "m1": m1, "m0": m0}
+	input := tensor.Rand(11, tensor.Dim{Name: "d", Size: d}, tensor.Dim{Name: "p", Size: p})
+	inputKV := renameDim(input.Clone().Narrow("p", 0, m1*m0), "p", "m").SplitDim("m", "m1", "m0", m0)
+	w := RandLayerWeights(5, d, h, e, f, 8)
+	env := eval.Env{"INPUT": input, "INPUTKV": inputKV, "WQ": w.WQ, "WK": w.WK, "WV": w.WV}
+	out, err := QKV().Run(env, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantQ := RefProject(input, w.WQ, "e")
+	if dd := tensor.MaxAbsDiff(out["Q"], wantQ); dd > 1e-9 {
+		t.Fatalf("Q deviates by %v", dd)
+	}
+	wantK := RefProject(renameDim(inputKV.MergeDims("m1", "m0", "m"), "m", "p"), w.WK, "e")
+	gotK := renameDim(out["BK"].MergeDims("m1", "m0", "m"), "m", "p")
+	if dd := tensor.MaxAbsDiff(gotK, wantK); dd > 1e-9 {
+		t.Fatalf("K deviates by %v", dd)
+	}
+	wantV := RefProject(renameDim(inputKV.MergeDims("m1", "m0", "m"), "m", "p"), w.WV, "f")
+	gotV := renameDim(out["BV"].MergeDims("m1", "m0", "m"), "m", "p")
+	if dd := tensor.MaxAbsDiff(gotV, wantV); dd > 1e-9 {
+		t.Fatalf("V deviates by %v", dd)
+	}
+}
+
+func TestAddLayerNormMatchesReference(t *testing.T) {
+	h, f, p := 2, 4, 3
+	dims := map[string]int{"h": h, "f": f, "p": p}
+	inp := tensor.Rand(21, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "f", Size: f}, tensor.Dim{Name: "p", Size: p})
+	av := tensor.Rand(22, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "f", Size: f}, tensor.Dim{Name: "p", Size: p})
+	out, err := AddLayerNorm(1/float64(h*f)).Run(eval.Env{"INP": inp, "AV": av}, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RefAddLayerNorm(inp, av)
+	if d := tensor.MaxAbsDiff(out["NR"], want); d > 1e-9 {
+		t.Fatalf("LayerNorm deviates by %v", d)
+	}
+	// Normalised output must have ~zero mean and ~unit variance per token.
+	for pi := 0; pi < p; pi++ {
+		sum, sq := 0.0, 0.0
+		for hi := 0; hi < h; hi++ {
+			for fi := 0; fi < f; fi++ {
+				v := out["NR"].At(map[string]int{"h": hi, "f": fi, "p": pi})
+				sum += v
+				sq += v * v
+			}
+		}
+		n := float64(h * f)
+		if math.Abs(sum/n) > 1e-9 {
+			t.Fatalf("token %d mean = %v, want ~0", pi, sum/n)
+		}
+		if math.Abs(sq/n-1) > 1e-6 {
+			t.Fatalf("token %d variance = %v, want ~1", pi, sq/n)
+		}
+	}
+}
+
+func TestFFNMatchesReference(t *testing.T) {
+	for _, act := range []string{"relu", "gelu", "silu"} {
+		h, f, p, s := 2, 3, 2, 5
+		dims := map[string]int{"h": h, "f": f, "p": p, "s": s}
+		x := tensor.Rand(31, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "f", Size: f}, tensor.Dim{Name: "p", Size: p})
+		w := RandLayerWeights(9, 6, h, f, f, s)
+		env := eval.Env{"NR": x, "WF1": w.WF1, "BF1": w.BF1, "WF2": w.WF2, "BF2": w.BF2}
+		out, err := FFN(act).Run(env, dims)
+		if err != nil {
+			t.Fatalf("%s: %v", act, err)
+		}
+		actF := einsum.ActivationByName(act)
+		want := RefFFN(x, w.WF1, w.BF1, w.WF2, w.BF2, func(v float64) float64 { return actF([]float64{v}) })
+		if d := tensor.MaxAbsDiff(out["FFN2B"], want); d > 1e-9 {
+			t.Fatalf("%s FFN deviates by %v", act, d)
+		}
+	}
+}
+
+// End-to-end: a full Transformer layer through all four cascades matches the
+// composition of the naive references.
+func TestRunLayerMatchesReferenceComposition(t *testing.T) {
+	d, h, e, p, s, m0 := 6, 2, 3, 4, 5, 2
+	f := e
+	input := tensor.Rand(101, tensor.Dim{Name: "d", Size: d}, tensor.Dim{Name: "p", Size: p})
+	w := RandLayerWeights(55, d, h, e, f, s)
+
+	got, err := RunLayer(input, w, m0, "gelu")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference composition.
+	q := RefProject(input, w.WQ, "e")
+	kv := renameDim(input.Clone(), "p", "m")
+	k := RefProject(renameDim(kv.Clone(), "m", "p"), w.WK, "e")
+	k = renameDim(k, "p", "m")
+	v := RefProject(renameDim(kv.Clone(), "m", "p"), w.WV, "f")
+	v = renameDim(v, "p", "m")
+	av := RefAttention(q, k, v)
+	nr := RefAddLayerNorm(renameDim(q.Clone(), "e", "f"), av)
+	gelu := einsum.ActivationByName("gelu")
+	want := RefFFN(nr, w.WF1, w.BF1, w.WF2, w.BF2, func(x float64) float64 { return gelu([]float64{x}) })
+
+	if dd := tensor.MaxAbsDiff(got, want); dd > 1e-8 {
+		t.Fatalf("full layer deviates from reference composition by %v", dd)
+	}
+}
+
+func TestRunLayerRejectsBadTile(t *testing.T) {
+	input := tensor.Rand(1, tensor.Dim{Name: "d", Size: 4}, tensor.Dim{Name: "p", Size: 5})
+	w := RandLayerWeights(2, 4, 2, 2, 2, 4)
+	if _, err := RunLayer(input, w, 2, "relu"); err == nil {
+		t.Fatal("RunLayer with non-dividing m0 succeeded")
+	}
+	if _, err := RunLayer(input, w, 0, "relu"); err == nil {
+		t.Fatal("RunLayer with m0=0 succeeded")
+	}
+}
+
+func TestValidateCatchesBrokenCascades(t *testing.T) {
+	dims := attentionDims(2, 3, 3, 4, 2, 5)
+
+	// Reading a tensor before it is produced.
+	broken := &Cascade{
+		Name: "broken",
+		Body: []*einsum.Einsum{
+			einsum.Map("B", []string{"p"}, einsum.Identity, einsum.In("A", "p")),
+		},
+		Inputs: []string{},
+	}
+	if err := broken.Validate(dims); err == nil {
+		t.Fatal("Validate accepted read-before-produce")
+	}
+
+	// Duplicate producer.
+	dup := &Cascade{
+		Name: "dup",
+		Body: []*einsum.Einsum{
+			einsum.Map("B", []string{"p"}, einsum.Identity, einsum.In("A", "p")),
+			einsum.Map("B", []string{"p"}, einsum.Identity, einsum.In("A", "p")),
+		},
+		Inputs: []string{"A"},
+	}
+	if err := dup.Validate(dims); err == nil {
+		t.Fatal("Validate accepted duplicate producer")
+	}
+
+	// State without loop.
+	noLoop := &Cascade{
+		Name:  "noloop",
+		State: []StateVar{{Name: "S", Idx: []string{"p"}}},
+		Body: []*einsum.Einsum{
+			einsum.Map("S_next", []string{"p"}, einsum.Identity, einsum.In("S", "p")),
+		},
+	}
+	if err := noLoop.Validate(dims); err == nil {
+		t.Fatal("Validate accepted state without loop index")
+	}
+
+	// State without an update einsum.
+	noUpdate := &Cascade{
+		Name:      "noupdate",
+		LoopIndex: "m1",
+		State:     []StateVar{{Name: "S", Idx: []string{"p"}}},
+		Body: []*einsum.Einsum{
+			einsum.Map("T", []string{"p"}, einsum.Identity, einsum.In("S", "p")),
+		},
+	}
+	if err := noUpdate.Validate(dims); err == nil {
+		t.Fatal("Validate accepted state without update")
+	}
+
+	// Declared output never produced.
+	noOut := &Cascade{
+		Name:    "noout",
+		Body:    []*einsum.Einsum{einsum.Map("B", []string{"p"}, einsum.Identity, einsum.In("A", "p"))},
+		Inputs:  []string{"A"},
+		Outputs: []string{"Z"},
+	}
+	if err := noOut.Validate(dims); err == nil {
+		t.Fatal("Validate accepted missing declared output")
+	}
+}
+
+func TestRunMissingInput(t *testing.T) {
+	_, err := Attention().Run(eval.Env{}, attentionDims(1, 2, 2, 1, 2, 2))
+	if err == nil {
+		t.Fatal("Run without inputs succeeded")
+	}
+}
+
+func TestAllAndFind(t *testing.T) {
+	c := Attention()
+	if got := len(c.All()); got != 12 {
+		t.Fatalf("All() = %d einsums", got)
+	}
+	if c.Find("SLNV") == nil {
+		t.Fatal("Find(SLNV) = nil")
+	}
+	if c.Find("nope") != nil {
+		t.Fatal("Find(nope) != nil")
+	}
+}
+
+func TestLayerCascadesOrder(t *testing.T) {
+	cs := LayerCascades(1.0/8, "relu")
+	wantNames := []string{"QKV", "MHA", "AddLayerNorm", "FFN"}
+	if len(cs) != len(wantNames) {
+		t.Fatalf("LayerCascades returned %d cascades", len(cs))
+	}
+	for i, c := range cs {
+		if c.Name != wantNames[i] {
+			t.Fatalf("cascade %d = %s, want %s", i, c.Name, wantNames[i])
+		}
+	}
+}
+
+// Property: attention output rows are convex combinations of V rows — every
+// output element lies within [min V, max V] for its (h, f).
+func TestQuickAttentionConvexity(t *testing.T) {
+	f := func(seed uint64) bool {
+		const h, e, fv, p, m1, m0 = 2, 3, 3, 2, 2, 3
+		env := randQKV(seed|1, h, e, fv, p, m1, m0)
+		out, err := Attention().Run(env, attentionDims(h, e, fv, p, m1, m0))
+		if err != nil {
+			return false
+		}
+		v := mergeKV(env["BV"])
+		for hi := 0; hi < h; hi++ {
+			for fi := 0; fi < fv; fi++ {
+				lo, hiV := math.Inf(1), math.Inf(-1)
+				for mi := 0; mi < m1*m0; mi++ {
+					val := v.At(map[string]int{"h": hi, "f": fi, "m": mi})
+					lo = math.Min(lo, val)
+					hiV = math.Max(hiV, val)
+				}
+				for pi := 0; pi < p; pi++ {
+					got := out["AV"].At(map[string]int{"h": hi, "f": fi, "p": pi})
+					if got < lo-1e-9 || got > hiV+1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package cascade
+
+import (
+	"math"
+
+	"github.com/fusedmindlab/transfusion/internal/einsum"
+	"github.com/fusedmindlab/transfusion/internal/tensor"
+)
+
+// Causal (decoder-style masked) attention. The paper's evaluation uses the
+// bidirectional formulation throughout; this file provides the masked
+// variant as the natural extension for decoder stacks (§3.2 notes that
+// TransFusion composes encoder, decoder, and hybrid configurations from the
+// same shape-consistent cascades).
+//
+// The streaming cascade is extended with a single additive mask Einsum
+// between the block dot product and the local max: the mask tensor carries
+// 0 for visible positions and -inf for future positions, and — crucially —
+// it is indexed by (m1, m0, p), so the executor's per-m1 slicing delivers
+// exactly the mask block each iteration needs. All other Einsums are
+// unchanged, and the running-max recurrence keeps the masked softmax
+// numerically stable: fully masked blocks contribute exp(-inf) = 0.
+
+// maskedRMInit is the running-max initialiser for the masked cascade. It
+// must be finite: when an entire key/value block is masked, the local max
+// is -inf, and a -inf running max would make the shifted exponential
+// exp(-inf - (-inf)) = NaN. With a very negative finite initial value the
+// fully-masked block contributes exp(-inf - maskedRMInit) = 0 and the
+// correction factor exp(maskedRMInit - maskedRMInit) = 1, which is exactly
+// the "no mass yet" semantics.
+const maskedRMInit = -1e30
+
+// CausalAttention builds the masked variant of Einsum Cascade 1.
+// Inputs: Q[h,e,p], BK[h,e,m1,m0], BV[h,f,m1,m0], MASK[m1,m0,p].
+// Output: AV[h,f,p].
+func CausalAttention() *Cascade {
+	base := Attention()
+	state := append([]StateVar(nil), base.State...)
+	for i := range state {
+		if state[i].Name == "RM" {
+			state[i].Init = maskedRMInit
+		}
+	}
+	masked := &Cascade{
+		Name:      base.Name,
+		LoopIndex: base.LoopIndex,
+		State:     state,
+		Inputs:    append(append([]string{}, base.Inputs...), "MASK"),
+		Outputs:   base.Outputs,
+		Final:     base.Final,
+	}
+	for _, e := range base.Body {
+		switch e.Name {
+		case "BQK":
+			masked.Body = append(masked.Body, e,
+				// MQK = BQK + MASK: -inf on future positions.
+				einsum.Map("MQK", []string{"m0", "h", "p"}, einsum.Add2,
+					einsum.In("BQK", "m0", "h", "p"), einsum.In("MASK", "m0", "p")))
+		case "LM":
+			masked.Body = append(masked.Body,
+				einsum.Reduction("LM", []string{"h", "p"}, einsum.ReduceMax,
+					einsum.In("MQK", "m0", "h", "p")))
+		case "SLN":
+			masked.Body = append(masked.Body,
+				einsum.Map("SLN", []string{"m0", "h", "p"}, einsum.ExpSub,
+					einsum.In("MQK", "m0", "h", "p"), einsum.In("RM_next", "h", "p")))
+		default:
+			masked.Body = append(masked.Body, e)
+		}
+	}
+	return masked
+}
+
+// CausalMask builds the additive mask for a query tile starting at global
+// position qStart: MASK[m1,m0,p] is 0 where key position m1*m0Len + m0 <=
+// qStart + p and -inf otherwise (each query attends to itself and earlier
+// positions).
+func CausalMask(m1Len, m0Len, pLen, qStart int) *tensor.Tensor {
+	t := tensor.New(
+		tensor.Dim{Name: "m1", Size: m1Len},
+		tensor.Dim{Name: "m0", Size: m0Len},
+		tensor.Dim{Name: "p", Size: pLen},
+	)
+	negInf := math.Inf(-1)
+	t.Each(func(coord map[string]int, _ float64) {
+		key := coord["m1"]*m0Len + coord["m0"]
+		query := qStart + coord["p"]
+		if key > query {
+			t.Set(coord, negInf)
+		}
+	})
+	return t
+}
+
+// RefCausalAttention is the naive masked reference: softmax over only the
+// visible (key <= query) positions. Q is [h,e,p] with queries at global
+// positions qStart..qStart+p-1; K is [h,e,m], V is [h,f,m].
+func RefCausalAttention(q, k, v *tensor.Tensor, qStart int) *tensor.Tensor {
+	h := q.MustSize("h")
+	e := q.MustSize("e")
+	p := q.MustSize("p")
+	m := k.MustSize("m")
+	f := v.MustSize("f")
+	out := tensor.New(tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "f", Size: f}, tensor.Dim{Name: "p", Size: p})
+	scores := make([]float64, m)
+	for hi := 0; hi < h; hi++ {
+		for pi := 0; pi < p; pi++ {
+			limit := qStart + pi // inclusive visibility bound
+			maxScore := math.Inf(-1)
+			for mi := 0; mi <= limit && mi < m; mi++ {
+				s := 0.0
+				for ei := 0; ei < e; ei++ {
+					s += q.At(map[string]int{"h": hi, "e": ei, "p": pi}) *
+						k.At(map[string]int{"h": hi, "e": ei, "m": mi})
+				}
+				scores[mi] = s
+				if s > maxScore {
+					maxScore = s
+				}
+			}
+			den := 0.0
+			for mi := 0; mi <= limit && mi < m; mi++ {
+				scores[mi] = math.Exp(scores[mi] - maxScore)
+				den += scores[mi]
+			}
+			for fi := 0; fi < f; fi++ {
+				num := 0.0
+				for mi := 0; mi <= limit && mi < m; mi++ {
+					num += scores[mi] * v.At(map[string]int{"h": hi, "f": fi, "m": mi})
+				}
+				out.Set(map[string]int{"h": hi, "f": fi, "p": pi}, num/den)
+			}
+		}
+	}
+	return out
+}

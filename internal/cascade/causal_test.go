@@ -1,0 +1,144 @@
+package cascade
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/fusedmindlab/transfusion/internal/eval"
+	"github.com/fusedmindlab/transfusion/internal/tensor"
+)
+
+func runCausal(t *testing.T, seed uint64, h, e, f, p, m1, m0, qStart int) (*tensor.Tensor, eval.Env) {
+	t.Helper()
+	env := randQKV(seed, h, e, f, p, m1, m0)
+	env["MASK"] = CausalMask(m1, m0, p, qStart)
+	out, err := CausalAttention().Run(env, attentionDims(h, e, f, p, m1, m0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out["AV"], env
+}
+
+func TestCausalAttentionMatchesReference(t *testing.T) {
+	h, e, f, p, m1, m0 := 2, 4, 4, 3, 4, 2
+	// Queries at global positions 2..4 over an 8-long key sequence.
+	got, env := runCausal(t, 91, h, e, f, p, m1, m0, 2)
+	want := RefCausalAttention(env["Q"], mergeKV(env["BK"]), mergeKV(env["BV"]), 2)
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("causal streaming deviates by %v", d)
+	}
+}
+
+func TestCausalFullyMaskedFirstBlocks(t *testing.T) {
+	// qStart = 6 with 8 keys: the first three 2-wide blocks are fully
+	// visible only late; in particular for query p=0 blocks beyond key 6
+	// are masked and the FIRST block is visible. Also exercise qStart=0,
+	// where for p=0 only key 0 is visible and blocks 2..4 are fully masked
+	// — the NaN trap if the running max were -inf.
+	h, e, f, p, m1, m0 := 1, 3, 3, 2, 4, 2
+	for _, qStart := range []int{0, 3, 6} {
+		got, env := runCausal(t, uint64(100+qStart), h, e, f, p, m1, m0, qStart)
+		got.Each(func(_ map[string]int, v float64) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("qStart=%d produced %v", qStart, v)
+			}
+		})
+		want := RefCausalAttention(env["Q"], mergeKV(env["BK"]), mergeKV(env["BV"]), qStart)
+		if d := tensor.MaxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("qStart=%d deviates by %v", qStart, d)
+		}
+	}
+}
+
+func TestCausalMaskShape(t *testing.T) {
+	m := CausalMask(3, 2, 4, 1)
+	// Key 0 visible to every query (query positions 1..4).
+	for pi := 0; pi < 4; pi++ {
+		if v := m.At(map[string]int{"m1": 0, "m0": 0, "p": pi}); v != 0 {
+			t.Fatalf("key 0 masked for query %d: %v", pi, v)
+		}
+	}
+	// Key 5 (m1=2,m0=1) only visible to queries at global position >= 5,
+	// i.e. p=4... but p max is 3 (global 4), so it is masked everywhere.
+	for pi := 0; pi < 4; pi++ {
+		if v := m.At(map[string]int{"m1": 2, "m0": 1, "p": pi}); !math.IsInf(v, -1) {
+			t.Fatalf("future key visible to query %d: %v", pi, v)
+		}
+	}
+	// Diagonal: key 3 (m1=1,m0=1) visible exactly from query global pos 3
+	// (p=2) onward.
+	if v := m.At(map[string]int{"m1": 1, "m0": 1, "p": 1}); !math.IsInf(v, -1) {
+		t.Fatal("key 3 visible too early")
+	}
+	if v := m.At(map[string]int{"m1": 1, "m0": 1, "p": 2}); v != 0 {
+		t.Fatal("key 3 masked at its diagonal")
+	}
+}
+
+func TestCausalCascadeValidates(t *testing.T) {
+	c := CausalAttention()
+	if err := c.Validate(attentionDims(2, 3, 3, 4, 2, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// One extra Einsum (the mask addition) over the base cascade's 12.
+	if got := len(c.All()); got != 13 {
+		t.Fatalf("causal cascade has %d einsums, want 13", got)
+	}
+	// The base cascade must be untouched by the derivation.
+	if base := Attention(); len(base.All()) != 12 || len(base.Inputs) != 3 {
+		t.Fatal("CausalAttention mutated the base Attention cascade")
+	}
+}
+
+// Property: causal attention at qStart = m-p with full visibility of all
+// previous keys equals bidirectional attention when every key is visible
+// (mask all-zero), for any tile split.
+func TestQuickCausalDegeneratesToBidirectional(t *testing.T) {
+	f := func(seed uint64, m0raw uint8) bool {
+		const h, e, fv, p, m = 2, 3, 3, 2, 12
+		splits := []int{1, 2, 3, 4, 6, 12}
+		m0 := splits[int(m0raw)%len(splits)]
+		m1 := m / m0
+		env := randQKV(seed|1, h, e, fv, p, m1, m0)
+		// qStart such that even the last key is visible to the first query.
+		mask := CausalMask(m1, m0, p, m-1)
+		env["MASK"] = mask
+		out, err := CausalAttention().Run(env, attentionDims(h, e, fv, p, m1, m0))
+		if err != nil {
+			return false
+		}
+		want := RefAttention(env["Q"], mergeKV(env["BK"]), mergeKV(env["BV"]))
+		return tensor.MaxAbsDiff(out["AV"], want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the causal result is invariant to the (m1, m0) split.
+func TestQuickCausalTileInvariance(t *testing.T) {
+	f := func(seed uint64, m0raw, qRaw uint8) bool {
+		const h, e, fv, p, m = 1, 3, 3, 3, 12
+		splits := []int{1, 2, 3, 4, 6, 12}
+		m0 := splits[int(m0raw)%len(splits)]
+		m1 := m / m0
+		qStart := int(qRaw) % (m - p + 1)
+		k := tensor.Rand(seed+2, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "e", Size: e}, tensor.Dim{Name: "m", Size: m})
+		v := tensor.Rand(seed+3, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "f", Size: fv}, tensor.Dim{Name: "m", Size: m})
+		q := tensor.Rand(seed+1, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "e", Size: e}, tensor.Dim{Name: "p", Size: p})
+		env := eval.Env{
+			"Q": q, "BK": k.SplitDim("m", "m1", "m0", m0), "BV": v.SplitDim("m", "m1", "m0", m0),
+			"MASK": CausalMask(m1, m0, p, qStart),
+		}
+		out, err := CausalAttention().Run(env, attentionDims(h, e, fv, p, m1, m0))
+		if err != nil {
+			return false
+		}
+		want := RefCausalAttention(q, k, v, qStart)
+		return tensor.MaxAbsDiff(out["AV"], want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

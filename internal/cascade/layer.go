@@ -1,0 +1,120 @@
+package cascade
+
+import (
+	"fmt"
+
+	"github.com/fusedmindlab/transfusion/internal/eval"
+	"github.com/fusedmindlab/transfusion/internal/tensor"
+)
+
+// LayerWeights holds the parameter tensors of one Transformer layer in the
+// layouts the cascades consume.
+type LayerWeights struct {
+	WQ  *tensor.Tensor // [d,h,e]
+	WK  *tensor.Tensor // [d,h,e]
+	WV  *tensor.Tensor // [d,h,f]
+	WF1 *tensor.Tensor // [h,f,s]
+	BF1 *tensor.Tensor // [s]
+	WF2 *tensor.Tensor // [h,f,s]
+	BF2 *tensor.Tensor // [h,f]
+}
+
+// RandLayerWeights generates deterministic pseudo-random weights for the
+// given dimensions. Values are scaled down by the fan-in so activations stay
+// in a numerically tame range even for large d.
+func RandLayerWeights(seed uint64, d, h, e, f, s int) *LayerWeights {
+	scale := func(t *tensor.Tensor, fanIn int) *tensor.Tensor {
+		k := 1 / float64(fanIn)
+		return t.Apply(func(v float64) float64 { return v * k })
+	}
+	return &LayerWeights{
+		WQ:  scale(tensor.Rand(seed+1, tensor.Dim{Name: "d", Size: d}, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "e", Size: e}), d),
+		WK:  scale(tensor.Rand(seed+2, tensor.Dim{Name: "d", Size: d}, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "e", Size: e}), d),
+		WV:  scale(tensor.Rand(seed+3, tensor.Dim{Name: "d", Size: d}, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "f", Size: f}), d),
+		WF1: scale(tensor.Rand(seed+4, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "f", Size: f}, tensor.Dim{Name: "s", Size: s}), h*f),
+		BF1: tensor.Rand(seed+5, tensor.Dim{Name: "s", Size: s}),
+		WF2: scale(tensor.Rand(seed+6, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "f", Size: f}, tensor.Dim{Name: "s", Size: s}), s),
+		BF2: tensor.Rand(seed+7, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "f", Size: f}),
+	}
+}
+
+// RunLayer executes one full Transformer layer — QKV projection, 1-pass
+// streaming MHA, Add & LayerNorm, FFN — by chaining the four Einsum
+// Cascades, with intermediates propagated tensor-to-tensor exactly as
+// TransFusion's inter-layer fusion propagates them buffer-to-buffer.
+//
+// input is [d,p] (the full sequence; p doubles as both the query tile and,
+// reshaped through the (m1, m0) split, the key/value sequence). m0 is the
+// inner key/value tile size and must divide the sequence length. activation
+// names the FFN nonlinearity.
+//
+// The residual connection for the Add & LayerNorm stage uses the attention
+// *input* reinterpreted per head — here the Q projection — which keeps the
+// functional test self-contained without modelling the embedding layer.
+func RunLayer(input *tensor.Tensor, w *LayerWeights, m0 int, activation string) (*tensor.Tensor, error) {
+	p := input.MustSize("p")
+	if m0 <= 0 || p%m0 != 0 {
+		return nil, fmt.Errorf("cascade: inner tile m0=%d does not divide sequence length %d", m0, p)
+	}
+	d := input.MustSize("d")
+	h := w.WQ.MustSize("h")
+	e := w.WQ.MustSize("e")
+	f := w.WV.MustSize("f")
+	s := w.WF1.MustSize("s")
+	m1 := p / m0
+
+	dims := map[string]int{"d": d, "p": p, "h": h, "e": e, "f": f, "s": s, "m1": m1, "m0": m0}
+
+	// Cascade 2: QKV. The key/value input is the same sequence, reshaped
+	// into (m1, m0) blocks.
+	inputKV := input.Clone()
+	inputKV = renameDim(inputKV, "p", "m")
+	inputKV = inputKV.SplitDim("m", "m1", "m0", m0)
+	env := eval.Env{
+		"INPUT": input, "INPUTKV": inputKV,
+		"WQ": w.WQ, "WK": w.WK, "WV": w.WV,
+	}
+	env, err := QKV().Run(env, dims)
+	if err != nil {
+		return nil, err
+	}
+
+	// Cascade 1: streaming MHA.
+	env, err = Attention().Run(env, dims)
+	if err != nil {
+		return nil, err
+	}
+
+	// Cascade 3: Add & LayerNorm; the residual is the Q projection (shape
+	// [h,e,p] with e == f).
+	if e != f {
+		return nil, fmt.Errorf("cascade: RunLayer requires E == F, got %d != %d", e, f)
+	}
+	env["INP"] = renameDim(env["Q"].Clone(), "e", "f")
+	env, err = AddLayerNorm(1/float64(h*f)).Run(env, dims)
+	if err != nil {
+		return nil, err
+	}
+
+	// Cascade 4: FFN.
+	env["WF1"], env["BF1"], env["WF2"], env["BF2"] = w.WF1, w.BF1, w.WF2, w.BF2
+	env, err = FFN(activation).Run(env, dims)
+	if err != nil {
+		return nil, err
+	}
+	return env["FFN2B"], nil
+}
+
+// renameDim returns a tensor identical to t but with dimension old renamed
+// to new. Used to move tensors between the cascades' index vocabularies.
+func renameDim(t *tensor.Tensor, old, new string) *tensor.Tensor {
+	dims := t.Dims()
+	for i := range dims {
+		if dims[i].Name == old {
+			dims[i].Name = new
+		}
+	}
+	out := tensor.New(dims...)
+	copy(out.Data(), t.Data())
+	return out
+}

@@ -1,0 +1,37 @@
+package cascade
+
+import (
+	"github.com/fusedmindlab/transfusion/internal/einsum"
+)
+
+// NaiveAttention builds the conventional full-materialisation attention
+// dataflow used by the Unfused and FLAT baselines: compute the complete
+// score matrix, a two-pass numerically stable softmax over it, and the
+// weighted sum with V. Unlike Einsum Cascade 1 there is no streaming
+// recurrence — the key/value sequence is addressed with a single index m0
+// of full extent, so the score and softmax tensors are materialised whole
+// (which is exactly why the Unfused baseline drowns in DRAM traffic at long
+// sequence lengths).
+//
+// Inputs: Q[h,e,p], BK[h,e,m0], BV[h,f,m0]. Output: AV[h,f,p].
+func NaiveAttention() *Cascade {
+	return &Cascade{
+		Name: "MHA",
+		Body: []*einsum.Einsum{
+			einsum.New("SC", []string{"m0", "h", "p"},
+				einsum.In("Q", "h", "e", "p"), einsum.In("BK", "h", "e", "m0")),
+			einsum.Reduction("LMX", []string{"h", "p"}, einsum.ReduceMax,
+				einsum.In("SC", "m0", "h", "p")),
+			einsum.Map("EXPS", []string{"m0", "h", "p"}, einsum.ExpSub,
+				einsum.In("SC", "m0", "h", "p"), einsum.In("LMX", "h", "p")),
+			einsum.Reduction("DEN", []string{"h", "p"}, einsum.ReduceSum,
+				einsum.In("EXPS", "m0", "h", "p")),
+			einsum.Map("ATT", []string{"m0", "h", "p"}, einsum.Div2,
+				einsum.In("EXPS", "m0", "h", "p"), einsum.In("DEN", "h", "p")),
+			einsum.New("AV", []string{"h", "f", "p"},
+				einsum.In("ATT", "m0", "h", "p"), einsum.In("BV", "h", "f", "m0")),
+		},
+		Inputs:  []string{"Q", "BK", "BV"},
+		Outputs: []string{"AV"},
+	}
+}

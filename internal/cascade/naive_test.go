@@ -1,0 +1,57 @@
+package cascade
+
+import (
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/internal/eval"
+	"github.com/fusedmindlab/transfusion/internal/tensor"
+)
+
+// The naive baseline cascade must compute the same function as both the
+// reference implementation and the streaming cascade.
+func TestNaiveAttentionMatchesReference(t *testing.T) {
+	h, e, f, p, m := 2, 3, 3, 4, 6
+	q := tensor.Rand(61, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "e", Size: e}, tensor.Dim{Name: "p", Size: p})
+	k := tensor.Rand(62, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "e", Size: e}, tensor.Dim{Name: "m0", Size: m})
+	v := tensor.Rand(63, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "f", Size: f}, tensor.Dim{Name: "m0", Size: m})
+	dims := map[string]int{"h": h, "e": e, "f": f, "p": p, "m0": m}
+	out, err := NaiveAttention().Run(eval.Env{"Q": q, "BK": k, "BV": v}, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RefAttention(q, renameDim(k.Clone(), "m0", "m"), renameDim(v.Clone(), "m0", "m"))
+	if d := tensor.MaxAbsDiff(out["AV"], want); d > 1e-9 {
+		t.Fatalf("naive cascade deviates from reference by %v", d)
+	}
+}
+
+func TestNaiveAttentionValidates(t *testing.T) {
+	dims := map[string]int{"h": 2, "e": 3, "f": 3, "p": 4, "m0": 6}
+	if err := NaiveAttention().Validate(dims); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(NaiveAttention().Body); got != 6 {
+		t.Fatalf("naive attention has %d ops, want 6", got)
+	}
+}
+
+// Streaming and naive cascades agree with each other on identical inputs.
+func TestNaiveAndStreamingAgree(t *testing.T) {
+	h, e, f, p, m1, m0 := 2, 4, 4, 3, 3, 2
+	env := randQKV(77, h, e, f, p, m1, m0)
+	streamOut, err := Attention().Run(env, attentionDims(h, e, f, p, m1, m0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatK := renameDim(mergeKV(env["BK"]), "m", "m0")
+	flatV := renameDim(mergeKV(env["BV"]), "m", "m0")
+	naiveOut, err := NaiveAttention().Run(
+		eval.Env{"Q": env["Q"], "BK": flatK, "BV": flatV},
+		map[string]int{"h": h, "e": e, "f": f, "p": p, "m0": m1 * m0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(streamOut["AV"], naiveOut["AV"]); d > 1e-9 {
+		t.Fatalf("streaming and naive disagree by %v", d)
+	}
+}

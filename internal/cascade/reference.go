@@ -1,0 +1,151 @@
+package cascade
+
+import (
+	"math"
+
+	"github.com/fusedmindlab/transfusion/internal/tensor"
+)
+
+// This file contains naive reference implementations of the Transformer
+// sub-layers. They deliberately materialise every intermediate (the full
+// attention-score matrix, the full softmax output) — exactly the dataflow
+// the Unfused baseline models — and serve as ground truth for validating
+// that the streaming Einsum Cascades compute the same function.
+
+// RefAttention computes softmax(Q^T K) V naively with a two-pass,
+// full-materialisation softmax. Q is [h,e,p], K is [h,e,m], V is [h,f,m];
+// the result is [h,f,p]. No 1/sqrt(dk) scaling is applied — like the
+// paper's Cascade 1, the scale is assumed to be folded into Q upstream.
+func RefAttention(q, k, v *tensor.Tensor) *tensor.Tensor {
+	h := q.MustSize("h")
+	e := q.MustSize("e")
+	p := q.MustSize("p")
+	m := k.MustSize("m")
+	f := v.MustSize("f")
+	out := tensor.New(tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "f", Size: f}, tensor.Dim{Name: "p", Size: p})
+	scores := make([]float64, m)
+	for hi := 0; hi < h; hi++ {
+		for pi := 0; pi < p; pi++ {
+			maxScore := math.Inf(-1)
+			for mi := 0; mi < m; mi++ {
+				s := 0.0
+				for ei := 0; ei < e; ei++ {
+					s += q.At(map[string]int{"h": hi, "e": ei, "p": pi}) *
+						k.At(map[string]int{"h": hi, "e": ei, "m": mi})
+				}
+				scores[mi] = s
+				if s > maxScore {
+					maxScore = s
+				}
+			}
+			den := 0.0
+			for mi := 0; mi < m; mi++ {
+				scores[mi] = math.Exp(scores[mi] - maxScore)
+				den += scores[mi]
+			}
+			for fi := 0; fi < f; fi++ {
+				num := 0.0
+				for mi := 0; mi < m; mi++ {
+					num += scores[mi] * v.At(map[string]int{"h": hi, "f": fi, "m": mi})
+				}
+				out.Set(map[string]int{"h": hi, "f": fi, "p": pi}, num/den)
+			}
+		}
+	}
+	return out
+}
+
+// RefAddLayerNorm computes LayerNorm(inp + av) over the flattened (h, f)
+// features per position p, without affine scale/shift (deferred, as in the
+// paper). Inputs and output are [h,f,p].
+func RefAddLayerNorm(inp, av *tensor.Tensor) *tensor.Tensor {
+	h := inp.MustSize("h")
+	f := inp.MustSize("f")
+	p := inp.MustSize("p")
+	n := float64(h * f)
+	out := tensor.New(tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "f", Size: f}, tensor.Dim{Name: "p", Size: p})
+	for pi := 0; pi < p; pi++ {
+		sum := 0.0
+		for hi := 0; hi < h; hi++ {
+			for fi := 0; fi < f; fi++ {
+				c := map[string]int{"h": hi, "f": fi, "p": pi}
+				sum += inp.At(c) + av.At(c)
+			}
+		}
+		mean := sum / n
+		varSum := 0.0
+		for hi := 0; hi < h; hi++ {
+			for fi := 0; fi < f; fi++ {
+				c := map[string]int{"h": hi, "f": fi, "p": pi}
+				d := inp.At(c) + av.At(c) - mean
+				varSum += d * d
+			}
+		}
+		inv := 1 / math.Sqrt(varSum/n+1e-12)
+		for hi := 0; hi < h; hi++ {
+			for fi := 0; fi < f; fi++ {
+				c := map[string]int{"h": hi, "f": fi, "p": pi}
+				out.Set(c, (inp.At(c)+av.At(c)-mean)*inv)
+			}
+		}
+	}
+	return out
+}
+
+// RefFFN computes act(x W1 + b1) W2 + b2 with x flattened over (h, f).
+// x is [h,f,p], w1 is [h,f,s] (stored as d->(h,f)), b1 is [s], w2 is
+// [h,f,s], b2 is [h,f]; the result is [h,f,p].
+func RefFFN(x, w1, b1, w2, b2 *tensor.Tensor, act func(float64) float64) *tensor.Tensor {
+	h := x.MustSize("h")
+	f := x.MustSize("f")
+	p := x.MustSize("p")
+	s := w1.MustSize("s")
+	out := tensor.New(tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "f", Size: f}, tensor.Dim{Name: "p", Size: p})
+	hidden := make([]float64, s)
+	for pi := 0; pi < p; pi++ {
+		for si := 0; si < s; si++ {
+			acc := b1.At(map[string]int{"s": si})
+			for hi := 0; hi < h; hi++ {
+				for fi := 0; fi < f; fi++ {
+					acc += x.At(map[string]int{"h": hi, "f": fi, "p": pi}) *
+						w1.At(map[string]int{"h": hi, "f": fi, "s": si})
+				}
+			}
+			hidden[si] = act(acc)
+		}
+		for hi := 0; hi < h; hi++ {
+			for fi := 0; fi < f; fi++ {
+				acc := b2.At(map[string]int{"h": hi, "f": fi})
+				for si := 0; si < s; si++ {
+					acc += hidden[si] * w2.At(map[string]int{"h": hi, "f": fi, "s": si})
+				}
+				out.Set(map[string]int{"h": hi, "f": fi, "p": pi}, acc)
+			}
+		}
+	}
+	return out
+}
+
+// RefProject computes a linear projection out[h,x,p] = sum_d in[d,p] *
+// w[d,h,x] where x is the name of the per-head output dimension ("e" or
+// "f"); the naive counterpart of Cascade 2.
+func RefProject(in, w *tensor.Tensor, xName string) *tensor.Tensor {
+	d := in.MustSize("d")
+	p := in.MustSize("p")
+	h := w.MustSize("h")
+	x := w.MustSize(xName)
+	out := tensor.New(tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: xName, Size: x}, tensor.Dim{Name: "p", Size: p})
+	for hi := 0; hi < h; hi++ {
+		for xi := 0; xi < x; xi++ {
+			for pi := 0; pi < p; pi++ {
+				acc := 0.0
+				for di := 0; di < d; di++ {
+					acc += in.At(map[string]int{"d": di, "p": pi}) *
+						w.At(map[string]int{"d": di, "h": hi, xName: xi})
+				}
+				out.Set(map[string]int{"h": hi, xName: xi, "p": pi}, acc)
+			}
+		}
+	}
+	return out
+}

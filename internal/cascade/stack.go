@@ -1,0 +1,167 @@
+package cascade
+
+import (
+	"fmt"
+
+	"github.com/fusedmindlab/transfusion/internal/eval"
+	"github.com/fusedmindlab/transfusion/internal/tensor"
+)
+
+// Stack composition (§3.2): TransFusion composes encoders, decoders, and
+// hybrid configurations from the same shape-consistent cascades — every
+// sub-layer consumes and produces [h, f, p] activations, so reordering is
+// free. This file provides the functional composition: a full decoder
+// layer (masked self-attention -> cross-attention over encoder memory ->
+// Add & LayerNorm -> FFN) and a multi-layer encoder stack, both executed
+// through the Einsum-cascade interpreter.
+
+// RunEncoderStack chains `layers` full encoder layers (QKV -> streaming
+// MHA -> Add&LayerNorm -> FFN). Each layer has its own deterministic
+// weights derived from seed. The output of layer l (reshaped back to
+// [d, p] by flattening heads) is layer l+1's input.
+func RunEncoderStack(input *tensor.Tensor, seed uint64, layers, m0 int, activation string) (*tensor.Tensor, error) {
+	if layers < 1 {
+		return nil, fmt.Errorf("cascade: RunEncoderStack needs >= 1 layer, got %d", layers)
+	}
+	d := input.MustSize("d")
+	x := input
+	for l := 0; l < layers; l++ {
+		// Dimensions are re-derived per layer from the weights below; keep
+		// h*e == d so the flattened output feeds the next layer.
+		h, e := stackHeads(d)
+		w := RandLayerWeights(seed+uint64(l)*1000, d, h, e, e, 2*d)
+		out, err := RunLayer(x, w, m0, activation)
+		if err != nil {
+			return nil, fmt.Errorf("cascade: encoder layer %d: %w", l, err)
+		}
+		// Flatten [h,f,p] back to [d,p] for the next layer.
+		x = flattenHeads(out)
+	}
+	return x, nil
+}
+
+// stackHeads picks a head split for a hidden dimension: the largest power
+// of two <= 8 that divides d with an even per-head size.
+func stackHeads(d int) (h, e int) {
+	for _, cand := range []int{8, 4, 2, 1} {
+		if d%cand == 0 {
+			return cand, d / cand
+		}
+	}
+	return 1, d
+}
+
+// flattenHeads reshapes [h,f,p] activations to [d,p] with d = h*f,
+// head-major (matching how RefProject splits d into (h, e)).
+func flattenHeads(t *tensor.Tensor) *tensor.Tensor {
+	h := t.MustSize("h")
+	f := t.MustSize("f")
+	p := t.MustSize("p")
+	out := tensor.New(tensor.Dim{Name: "d", Size: h * f}, tensor.Dim{Name: "p", Size: p})
+	t.Each(func(coord map[string]int, v float64) {
+		out.Set(map[string]int{"d": coord["h"]*f + coord["f"], "p": coord["p"]}, v)
+	})
+	return out
+}
+
+// DecoderWeights holds one decoder layer's parameters: masked
+// self-attention plus cross-attention projections (queries from the
+// decoder stream, keys/values from the encoder memory).
+type DecoderWeights struct {
+	Self                   *LayerWeights  // self-attention QKV + FFN
+	CrossQ, CrossK, CrossV *tensor.Tensor // [d,h,e] / [d,h,e] / [d,h,f]
+}
+
+// RandDecoderWeights builds deterministic decoder-layer weights.
+func RandDecoderWeights(seed uint64, d, h, e, f, s int) *DecoderWeights {
+	scale := func(t *tensor.Tensor, fanIn int) *tensor.Tensor {
+		k := 1 / float64(fanIn)
+		return t.Apply(func(v float64) float64 { return v * k })
+	}
+	return &DecoderWeights{
+		Self:   RandLayerWeights(seed, d, h, e, f, s),
+		CrossQ: scale(tensor.Rand(seed+11, tensor.Dim{Name: "d", Size: d}, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "e", Size: e}), d),
+		CrossK: scale(tensor.Rand(seed+12, tensor.Dim{Name: "d", Size: d}, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "e", Size: e}), d),
+		CrossV: scale(tensor.Rand(seed+13, tensor.Dim{Name: "d", Size: d}, tensor.Dim{Name: "h", Size: h}, tensor.Dim{Name: "f", Size: f}), d),
+	}
+}
+
+// RunDecoderLayer executes one decoder layer through the cascades:
+//
+//	masked self-attention over x (queries at global offset 0),
+//	Add & LayerNorm,
+//	cross-attention (queries from the normalised stream, keys/values
+//	projected from the encoder memory, unmasked),
+//	Add & LayerNorm,
+//	FFN.
+//
+// x is the decoder stream [d,p]; memory is the encoder output [d,mem].
+// m0 must divide both p and mem. Returns [h,f,p].
+func RunDecoderLayer(x, memory *tensor.Tensor, w *DecoderWeights, m0 int, activation string) (*tensor.Tensor, error) {
+	p := x.MustSize("p")
+	mem := memory.MustSize("p")
+	if m0 <= 0 || p%m0 != 0 || mem%m0 != 0 {
+		return nil, fmt.Errorf("cascade: m0=%d must divide decoder length %d and memory length %d", m0, p, mem)
+	}
+	d := x.MustSize("d")
+	h := w.Self.WQ.MustSize("h")
+	e := w.Self.WQ.MustSize("e")
+	f := w.Self.WV.MustSize("f")
+	s := w.Self.WF1.MustSize("s")
+	if e != f {
+		return nil, fmt.Errorf("cascade: RunDecoderLayer requires E == F")
+	}
+
+	// Masked self-attention.
+	selfDims := map[string]int{"d": d, "p": p, "h": h, "e": e, "f": f, "s": s, "m1": p / m0, "m0": m0}
+	xKV := renameDim(x.Clone(), "p", "m").SplitDim("m", "m1", "m0", m0)
+	env := eval.Env{"INPUT": x, "INPUTKV": xKV, "WQ": w.Self.WQ, "WK": w.Self.WK, "WV": w.Self.WV}
+	env, err := QKV().Run(env, selfDims)
+	if err != nil {
+		return nil, fmt.Errorf("cascade: decoder self QKV: %w", err)
+	}
+	env["MASK"] = CausalMask(p/m0, m0, p, 0)
+	env, err = CausalAttention().Run(env, selfDims)
+	if err != nil {
+		return nil, fmt.Errorf("cascade: decoder self attention: %w", err)
+	}
+	env["INP"] = renameDim(env["Q"].Clone(), "e", "f")
+	env, err = AddLayerNorm(1/float64(h*f)).Run(env, selfDims)
+	if err != nil {
+		return nil, fmt.Errorf("cascade: decoder self LN: %w", err)
+	}
+	selfOut := env["NR"] // [h,f,p]
+
+	// Cross-attention: queries from selfOut (flattened back to [d,p]),
+	// keys/values from the encoder memory.
+	crossDims := map[string]int{"d": d, "p": p, "h": h, "e": e, "f": f, "s": s, "m1": mem / m0, "m0": m0}
+	memKV := renameDim(memory.Clone(), "p", "m").SplitDim("m", "m1", "m0", m0)
+	crossEnv := eval.Env{
+		"INPUT":   flattenHeads(selfOut),
+		"INPUTKV": memKV,
+		"WQ":      w.CrossQ, "WK": w.CrossK, "WV": w.CrossV,
+	}
+	crossEnv, err = QKV().Run(crossEnv, crossDims)
+	if err != nil {
+		return nil, fmt.Errorf("cascade: decoder cross QKV: %w", err)
+	}
+	crossEnv, err = Attention().Run(crossEnv, crossDims)
+	if err != nil {
+		return nil, fmt.Errorf("cascade: decoder cross attention: %w", err)
+	}
+	// Residual around cross-attention: the self-attention stream.
+	crossEnv["INP"] = selfOut
+	crossEnv, err = AddLayerNorm(1/float64(h*f)).Run(crossEnv, crossDims)
+	if err != nil {
+		return nil, fmt.Errorf("cascade: decoder cross LN: %w", err)
+	}
+
+	// FFN.
+	crossEnv["WF1"], crossEnv["BF1"] = w.Self.WF1, w.Self.BF1
+	crossEnv["WF2"], crossEnv["BF2"] = w.Self.WF2, w.Self.BF2
+	crossEnv, err = FFN(activation).Run(crossEnv, crossDims)
+	if err != nil {
+		return nil, fmt.Errorf("cascade: decoder FFN: %w", err)
+	}
+	return crossEnv["FFN2B"], nil
+}

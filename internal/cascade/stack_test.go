@@ -1,0 +1,158 @@
+package cascade
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/internal/einsum"
+	"github.com/fusedmindlab/transfusion/internal/tensor"
+)
+
+func TestFlattenHeadsLayout(t *testing.T) {
+	x := tensor.New(tensor.Dim{Name: "h", Size: 2}, tensor.Dim{Name: "f", Size: 3}, tensor.Dim{Name: "p", Size: 1})
+	for i := 0; i < 6; i++ {
+		x.SetFlat(i, float64(i))
+	}
+	flat := flattenHeads(x)
+	if flat.MustSize("d") != 6 {
+		t.Fatalf("d = %d", flat.MustSize("d"))
+	}
+	// Head-major: d = h*F + f.
+	for hi := 0; hi < 2; hi++ {
+		for fi := 0; fi < 3; fi++ {
+			want := x.At(map[string]int{"h": hi, "f": fi, "p": 0})
+			got := flat.At(map[string]int{"d": hi*3 + fi, "p": 0})
+			if got != want {
+				t.Fatalf("flatten mismatch at h=%d f=%d", hi, fi)
+			}
+		}
+	}
+}
+
+// flattenHeads must invert the (h, e) split RefProject/the cascades use, so
+// stacking layers preserves semantics: projecting the flattened output must
+// equal projecting with the heads still split.
+func TestFlattenHeadsConsistentWithProjection(t *testing.T) {
+	const d, h, e, p = 8, 2, 4, 3
+	x := tensor.Rand(401, tensor.Dim{Name: "d", Size: d}, tensor.Dim{Name: "p", Size: p})
+	w := RandLayerWeights(402, d, h, e, e, 16)
+	q := RefProject(x, w.WQ, "e") // [h,e,p]
+	flat := flattenHeads(renameDim(q.Clone(), "e", "f"))
+	// Round trip: split d back into (h, e) and compare.
+	for hi := 0; hi < h; hi++ {
+		for ei := 0; ei < e; ei++ {
+			for pi := 0; pi < p; pi++ {
+				a := q.At(map[string]int{"h": hi, "e": ei, "p": pi})
+				b := flat.At(map[string]int{"d": hi*e + ei, "p": pi})
+				if a != b {
+					t.Fatalf("flatten breaks head split at h=%d e=%d", hi, ei)
+				}
+			}
+		}
+	}
+}
+
+func TestStackHeads(t *testing.T) {
+	cases := map[int][2]int{8: {8, 1}, 12: {4, 3}, 6: {2, 3}, 7: {1, 7}}
+	for d, want := range cases {
+		h, e := stackHeads(d)
+		if h != want[0] || e != want[1] {
+			t.Errorf("stackHeads(%d) = (%d,%d), want %v", d, h, e, want)
+		}
+		if h*e != d {
+			t.Errorf("stackHeads(%d) does not partition d", d)
+		}
+	}
+}
+
+func TestRunEncoderStack(t *testing.T) {
+	const d, p, m0 = 8, 6, 2
+	input := tensor.Rand(501, tensor.Dim{Name: "d", Size: d}, tensor.Dim{Name: "p", Size: p})
+	out, err := RunEncoderStack(input, 7, 3, m0, "gelu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MustSize("d") != d || out.MustSize("p") != p {
+		t.Fatalf("stack output shape %v", out.DimNames())
+	}
+	finiteCheck(t, out)
+	// Deterministic.
+	out2, err := RunEncoderStack(input, 7, 3, m0, "gelu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(out, out2) != 0 {
+		t.Fatal("encoder stack nondeterministic")
+	}
+	// Different seeds differ.
+	out3, err := RunEncoderStack(input, 8, 3, m0, "gelu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(out, out3) == 0 {
+		t.Fatal("different weight seeds produced identical stacks")
+	}
+	if _, err := RunEncoderStack(input, 7, 0, m0, "gelu"); err == nil {
+		t.Fatal("zero layers accepted")
+	}
+}
+
+func finiteCheck(t *testing.T, x *tensor.Tensor) {
+	t.Helper()
+	x.Each(func(_ map[string]int, v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite value %v", v)
+		}
+	})
+}
+
+// The decoder layer must match a reference composition of masked
+// self-attention, cross-attention, LayerNorms, and FFN.
+func TestRunDecoderLayerMatchesReference(t *testing.T) {
+	const d, h, e, p, mem, s, m0 = 8, 2, 4, 4, 6, 10, 2
+	f := e
+	x := tensor.Rand(601, tensor.Dim{Name: "d", Size: d}, tensor.Dim{Name: "p", Size: p})
+	memory := tensor.Rand(602, tensor.Dim{Name: "d", Size: d}, tensor.Dim{Name: "p", Size: mem})
+	w := RandDecoderWeights(603, d, h, e, f, s)
+
+	got, err := RunDecoderLayer(x, memory, w, m0, "relu")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference composition.
+	q := RefProject(x, w.Self.WQ, "e")
+	k := renameDim(RefProject(x, w.Self.WK, "e"), "p", "m")
+	v := renameDim(RefProject(x, w.Self.WV, "f"), "p", "m")
+	av := RefCausalAttention(q, k, v, 0)
+	selfOut := RefAddLayerNorm(renameDim(q.Clone(), "e", "f"), av)
+
+	flatSelf := flattenHeads(selfOut)
+	cq := RefProject(flatSelf, w.CrossQ, "e")
+	ck := renameDim(RefProject(memory, w.CrossK, "e"), "p", "m")
+	cv := renameDim(RefProject(memory, w.CrossV, "f"), "p", "m")
+	cav := RefAttention(cq, ck, cv)
+	crossOut := RefAddLayerNorm(selfOut, cav)
+
+	relu := einsum.ActivationByName("relu")
+	want := RefFFN(crossOut, w.Self.WF1, w.Self.BF1, w.Self.WF2, w.Self.BF2,
+		func(x float64) float64 { return relu([]float64{x}) })
+
+	if dd := tensor.MaxAbsDiff(got, want); dd > 1e-8 {
+		t.Fatalf("decoder layer deviates from reference by %v", dd)
+	}
+}
+
+func TestRunDecoderLayerErrors(t *testing.T) {
+	const d = 8
+	x := tensor.Rand(1, tensor.Dim{Name: "d", Size: d}, tensor.Dim{Name: "p", Size: 4})
+	memory := tensor.Rand(2, tensor.Dim{Name: "d", Size: d}, tensor.Dim{Name: "p", Size: 6})
+	w := RandDecoderWeights(3, d, 2, 4, 4, 10)
+	// m0 must divide both lengths.
+	if _, err := RunDecoderLayer(x, memory, w, 4, "relu"); err == nil {
+		t.Fatal("m0 not dividing memory accepted")
+	}
+	if _, err := RunDecoderLayer(x, memory, w, 0, "relu"); err == nil {
+		t.Fatal("m0 = 0 accepted")
+	}
+}

@@ -1,0 +1,184 @@
+package cascade
+
+import (
+	"github.com/fusedmindlab/transfusion/internal/einsum"
+)
+
+// Dimension-label conventions, following the paper:
+//
+//	d      model (hidden) dimension of the input
+//	h      attention heads
+//	e      per-head query/key embedding dimension
+//	f      per-head value embedding dimension (E = F in all workloads)
+//	p      query-sequence positions in the current outer tile
+//	m1,m0  hierarchical split of the key/value sequence (outer / inner tile)
+//	s      FFN hidden dimension
+//
+// The batch dimension b is omitted from the cascades exactly as in the
+// paper (§3.1); it scales loads multiplicatively and is reintroduced by the
+// performance model.
+
+// QKV builds Einsum Cascade 2: the tiled Q/K/V projections with a shared
+// input (Eqs. 25–27). Inputs: INPUT[d,p] (the query tile), INPUTKV[d,m1,m0]
+// (the key/value sequence), and the three weight tensors. The K/V outputs
+// are produced in blocked (m1,m0) layout, matching the layout Cascade 1
+// consumes.
+func QKV() *Cascade {
+	return &Cascade{
+		Name: "QKV",
+		Body: []*einsum.Einsum{
+			einsum.New("Q", []string{"h", "e", "p"},
+				einsum.In("INPUT", "d", "p"), einsum.In("WQ", "d", "h", "e")),
+			einsum.New("BK", []string{"h", "e", "m1", "m0"},
+				einsum.In("INPUTKV", "d", "m1", "m0"), einsum.In("WK", "d", "h", "e")),
+			einsum.New("BV", []string{"h", "f", "m1", "m0"},
+				einsum.In("INPUTKV", "d", "m1", "m0"), einsum.In("WV", "d", "h", "f")),
+		},
+		Inputs:  []string{"INPUT", "INPUTKV", "WQ", "WK", "WV"},
+		Outputs: []string{"Q", "BK", "BV"},
+	}
+}
+
+// Attention builds Einsum Cascade 1: the 1-pass streaming attention dataflow
+// of FlashAttention-2 / FuseMax (Eqs. 12–24). It is a recurrence over the
+// outer key/value tile index m1, carrying the running max (RM), running
+// softmax denominator (RD), and running numerator-times-V (RNV). The twelve
+// primitive Einsums match the paper's description of FuseMax's fused MHA.
+//
+// Inputs: Q[h,e,p], BK[h,e,m1,m0], BV[h,f,m1,m0].
+// Output: AV[h,f,p].
+func Attention() *Cascade {
+	return &Cascade{
+		Name:      "MHA",
+		LoopIndex: "m1",
+		Body: []*einsum.Einsum{
+			// Eq. 12: block dot product.
+			einsum.New("BQK", []string{"m0", "h", "p"},
+				einsum.In("Q", "h", "e", "p"), einsum.In("BK", "h", "e", "m0")),
+			// Eq. 13: local max over the inner tile.
+			einsum.Reduction("LM", []string{"h", "p"}, einsum.ReduceMax,
+				einsum.In("BQK", "m0", "h", "p")),
+			// Eq. 14: running-max update.
+			einsum.Map("RM_next", []string{"h", "p"}, einsum.Max2,
+				einsum.In("RM", "h", "p"), einsum.In("LM", "h", "p")),
+			// Eq. 15: shifted exponential (local softmax numerator).
+			einsum.Map("SLN", []string{"m0", "h", "p"}, einsum.ExpSub,
+				einsum.In("BQK", "m0", "h", "p"), einsum.In("RM_next", "h", "p")),
+			// Eq. 16: local softmax denominator.
+			einsum.Reduction("SLD", []string{"h", "p"}, einsum.ReduceSum,
+				einsum.In("SLN", "m0", "h", "p")),
+			// Eq. 17: local numerator times V.
+			einsum.New("SLNV", []string{"h", "f", "p"},
+				einsum.In("SLN", "m0", "h", "p"), einsum.In("BV", "h", "f", "m0")),
+			// Eq. 18: correction factor for previously accumulated state.
+			einsum.Map("PRM", []string{"h", "p"}, einsum.ExpSub,
+				einsum.In("RM", "h", "p"), einsum.In("RM_next", "h", "p")),
+			// Eq. 19: rescaled past denominator.
+			einsum.Map("SPD", []string{"h", "p"}, einsum.Mul2,
+				einsum.In("RD", "h", "p"), einsum.In("PRM", "h", "p")),
+			// Eq. 20: running-denominator update.
+			einsum.Map("RD_next", []string{"h", "p"}, einsum.Add2,
+				einsum.In("SLD", "h", "p"), einsum.In("SPD", "h", "p")),
+			// Eq. 21: rescaled past numerator-times-V.
+			einsum.Map("SPNV", []string{"h", "f", "p"}, einsum.Mul2,
+				einsum.In("RNV", "h", "f", "p"), einsum.In("PRM", "h", "p")),
+			// Eq. 22: running numerator-times-V update.
+			einsum.Map("RNV_next", []string{"h", "f", "p"}, einsum.Add2,
+				einsum.In("SLNV", "h", "f", "p"), einsum.In("SPNV", "h", "f", "p")),
+		},
+		Final: []*einsum.Einsum{
+			// Eq. 23: final normalisation.
+			einsum.Map("AV", []string{"h", "f", "p"}, einsum.Div2,
+				einsum.In("RNV", "h", "f", "p"), einsum.In("RD", "h", "p")),
+		},
+		State: []StateVar{
+			{Name: "RM", Idx: []string{"h", "p"}, Init: negInf},
+			{Name: "RD", Idx: []string{"h", "p"}, Init: 0},
+			{Name: "RNV", Idx: []string{"h", "f", "p"}, Init: 0},
+		},
+		Inputs:  []string{"Q", "BK", "BV"},
+		Outputs: []string{"AV"},
+	}
+}
+
+// AddLayerNorm builds Einsum Cascade 3: the residual addition followed by
+// LayerNorm over the flattened (h, f) feature dimensions per token position
+// (Eqs. 28–36). The scale (gamma) and shift (beta) are deferred and fused
+// into the subsequent layer following Li et al., exactly as the paper does,
+// so the cascade produces the unscaled normalised activations NR.
+//
+// Inputs: INP[h,f,p] (residual), AV[h,f,p]. Output: NR[h,f,p].
+// invHF must be 1/(H*F) for the mean computations.
+func AddLayerNorm(invHF float64) *Cascade {
+	return &Cascade{
+		Name: "AddLayerNorm",
+		Body: []*einsum.Einsum{
+			// Eq. 28: residual addition.
+			einsum.Map("IAV", []string{"h", "f", "p"}, einsum.Add2,
+				einsum.In("INP", "h", "f", "p"), einsum.In("AV", "h", "f", "p")),
+			// Eq. 29: feature sum per token.
+			einsum.Reduction("SAV", []string{"p"}, einsum.ReduceSum,
+				einsum.In("IAV", "h", "f", "p")),
+			// Eq. 30: mean.
+			einsum.Map("MAV", []string{"p"}, einsum.Scale(invHF),
+				einsum.In("SAV", "p")),
+			// Eq. 31: centring.
+			einsum.Map("DAV", []string{"h", "f", "p"}, einsum.Sub2,
+				einsum.In("IAV", "h", "f", "p"), einsum.In("MAV", "p")),
+			// Eq. 32: squared deviations.
+			einsum.Map("QAV", []string{"h", "f", "p"}, einsum.Mul2,
+				einsum.In("DAV", "h", "f", "p"), einsum.In("DAV", "h", "f", "p")),
+			// Eq. 33: sum of squares.
+			einsum.Reduction("SQAV", []string{"p"}, einsum.ReduceSum,
+				einsum.In("QAV", "h", "f", "p")),
+			// Eq. 34: variance.
+			einsum.Map("MQAV", []string{"p"}, einsum.Scale(invHF),
+				einsum.In("SQAV", "p")),
+			// Eq. 35: reciprocal standard deviation.
+			einsum.Map("SR", []string{"p"}, einsum.RSqrt,
+				einsum.In("MQAV", "p")),
+			// Eq. 36: normalisation.
+			einsum.Map("NR", []string{"h", "f", "p"}, einsum.Mul2,
+				einsum.In("DAV", "h", "f", "p"), einsum.In("SR", "p")),
+		},
+		Inputs:  []string{"INP", "AV"},
+		Outputs: []string{"NR"},
+	}
+}
+
+// FFN builds Einsum Cascade 4: the position-wise feed-forward network
+// (Eqs. 37–39). The two bias additions are modelled as separate map Einsums
+// so the DAG exposes them to the scheduler (they are 1D-array work in every
+// baseline dataflow). activation names the nonlinearity ("relu", "gelu",
+// "silu").
+//
+// Inputs: NR[h,f,p], WF1[h,f,s], BF1[s], WF2[h,f,s], BF2[h,f].
+// Output: FFN2B[h,f,p].
+func FFN(activation string) *Cascade {
+	return &Cascade{
+		Name: "FFN",
+		Body: []*einsum.Einsum{
+			// Eq. 37: first linear layer.
+			einsum.New("FFN1", []string{"s", "p"},
+				einsum.In("NR", "h", "f", "p"), einsum.In("WF1", "h", "f", "s")),
+			einsum.Map("FFN1B", []string{"s", "p"}, einsum.Add2,
+				einsum.In("FFN1", "s", "p"), einsum.In("BF1", "s")),
+			// Eq. 38: activation.
+			einsum.Map("AR", []string{"s", "p"}, einsum.ActivationByName(activation),
+				einsum.In("FFN1B", "s", "p")),
+			// Eq. 39: second linear layer.
+			einsum.New("FFN2", []string{"h", "f", "p"},
+				einsum.In("AR", "s", "p"), einsum.In("WF2", "h", "f", "s")),
+			einsum.Map("FFN2B", []string{"h", "f", "p"}, einsum.Add2,
+				einsum.In("FFN2", "h", "f", "p"), einsum.In("BF2", "h", "f")),
+		},
+		Inputs:  []string{"NR", "WF1", "BF1", "WF2", "BF2"},
+		Outputs: []string{"FFN2B"},
+	}
+}
+
+// LayerCascades returns the four cascades of one Transformer layer in
+// execution order. invHF is 1/(H*F); activation names the FFN nonlinearity.
+func LayerCascades(invHF float64, activation string) []*Cascade {
+	return []*Cascade{QKV(), Attention(), AddLayerNorm(invHF), FFN(activation)}
+}

@@ -1,0 +1,103 @@
+package cascade
+
+import (
+	"fmt"
+
+	"github.com/fusedmindlab/transfusion/internal/einsum"
+	"github.com/fusedmindlab/transfusion/internal/eval"
+	"github.com/fusedmindlab/transfusion/internal/tensor"
+)
+
+// Two-pass attention, the FlashAttention-1-era dataflow that FuseMax's
+// 1-pass cascade (Einsum Cascade 1) improves upon. Pass one streams the
+// key blocks to compute the global softmax statistics (running max and
+// denominator); pass two re-computes the scores and accumulates the
+// numerator-times-V against the *final* statistics, so no correction
+// rescaling is needed — at the price of computing the Q·K products twice.
+//
+// The pair of cascades exists for the attention-passes ablation: it lets
+// the scheduler quantify what the 1-pass formulation buys (the paper's
+// FuseMax lineage) under identical machinery.
+
+// TwoPassStats is pass one: it consumes Q and the blocked keys and leaves
+// the final running max (RM) and denominator (RD) in its output
+// environment. Inputs: Q[h,e,p], BK[h,e,m1,m0].
+func TwoPassStats() *Cascade {
+	return &Cascade{
+		Name:      "MHA",
+		LoopIndex: "m1",
+		Body: []*einsum.Einsum{
+			einsum.New("BQK", []string{"m0", "h", "p"},
+				einsum.In("Q", "h", "e", "p"), einsum.In("BK", "h", "e", "m0")),
+			einsum.Reduction("LM", []string{"h", "p"}, einsum.ReduceMax,
+				einsum.In("BQK", "m0", "h", "p")),
+			einsum.Map("RM_next", []string{"h", "p"}, einsum.Max2,
+				einsum.In("RM", "h", "p"), einsum.In("LM", "h", "p")),
+			einsum.Map("SLN", []string{"m0", "h", "p"}, einsum.ExpSub,
+				einsum.In("BQK", "m0", "h", "p"), einsum.In("RM_next", "h", "p")),
+			einsum.Reduction("SLD", []string{"h", "p"}, einsum.ReduceSum,
+				einsum.In("SLN", "m0", "h", "p")),
+			einsum.Map("PRM", []string{"h", "p"}, einsum.ExpSub,
+				einsum.In("RM", "h", "p"), einsum.In("RM_next", "h", "p")),
+			einsum.Map("SPD", []string{"h", "p"}, einsum.Mul2,
+				einsum.In("RD", "h", "p"), einsum.In("PRM", "h", "p")),
+			einsum.Map("RD_next", []string{"h", "p"}, einsum.Add2,
+				einsum.In("SLD", "h", "p"), einsum.In("SPD", "h", "p")),
+		},
+		State: []StateVar{
+			{Name: "RM", Idx: []string{"h", "p"}, Init: negInf},
+			{Name: "RD", Idx: []string{"h", "p"}, Init: 0},
+		},
+		Inputs:  []string{"Q", "BK"},
+		Outputs: []string{},
+	}
+}
+
+// TwoPassWeighted is pass two: with the final statistics fixed, it streams
+// the key/value blocks once more, computing exp(QK - RM)/RD weighted by V.
+// Inputs: Q[h,e,p], BK[h,e,m1,m0], BV[h,f,m1,m0], RM[h,p], RD[h,p].
+// Output: AV[h,f,p].
+func TwoPassWeighted() *Cascade {
+	return &Cascade{
+		Name:      "MHA",
+		LoopIndex: "m1",
+		Body: []*einsum.Einsum{
+			einsum.New("BQK2", []string{"m0", "h", "p"},
+				einsum.In("Q", "h", "e", "p"), einsum.In("BK", "h", "e", "m0")),
+			einsum.Map("SLN2", []string{"m0", "h", "p"}, einsum.ExpSub,
+				einsum.In("BQK2", "m0", "h", "p"), einsum.In("RM", "h", "p")),
+			einsum.New("SLNV2", []string{"h", "f", "p"},
+				einsum.In("SLN2", "m0", "h", "p"), einsum.In("BV", "h", "f", "m0")),
+			einsum.Map("RNV_next", []string{"h", "f", "p"}, einsum.Add2,
+				einsum.In("RNV", "h", "f", "p"), einsum.In("SLNV2", "h", "f", "p")),
+		},
+		Final: []*einsum.Einsum{
+			einsum.Map("AV", []string{"h", "f", "p"}, einsum.Div2,
+				einsum.In("RNV", "h", "f", "p"), einsum.In("RD", "h", "p")),
+		},
+		State: []StateVar{
+			{Name: "RNV", Idx: []string{"h", "f", "p"}, Init: 0},
+		},
+		Inputs:  []string{"Q", "BK", "BV", "RM", "RD"},
+		Outputs: []string{"AV"},
+	}
+}
+
+// RunTwoPassAttention chains the two passes on the interpreter: pass one's
+// final RM/RD state feeds pass two. Inputs follow Attention's layout
+// (blocked BK[h,e,m1,m0], BV[h,f,m1,m0]).
+func RunTwoPassAttention(env eval.Env, dims map[string]int) (*tensor.Tensor, error) {
+	statsEnv, err := TwoPassStats().Run(env, dims)
+	if err != nil {
+		return nil, fmt.Errorf("two-pass attention: pass one: %w", err)
+	}
+	pass2 := eval.Env{
+		"Q": env["Q"], "BK": env["BK"], "BV": env["BV"],
+		"RM": statsEnv["RM"], "RD": statsEnv["RD"],
+	}
+	out, err := TwoPassWeighted().Run(pass2, dims)
+	if err != nil {
+		return nil, fmt.Errorf("two-pass attention: pass two: %w", err)
+	}
+	return out["AV"], nil
+}

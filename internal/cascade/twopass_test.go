@@ -1,0 +1,89 @@
+package cascade
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/fusedmindlab/transfusion/internal/tensor"
+)
+
+func TestTwoPassMatchesReference(t *testing.T) {
+	h, e, f, p, m1, m0 := 2, 4, 4, 3, 4, 2
+	env := randQKV(311, h, e, f, p, m1, m0)
+	got, err := RunTwoPassAttention(env, attentionDims(h, e, f, p, m1, m0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RefAttention(env["Q"], mergeKV(env["BK"]), mergeKV(env["BV"]))
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("two-pass attention deviates by %v", d)
+	}
+}
+
+func TestTwoPassAgreesWithOnePass(t *testing.T) {
+	h, e, f, p, m1, m0 := 2, 3, 3, 4, 3, 2
+	env := randQKV(313, h, e, f, p, m1, m0)
+	dims := attentionDims(h, e, f, p, m1, m0)
+	two, err := RunTwoPassAttention(env, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneEnv, err := Attention().Run(env, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(two, oneEnv["AV"]); d > 1e-9 {
+		t.Fatalf("two-pass and one-pass disagree by %v", d)
+	}
+}
+
+func TestTwoPassCascadesValidate(t *testing.T) {
+	dims := attentionDims(2, 3, 3, 4, 2, 5)
+	if err := TwoPassStats().Validate(dims); err != nil {
+		t.Fatal(err)
+	}
+	if err := TwoPassWeighted().Validate(dims); err != nil {
+		t.Fatal(err)
+	}
+	// The point of the comparison: pass two recomputes BQK, so the total
+	// contraction count across both passes exceeds the 1-pass cascade's.
+	contractions := 0
+	for _, e := range append(TwoPassStats().All(), TwoPassWeighted().All()...) {
+		if e.Class().String() == "contraction" {
+			contractions++
+		}
+	}
+	if contractions != 3 { // BQK, BQK2, SLNV2 — vs the 1-pass cascade's 2
+		t.Fatalf("two-pass contractions = %d, want 3", contractions)
+	}
+}
+
+// Property: two-pass equals one-pass for any (m1, m0) split.
+func TestQuickTwoPassTileInvariance(t *testing.T) {
+	f := func(seed uint64, m0raw uint8) bool {
+		const h, e, fv, p, m = 1, 3, 3, 2, 12
+		splits := []int{1, 2, 3, 4, 6, 12}
+		m0 := splits[int(m0raw)%len(splits)]
+		m1 := m / m0
+		env := randQKV(seed|1, h, e, fv, p, m1, m0)
+		dims := attentionDims(h, e, fv, p, m1, m0)
+		two, err := RunTwoPassAttention(env, dims)
+		if err != nil {
+			return false
+		}
+		one, err := Attention().Run(env, dims)
+		if err != nil {
+			return false
+		}
+		return tensor.MaxAbsDiff(two, one["AV"]) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoPassMissingInput(t *testing.T) {
+	if _, err := RunTwoPassAttention(nil, attentionDims(1, 2, 2, 1, 2, 2)); err == nil {
+		t.Fatal("two-pass with no inputs succeeded")
+	}
+}

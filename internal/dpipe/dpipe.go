@@ -1,0 +1,524 @@
+// Package dpipe implements DPipe, the paper's DAG-based Einsum pipelining
+// scheduler (§4). Given the operation-level DAG of a fused layer's Einsum
+// Cascade, DPipe:
+//
+//  1. enumerates valid bipartitions of the DAG under the four constraints of
+//     §4.1 (source/sink alignment, weak connectivity, dependency
+//     completeness, reachability);
+//  2. connects each bipartition's subgraphs with a virtual root node and
+//     enumerates topological orderings of the result — each ordering is a
+//     candidate interleaving of the two pipeline stages;
+//  3. evaluates each candidate with the dynamic-programming list scheduler
+//     of Eqs. 43–46, which assigns every Einsum inner tile to the 1D or 2D
+//     PE array so as to minimise its completion time subject to dependency
+//     and array-occupancy constraints, across epochs of inner tiles;
+//  4. returns the schedule with the minimum extrapolated makespan.
+//
+// Epochs: a layer executes many identical inner tiles (e.g. the M1 loop of
+// streaming attention). The scheduler models a small number of epochs
+// explicitly — enough to reach the pipeline's steady state — and
+// extrapolates the per-epoch steady-state increment to the full epoch
+// count, so scheduling cost is independent of sequence length.
+package dpipe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/einsum"
+	"github.com/fusedmindlab/transfusion/internal/graph"
+	"github.com/fusedmindlab/transfusion/internal/perf"
+)
+
+// StateEdge is a cross-epoch dependency: the op named From in epoch k-1
+// must finish before the op named To in epoch k starts (the streaming-
+// softmax recurrence).
+type StateEdge struct {
+	From string
+	To   string
+}
+
+// Problem is one schedulable fused layer: the per-epoch operations, their
+// intra-epoch dependency DAG, cross-epoch recurrence edges, and the number
+// of epochs (inner tiles) to execute.
+type Problem struct {
+	// Name identifies the layer (for traces).
+	Name string
+	// Ops maps Einsum name to its per-epoch OpSpec.
+	Ops map[string]perf.OpSpec
+	// Deps is the intra-epoch dependency DAG over Einsum names.
+	Deps *graph.DAG
+	// StateEdges are the cross-epoch recurrence dependencies.
+	StateEdges []StateEdge
+	// Epochs is the number of inner-tile epochs (>= 1).
+	Epochs int64
+}
+
+// Validate checks the problem's internal consistency.
+func (p *Problem) Validate() error {
+	if p.Epochs < 1 {
+		return fmt.Errorf("dpipe: problem %s has %d epochs", p.Name, p.Epochs)
+	}
+	if len(p.Ops) == 0 {
+		return fmt.Errorf("dpipe: problem %s has no ops", p.Name)
+	}
+	for _, n := range p.Deps.Nodes() {
+		if _, ok := p.Ops[n]; !ok {
+			return fmt.Errorf("dpipe: problem %s: DAG node %q has no OpSpec", p.Name, n)
+		}
+	}
+	for name, op := range p.Ops {
+		if !p.Deps.HasNode(name) {
+			return fmt.Errorf("dpipe: problem %s: op %q missing from DAG", p.Name, name)
+		}
+		if err := op.Validate(); err != nil {
+			return fmt.Errorf("dpipe: problem %s: op %q: %w", p.Name, name, err)
+		}
+	}
+	for _, se := range p.StateEdges {
+		if !p.Deps.HasNode(se.From) || !p.Deps.HasNode(se.To) {
+			return fmt.Errorf("dpipe: problem %s: state edge %s->%s references unknown op", p.Name, se.From, se.To)
+		}
+	}
+	if !p.Deps.IsAcyclic() {
+		return fmt.Errorf("dpipe: problem %s: dependency graph has a cycle", p.Name)
+	}
+	return nil
+}
+
+// SerialLoadCycles returns the total cycles if every op ran serially on its
+// best array with no overlap — an upper bound used in tests and as a
+// degenerate fallback.
+func (p *Problem) SerialLoadCycles(spec arch.Spec) float64 {
+	total := 0.0
+	for _, op := range p.Ops {
+		_, c := op.BestArray(spec)
+		total += c
+	}
+	return total * float64(p.Epochs)
+}
+
+// Result is a completed schedule.
+type Result struct {
+	// TotalCycles is the extrapolated makespan over all epochs.
+	TotalCycles float64
+	// Busy1D and Busy2D are the total busy cycles per array over all epochs.
+	Busy1D float64
+	Busy2D float64
+	// Order is the per-epoch topological order the winning schedule used.
+	Order []string
+	// Assignment is the steady-state array assignment per op.
+	Assignment map[string]perf.ArrayKind
+	// Bipartition is the winning DAG split ("" sides when the DAG admitted
+	// no valid bipartition and the canonical order was used).
+	Bipartition graph.Bipartition
+	// Candidates is the number of (bipartition, order) schedules evaluated.
+	Candidates int
+}
+
+// Utilization1D returns the 1D array's busy fraction of the makespan.
+func (r Result) Utilization1D() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return r.Busy1D / r.TotalCycles
+}
+
+// Utilization2D returns the 2D array's busy fraction of the makespan.
+func (r Result) Utilization2D() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return r.Busy2D / r.TotalCycles
+}
+
+// Options bound the schedule search.
+type Options struct {
+	// MaxBipartitions caps the number of DAG bipartitions explored.
+	MaxBipartitions int
+	// MaxOrdersPerPartition caps the topological orderings tried per
+	// bipartition.
+	MaxOrdersPerPartition int
+	// ExplicitEpochs is the number of epochs scheduled exactly before
+	// steady-state extrapolation (>= 2 for a meaningful delta).
+	ExplicitEpochs int
+}
+
+// DefaultOptions are the bounds used throughout the evaluation.
+func DefaultOptions() Options {
+	return Options{MaxBipartitions: 64, MaxOrdersPerPartition: 12, ExplicitEpochs: 12}
+}
+
+// Plan searches bipartitions and orderings and returns the best pipelined
+// schedule for the problem on the given architecture.
+func Plan(p *Problem, spec arch.Spec, opts Options) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if opts.MaxBipartitions <= 0 || opts.MaxOrdersPerPartition <= 0 {
+		opts = DefaultOptions()
+	}
+	if opts.ExplicitEpochs < 2 {
+		opts.ExplicitEpochs = 2
+	}
+
+	// Candidate orderings: the canonical topological order always
+	// participates; each valid bipartition contributes orderings of its
+	// virtual-root DAG.
+	type candidate struct {
+		order []string
+		part  graph.Bipartition
+	}
+	var candidates []candidate
+	seen := map[string]bool{}
+	addOrder := func(order []string, part graph.Bipartition) {
+		key := fmt.Sprint(order, part.FirstSorted())
+		if !seen[key] {
+			seen[key] = true
+			candidates = append(candidates, candidate{order: order, part: part})
+		}
+	}
+
+	canonical, err := p.Deps.TopoSort()
+	if err != nil {
+		return Result{}, err
+	}
+	addOrder(canonical, graph.Bipartition{})
+
+	parts, err := p.Deps.Bipartitions()
+	if err != nil {
+		return Result{}, err
+	}
+	if len(parts) > opts.MaxBipartitions {
+		parts = parts[:opts.MaxBipartitions]
+	}
+	const rootID = "\x00ROOT"
+	for _, part := range parts {
+		// The overlap DAG of Figure 7(d): in the pipelined execution the
+		// first subgraph of epoch k runs concurrently with the second
+		// subgraph of epoch k-1, so the cross edges S1 -> S2 (which connect
+		// different epochs) are dropped; a virtual root ties the two induced
+		// subgraphs into a single DAG whose topological orders are the
+		// candidate interleavings.
+		overlay := graph.New()
+		for node := range part.First {
+			overlay.AddNode(node)
+		}
+		for node := range part.Second {
+			overlay.AddNode(node)
+		}
+		for _, from := range p.Deps.Nodes() {
+			for _, to := range p.Deps.Succ(from) {
+				sameSide := part.First[from] == part.First[to]
+				if sameSide {
+					overlay.AddEdge(from, to)
+				}
+			}
+		}
+		rooted, err := overlay.WithVirtualRoot(rootID)
+		if err != nil {
+			return Result{}, err
+		}
+		for _, order := range rooted.TopoOrders(opts.MaxOrdersPerPartition) {
+			// Strip the virtual root.
+			clean := make([]string, 0, len(order)-1)
+			for _, id := range order {
+				if id != rootID {
+					clean = append(clean, id)
+				}
+			}
+			addOrder(clean, part)
+		}
+	}
+
+	best := Result{TotalCycles: math.Inf(1)}
+	for _, c := range candidates {
+		res := evaluate(p, spec, c.order, c.part.First, opts.ExplicitEpochs, nil)
+		if res.TotalCycles < best.TotalCycles {
+			res.Order = c.order
+			res.Bipartition = c.part
+			best = res
+		}
+	}
+	best.Candidates = len(candidates)
+	return best, nil
+}
+
+// Sequential evaluates the problem with every op fully serialised on a
+// fixed assignment (no 1D/2D overlap at all) — the Unfused/FLAT composition
+// model. assign gives each op's array; nil assigns by class (contractions
+// to 2D, vector work to 1D).
+func Sequential(p *Problem, spec arch.Spec, assign map[string]perf.ArrayKind) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if assign == nil {
+		assign = ClassAssignment(p)
+	}
+	var perEpoch float64
+	busy := map[perf.ArrayKind]float64{}
+	for name, op := range p.Ops {
+		cyc := op.Cycles(spec, assign[name])
+		perEpoch += cyc
+		busy[assign[name]] += cyc
+	}
+	e := float64(p.Epochs)
+	return Result{
+		TotalCycles: perEpoch * e,
+		Busy1D:      busy[perf.PE1D] * e,
+		Busy2D:      busy[perf.PE2D] * e,
+		Order:       mustCanonical(p),
+		Assignment:  assign,
+	}, nil
+}
+
+// StaticPipelined evaluates the problem with a fixed array assignment but
+// with the Eq. 43–46 overlap model — the FuseMax execution style, where the
+// 2D and 1D arrays run a statically partitioned pipeline. assign gives each
+// op's array; nil assigns by class.
+func StaticPipelined(p *Problem, spec arch.Spec, assign map[string]perf.ArrayKind) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if assign == nil {
+		assign = ClassAssignment(p)
+	}
+	order := mustCanonical(p)
+	res := evaluate(p, spec, order, nil, 12, assign)
+	res.Order = order
+	return res, nil
+}
+
+// ClassAssignment returns the prior-work static assignment: contraction
+// Einsums on the 2D array, everything else on the 1D array.
+func ClassAssignment(p *Problem) map[string]perf.ArrayKind {
+	assign := make(map[string]perf.ArrayKind, len(p.Ops))
+	for name, op := range p.Ops {
+		if op.E.Class() == einsum.ClassContraction {
+			assign[name] = perf.PE2D
+		} else {
+			assign[name] = perf.PE1D
+		}
+	}
+	return assign
+}
+
+// FuseMaxAssignment returns FuseMax's published static mapping: GEMMs on
+// the 2D array, and additionally the *elementwise* softmax stages (the
+// shifted exponential over the score tile — ops whose output spans both a
+// row- and a column-mapped dimension) on the 2D array as well ("pipelines
+// partial softmax over 2D PE arrays", §2.3). Reductions and the running
+// state updates stay on the 1D array, which is why FuseMax shows high 1D
+// and modest 2D utilization in Figure 10.
+// The choice is made at design time per architecture: on cloud the 2D
+// array's 65536 PEs beat the 256-lane 1D array even at the vector-emulation
+// penalty, while the edge variant (the MAS-Attention-style pipeline the
+// paper uses for edge) keeps the exponentials on the vector array.
+func FuseMaxAssignment(p *Problem, spec arch.Spec) map[string]perf.ArrayKind {
+	assign := ClassAssignment(p)
+	// The score tile is identified structurally: its indices are reduced by
+	// a downstream contraction (the attention-times-V product reduces over
+	// the inner key index). Pure elementwise maps whose output carries such
+	// an index are the "partial softmax" stages FuseMax maps onto the 2D
+	// array.
+	contractionRed := map[string]bool{}
+	for _, op := range p.Ops {
+		if op.E.Class() == einsum.ClassContraction {
+			for _, idx := range op.E.ReductionIndices(nil) {
+				contractionRed[idx] = true
+			}
+		}
+	}
+	for name, op := range p.Ops {
+		if op.E.Class() != einsum.ClassVector || op.E.Reduce != einsum.ReduceNone {
+			continue
+		}
+		for _, idx := range op.E.OutIdx {
+			if contractionRed[idx] && op.Cycles(spec, perf.PE2D) <= op.Cycles(spec, perf.PE1D) {
+				assign[name] = perf.PE2D
+				break
+			}
+		}
+	}
+	return assign
+}
+
+func mustCanonical(p *Problem) []string {
+	order, err := p.Deps.TopoSort()
+	if err != nil {
+		// Validate has already established acyclicity for all callers.
+		panic(err)
+	}
+	return order
+}
+
+// evaluate runs the Eq. 43–46 DP over explicitEpochs epochs and
+// extrapolates to p.Epochs. first, when non-nil, is the bipartition's first
+// subgraph: the instance sequence then interleaves the second subgraph of
+// epoch k-1 with the first subgraph of epoch k (Figure 7(d)); a nil first
+// yields plain epoch-major sequencing. When fixedAssign is non-nil each op
+// is pinned to its assigned array; otherwise the DP chooses per Eq. 45.
+func evaluate(p *Problem, spec arch.Spec, order []string, first map[string]bool, explicitEpochs int, fixedAssign map[string]perf.ArrayKind) Result {
+	k := explicitEpochs
+	if int64(k) > p.Epochs {
+		k = int(p.Epochs)
+	}
+	if k < 1 {
+		k = 1
+	}
+
+	mkAll, busyAll, assign := schedule(p, spec, buildSequence(order, first, k), fixedAssign)
+	if int64(k) >= p.Epochs {
+		return Result{
+			TotalCycles: mkAll,
+			Busy1D:      busyAll[perf.PE1D],
+			Busy2D:      busyAll[perf.PE2D],
+			Assignment:  assign,
+		}
+	}
+
+	// Steady-state extrapolation: average the per-epoch increment over the
+	// second half of the explicit window, which smooths periodic placement
+	// patterns (e.g. every fifth GEMM spilling to the 1D array).
+	base := k / 2
+	if base < 1 {
+		base = 1
+	}
+	mkBase, busyBase, _ := schedule(p, spec, buildSequence(order, first, base), fixedAssign)
+	span := float64(k - base)
+	deltaMk := (mkAll - mkBase) / span
+	delta1 := (busyAll[perf.PE1D] - busyBase[perf.PE1D]) / span
+	delta2 := (busyAll[perf.PE2D] - busyBase[perf.PE2D]) / span
+	rest := float64(p.Epochs - int64(k))
+	return Result{
+		TotalCycles: mkAll + deltaMk*rest,
+		Busy1D:      busyAll[perf.PE1D] + delta1*rest,
+		Busy2D:      busyAll[perf.PE2D] + delta2*rest,
+		Assignment:  assign,
+	}
+}
+
+// buildSequence constructs the global instance processing sequence for the
+// DP. Without a bipartition the sequence is epoch-major. With a bipartition
+// (S1 = first, S2 = the rest) the sequence realises Figure 7(d)'s pipeline:
+// pass k interleaves epoch k's S1 instances with epoch k-1's S2 instances,
+// following the candidate order's relative positions, with a trailing drain
+// pass for the final epoch's S2. Dependency safety follows from the
+// bipartition's dependency completeness (no S2 -> S1 edges): every
+// instance's predecessors appear earlier in the sequence.
+func buildSequence(order []string, first map[string]bool, epochs int) []instance {
+	if first == nil || len(first) == 0 {
+		seq := make([]instance, 0, len(order)*epochs)
+		for k := 0; k < epochs; k++ {
+			for _, name := range order {
+				seq = append(seq, instance{name, k})
+			}
+		}
+		return seq
+	}
+	seq := make([]instance, 0, len(order)*(epochs+1))
+	for k := 0; k <= epochs; k++ {
+		for _, name := range order {
+			if first[name] && k < epochs {
+				seq = append(seq, instance{name, k})
+			}
+			if !first[name] && k > 0 {
+				seq = append(seq, instance{name, k - 1})
+			}
+		}
+	}
+	return seq
+}
+
+// instance identifies one op execution in one epoch.
+type instance struct {
+	name  string
+	epoch int
+}
+
+// schedule is the core DP (Eqs. 43–46): process op instances epoch-major in
+// the candidate order; for each, pick the array minimising completion time
+// given (a) the array's accumulated occupancy Time[pe_j] (Eq. 43 first
+// term) and (b) the latest finishing dependency (Eq. 43 second term).
+// Eq. 44 adds the op latency per array, Eq. 45 selects the earliest
+// completion, and Eq. 46 commits the chosen array's timeline. Returns the
+// makespan, per-array busy cycles, and the last epoch's array assignment.
+func schedule(p *Problem, spec arch.Spec, seq []instance, fixedAssign map[string]perf.ArrayKind) (float64, map[perf.ArrayKind]float64, map[string]perf.ArrayKind) {
+	timeline := map[perf.ArrayKind]float64{perf.PE2D: 0, perf.PE1D: 0}
+	busy := map[perf.ArrayKind]float64{perf.PE2D: 0, perf.PE1D: 0}
+	endT := make(map[instance]float64, len(seq))
+	assign := make(map[string]perf.ArrayKind, len(p.Ops))
+	makespan := 0.0
+
+	for _, inst := range seq {
+		name, epoch := inst.name, inst.epoch
+		op := p.Ops[name]
+		// Latest dependency completion: intra-epoch predecessors plus
+		// cross-epoch state edges from the previous epoch. A predecessor
+		// instance that has not been scheduled yet means the candidate
+		// sequence violates a dependency (possible when a state producer
+		// lands in the second subgraph while its consumer sits in the
+		// first); such sequences are rejected with an infinite makespan.
+		depEnd := 0.0
+		for _, pred := range p.Deps.Pred(name) {
+			e, ok := endT[instance{pred, epoch}]
+			if !ok {
+				return math.Inf(1), busy, assign
+			}
+			if e > depEnd {
+				depEnd = e
+			}
+		}
+		if epoch > 0 {
+			for _, se := range p.StateEdges {
+				if se.To != name {
+					continue
+				}
+				e, ok := endT[instance{se.From, epoch - 1}]
+				if !ok {
+					return math.Inf(1), busy, assign
+				}
+				if e > depEnd {
+					depEnd = e
+				}
+			}
+		}
+
+		arrays := []perf.ArrayKind{perf.PE2D, perf.PE1D}
+		if fixedAssign != nil {
+			arrays = []perf.ArrayKind{fixedAssign[name]}
+		}
+		bestEnd := math.Inf(1)
+		var bestArr perf.ArrayKind
+		var bestCycles float64
+		for _, arr := range arrays {
+			cyc := op.Cycles(spec, arr)
+			start := math.Max(timeline[arr], depEnd) // Eq. 43
+			end := start + cyc                       // Eq. 44
+			if end < bestEnd {                       // Eq. 45
+				bestEnd, bestArr, bestCycles = end, arr, cyc
+			}
+		}
+		timeline[bestArr] = bestEnd // Eq. 46
+		busy[bestArr] += bestCycles
+		endT[inst] = bestEnd
+		assign[name] = bestArr
+		if bestEnd > makespan {
+			makespan = bestEnd
+		}
+	}
+	return makespan, busy, assign
+}
+
+// sortedOpNames returns the problem's op names sorted; used by tests and
+// trace output.
+func sortedOpNames(p *Problem) []string {
+	names := make([]string, 0, len(p.Ops))
+	for n := range p.Ops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

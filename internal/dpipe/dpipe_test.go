@@ -1,0 +1,371 @@
+package dpipe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/cascade"
+	"github.com/fusedmindlab/transfusion/internal/einsum"
+	"github.com/fusedmindlab/transfusion/internal/graph"
+	"github.com/fusedmindlab/transfusion/internal/perf"
+)
+
+// twoStageProblem builds a minimal pipeline: a GEMM feeding a vector op,
+// repeated over epochs — the producer should run on 2D, the consumer on 1D,
+// and across epochs the two should overlap.
+func twoStageProblem(epochs int64) *Problem {
+	gemm := perf.OpSpec{
+		E:      einsum.MustParse("G = A[p,k] * B[k,q] -> [p,q]"),
+		Dims:   map[string]int{"p": 256, "k": 256, "q": 256},
+		RowIdx: []string{"p"},
+		ColIdx: []string{"q"},
+	}
+	vec := perf.OpSpec{
+		E:      einsum.Map("V", []string{"p", "q"}, einsum.ExpSub, einsum.In("G", "p", "q"), einsum.In("M", "p")),
+		Dims:   map[string]int{"p": 256, "q": 256},
+		RowIdx: []string{"p"},
+		ColIdx: []string{"q"},
+	}
+	deps := graph.New()
+	deps.AddEdge("G", "V")
+	return &Problem{
+		Name:   "twostage",
+		Ops:    map[string]perf.OpSpec{"G": gemm, "V": vec},
+		Deps:   deps,
+		Epochs: epochs,
+	}
+}
+
+func mhaProblem(t *testing.T, epochs int64) *Problem {
+	t.Helper()
+	dims := map[string]int{"h": 12, "e": 64, "f": 64, "p": 256, "m0": 64}
+	p, err := FromCascade(cascade.Attention(), dims, epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFromCascadeAttentionStructure(t *testing.T) {
+	p := mhaProblem(t, 16)
+	if len(p.Ops) != 11 {
+		t.Fatalf("MHA body ops = %d, want 11", len(p.Ops))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Producer-consumer edges: BQK -> LM, BQK -> SLN, SLN -> SLNV, ...
+	for _, e := range [][2]string{{"BQK", "LM"}, {"BQK", "SLN"}, {"SLN", "SLNV"}, {"LM", "RM_next"}, {"PRM", "SPD"}} {
+		found := false
+		for _, s := range p.Deps.Succ(e[0]) {
+			if s == e[1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing edge %s -> %s", e[0], e[1])
+		}
+	}
+	// State edges: RM_next feeds RM readers in the next epoch.
+	foundRM := false
+	for _, se := range p.StateEdges {
+		if se.From == "RM_next" && se.To == "PRM" {
+			foundRM = true
+		}
+	}
+	if !foundRM {
+		t.Errorf("missing cross-epoch edge RM_next -> PRM: %v", p.StateEdges)
+	}
+	// Table 1 mapping: BQK output [m0, h, p] maps rows=p, cols=m0.
+	bqk := p.Ops["BQK"]
+	if len(bqk.RowIdx) != 1 || bqk.RowIdx[0] != "p" || len(bqk.ColIdx) != 1 || bqk.ColIdx[0] != "m0" {
+		t.Errorf("BQK mapping rows=%v cols=%v", bqk.RowIdx, bqk.ColIdx)
+	}
+}
+
+func TestFromCascadeUnknownLayer(t *testing.T) {
+	c := &cascade.Cascade{Name: "mystery"}
+	if _, err := FromCascade(c, nil, 1); err == nil {
+		t.Fatal("unknown layer accepted")
+	}
+}
+
+func TestFromCascadeMissingDim(t *testing.T) {
+	dims := map[string]int{"h": 2, "e": 4, "p": 8} // f, m0 missing
+	if _, err := FromCascade(cascade.Attention(), dims, 4); err == nil {
+		t.Fatal("missing dims accepted")
+	}
+}
+
+func TestValidateRejectsBadProblems(t *testing.T) {
+	p := twoStageProblem(4)
+	p.Epochs = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+
+	p = twoStageProblem(4)
+	p.Deps.AddNode("orphan")
+	if err := p.Validate(); err == nil {
+		t.Fatal("DAG node without OpSpec accepted")
+	}
+
+	p = twoStageProblem(4)
+	p.StateEdges = []StateEdge{{From: "nope", To: "G"}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("dangling state edge accepted")
+	}
+
+	p = twoStageProblem(4)
+	p.Deps.AddEdge("V", "G") // cycle
+	if err := p.Validate(); err == nil {
+		t.Fatal("cyclic DAG accepted")
+	}
+}
+
+func TestSequentialMatchesHandComputation(t *testing.T) {
+	spec := arch.Cloud()
+	p := twoStageProblem(3)
+	res, err := Sequential(p, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Ops["G"].Cycles(spec, perf.PE2D)
+	v := p.Ops["V"].Cycles(spec, perf.PE1D)
+	want := (g + v) * 3
+	if math.Abs(res.TotalCycles-want) > 1e-9 {
+		t.Fatalf("Sequential = %v, want %v", res.TotalCycles, want)
+	}
+	if res.Busy2D != g*3 || res.Busy1D != v*3 {
+		t.Fatalf("busy = %v/%v", res.Busy2D, res.Busy1D)
+	}
+}
+
+func TestStaticPipelinedOverlaps(t *testing.T) {
+	spec := arch.Cloud()
+	p := twoStageProblem(64)
+	seq, err := Sequential(p, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pip, err := StaticPipelined(p, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pip.TotalCycles >= seq.TotalCycles {
+		t.Fatalf("pipelined (%v) not faster than sequential (%v)", pip.TotalCycles, seq.TotalCycles)
+	}
+	// With many epochs the pipeline approaches the bottleneck stage's cost.
+	g := p.Ops["G"].Cycles(spec, perf.PE2D)
+	v := p.Ops["V"].Cycles(spec, perf.PE1D)
+	bottleneck := math.Max(g, v) * 64
+	if pip.TotalCycles > bottleneck*1.25 {
+		t.Fatalf("pipelined %v far above bottleneck bound %v", pip.TotalCycles, bottleneck)
+	}
+}
+
+func TestPlanBeatsStaticSchedules(t *testing.T) {
+	for _, spec := range []arch.Spec{arch.Cloud(), arch.Edge()} {
+		p := mhaProblem(t, 64)
+		plan, err := Plan(p, spec, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		static, err := StaticPipelined(p, spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := Sequential(p, spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.TotalCycles > static.TotalCycles+1e-9 {
+			t.Errorf("%s: Plan (%v) worse than static pipeline (%v)", spec.Name, plan.TotalCycles, static.TotalCycles)
+		}
+		if plan.TotalCycles > seq.TotalCycles+1e-9 {
+			t.Errorf("%s: Plan (%v) worse than sequential (%v)", spec.Name, plan.TotalCycles, seq.TotalCycles)
+		}
+		if plan.Candidates < 2 {
+			t.Errorf("%s: only %d candidate schedules explored", spec.Name, plan.Candidates)
+		}
+	}
+}
+
+func TestPlanRespectsEpochScaling(t *testing.T) {
+	spec := arch.Cloud()
+	short := mhaProblem(t, 8)
+	long := mhaProblem(t, 64)
+	rShort, err := Plan(short, spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLong, err := Plan(long, spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := rLong.TotalCycles / rShort.TotalCycles
+	// 8x the epochs should cost roughly 8x in steady state (within fill
+	// effects).
+	if ratio < 6 || ratio > 9 {
+		t.Fatalf("epoch scaling ratio = %v, want ~8", ratio)
+	}
+}
+
+func TestPlanUtilizationBounds(t *testing.T) {
+	spec := arch.Cloud()
+	p := mhaProblem(t, 64)
+	res, err := Plan(p, spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []float64{res.Utilization1D(), res.Utilization2D()} {
+		if u < 0 || u > 1+1e-9 {
+			t.Fatalf("utilization out of range: 1D=%v 2D=%v", res.Utilization1D(), res.Utilization2D())
+		}
+	}
+	// The two arrays' busy time must not exceed makespan each.
+	if res.Busy1D > res.TotalCycles+1e-6 || res.Busy2D > res.TotalCycles+1e-6 {
+		t.Fatalf("busy exceeds makespan: %v/%v vs %v", res.Busy1D, res.Busy2D, res.TotalCycles)
+	}
+}
+
+func TestSerialLoadCyclesUpperBoundsPlan(t *testing.T) {
+	spec := arch.Edge()
+	p := mhaProblem(t, 32)
+	res, err := Plan(p, spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SerialLoadCycles uses each op's best array; the plan may be forced to
+	// split across arrays but must never exceed the all-sequential bound by
+	// more than numerical noise... it can actually exceed it when ops run
+	// on their second-best array, so compare against the strict sequential
+	// result instead.
+	seq, err := Sequential(p, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles > seq.TotalCycles+1e-9 {
+		t.Fatalf("plan %v exceeds sequential %v", res.TotalCycles, seq.TotalCycles)
+	}
+	if p.SerialLoadCycles(spec) <= 0 {
+		t.Fatal("SerialLoadCycles <= 0")
+	}
+}
+
+func TestClassAssignment(t *testing.T) {
+	p := mhaProblem(t, 4)
+	assign := ClassAssignment(p)
+	if assign["BQK"] != perf.PE2D || assign["SLNV"] != perf.PE2D {
+		t.Fatal("contractions not assigned to 2D")
+	}
+	for _, vecOp := range []string{"LM", "SLN", "SLD", "PRM", "RM_next", "RD_next"} {
+		if assign[vecOp] != perf.PE1D {
+			t.Errorf("vector op %s not assigned to 1D", vecOp)
+		}
+	}
+}
+
+// The DPipe cloud/edge asymmetry (§6.2 "Utilization"): DPipe beats the
+// static FuseMax-style pipeline on both architectures, but through
+// different mechanisms — on cloud by offloading the softmax chain onto the
+// huge 2D array, on edge by spilling matrix work onto the otherwise idle 1D
+// array (which must end up substantially busy).
+func TestPlanArrayAsymmetry(t *testing.T) {
+	pCloud := mhaProblem(t, 256)
+	resCloud, err := Plan(pCloud, arch.Cloud(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticCloud, err := StaticPipelined(mhaProblem(t, 256), arch.Cloud(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resCloud.TotalCycles >= staticCloud.TotalCycles {
+		t.Fatalf("cloud: Plan (%v) no faster than static pipeline (%v)", resCloud.TotalCycles, staticCloud.TotalCycles)
+	}
+
+	pEdge := mhaProblem(t, 256)
+	resEdge, err := Plan(pEdge, arch.Edge(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticEdge, err := StaticPipelined(mhaProblem(t, 256), arch.Edge(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resEdge.TotalCycles >= staticEdge.TotalCycles/1.2 {
+		t.Fatalf("edge: Plan (%v) should beat static (%v) by >= 1.2x via 1D spill", resEdge.TotalCycles, staticEdge.TotalCycles)
+	}
+	if share := resEdge.Busy1D / (resEdge.Busy1D + resEdge.Busy2D); share < 0.2 {
+		t.Fatalf("edge: 1D busy share %v too small — matrix spill missing", share)
+	}
+}
+
+func TestPlanSingleEpoch(t *testing.T) {
+	p := twoStageProblem(1)
+	res, err := Plan(p, arch.Cloud(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles <= 0 {
+		t.Fatalf("single-epoch makespan = %v", res.TotalCycles)
+	}
+}
+
+func TestSortedOpNames(t *testing.T) {
+	p := twoStageProblem(1)
+	names := sortedOpNames(p)
+	if len(names) != 2 || names[0] != "G" || names[1] != "V" {
+		t.Fatalf("sortedOpNames = %v", names)
+	}
+}
+
+// Property: the DP schedule never violates dependencies — for every edge,
+// the consumer's end time is at least the producer's end plus the
+// consumer's own latency. Verified indirectly: makespan >= critical path of
+// one epoch (the chain G->V).
+func TestQuickMakespanAtLeastCriticalPath(t *testing.T) {
+	spec := arch.Cloud()
+	f := func(eRaw uint8) bool {
+		epochs := int64(eRaw%16) + 1
+		p := twoStageProblem(epochs)
+		res, err := Plan(p, spec, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		g, _ := p.Ops["G"].BestArray(spec)
+		_ = g
+		chain := p.Ops["G"].Cycles(spec, perf.PE2D) + math.Min(
+			p.Ops["V"].Cycles(spec, perf.PE1D), p.Ops["V"].Cycles(spec, perf.PE2D))
+		return res.TotalCycles >= chain-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: doubling epoch count never decreases total cycles and scales at
+// most linearly (plus fill).
+func TestQuickEpochMonotonicity(t *testing.T) {
+	spec := arch.Edge()
+	f := func(eRaw uint8) bool {
+		e := int64(eRaw%10) + 2
+		p1 := twoStageProblem(e)
+		p2 := twoStageProblem(2 * e)
+		r1, err1 := Plan(p1, spec, DefaultOptions())
+		r2, err2 := Plan(p2, spec, DefaultOptions())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Doubling epochs must not shrink the makespan, and must stay within
+		// 2x plus a 10% allowance for pipeline fill and steady-state
+		// extrapolation effects.
+		return r2.TotalCycles >= r1.TotalCycles-1e-9 && r2.TotalCycles <= 2.2*r1.TotalCycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

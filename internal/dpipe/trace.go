@@ -1,0 +1,219 @@
+package dpipe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/perf"
+)
+
+// TraceEntry is one scheduled op instance with its placement and timing.
+type TraceEntry struct {
+	Op    string
+	Epoch int
+	Array perf.ArrayKind
+	Start float64
+	End   float64
+}
+
+// Trace is a fully materialised schedule over a bounded number of explicit
+// epochs, for visualisation and invariant checking. Unlike Result (which
+// extrapolates to the full epoch count), a Trace records every instance's
+// start and end exactly.
+type Trace struct {
+	Problem  string
+	Epochs   int
+	Entries  []TraceEntry
+	Makespan float64
+}
+
+// TraceSchedule replays the Eq. 43–46 DP for the given candidate order and
+// bipartition over `epochs` explicit epochs, recording every placement.
+// A nil `first` uses epoch-major sequencing; otherwise the Figure 7(d)
+// interleaving. fixedAssign pins arrays as in StaticPipelined.
+func TraceSchedule(p *Problem, spec arch.Spec, order []string, first map[string]bool, epochs int, fixedAssign map[string]perf.ArrayKind) (*Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if epochs < 1 {
+		epochs = 1
+	}
+	if order == nil {
+		order = mustCanonical(p)
+	}
+	seq := buildSequence(order, first, epochs)
+
+	timeline := map[perf.ArrayKind]float64{perf.PE2D: 0, perf.PE1D: 0}
+	endT := make(map[instance]float64, len(seq))
+	tr := &Trace{Problem: p.Name, Epochs: epochs}
+
+	for _, inst := range seq {
+		op := p.Ops[inst.name]
+		depEnd := 0.0
+		for _, pred := range p.Deps.Pred(inst.name) {
+			e, ok := endT[instance{pred, inst.epoch}]
+			if !ok {
+				return nil, fmt.Errorf("dpipe: trace: dependency %s@%d unscheduled before %s@%d",
+					pred, inst.epoch, inst.name, inst.epoch)
+			}
+			if e > depEnd {
+				depEnd = e
+			}
+		}
+		if inst.epoch > 0 {
+			for _, se := range p.StateEdges {
+				if se.To != inst.name {
+					continue
+				}
+				e, ok := endT[instance{se.From, inst.epoch - 1}]
+				if !ok {
+					return nil, fmt.Errorf("dpipe: trace: state dependency %s@%d unscheduled before %s@%d",
+						se.From, inst.epoch-1, inst.name, inst.epoch)
+				}
+				if e > depEnd {
+					depEnd = e
+				}
+			}
+		}
+
+		arrays := []perf.ArrayKind{perf.PE2D, perf.PE1D}
+		if fixedAssign != nil {
+			arrays = []perf.ArrayKind{fixedAssign[inst.name]}
+		}
+		bestEnd := math.Inf(1)
+		var bestArr perf.ArrayKind
+		var bestStart float64
+		for _, arr := range arrays {
+			start := math.Max(timeline[arr], depEnd)
+			end := start + op.Cycles(spec, arr)
+			if end < bestEnd {
+				bestEnd, bestArr, bestStart = end, arr, start
+			}
+		}
+		timeline[bestArr] = bestEnd
+		endT[instance{inst.name, inst.epoch}] = bestEnd
+		tr.Entries = append(tr.Entries, TraceEntry{
+			Op: inst.name, Epoch: inst.epoch, Array: bestArr, Start: bestStart, End: bestEnd,
+		})
+		if bestEnd > tr.Makespan {
+			tr.Makespan = bestEnd
+		}
+	}
+	return tr, nil
+}
+
+// Validate checks the trace's structural invariants: entries on the same
+// array never overlap, and every dependency finishes before its consumer
+// starts.
+func (t *Trace) Validate(p *Problem) error {
+	// Per-array non-overlap.
+	byArray := map[perf.ArrayKind][]TraceEntry{}
+	for _, e := range t.Entries {
+		if e.End < e.Start {
+			return fmt.Errorf("dpipe: trace: %s@%d ends (%f) before it starts (%f)", e.Op, e.Epoch, e.End, e.Start)
+		}
+		byArray[e.Array] = append(byArray[e.Array], e)
+	}
+	for arr, entries := range byArray {
+		sorted := append([]TraceEntry(nil), entries...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i].Start < sorted[i-1].End-1e-9 {
+				return fmt.Errorf("dpipe: trace: overlap on %v: %s@%d [%f,%f) vs %s@%d [%f,%f)",
+					arr, sorted[i-1].Op, sorted[i-1].Epoch, sorted[i-1].Start, sorted[i-1].End,
+					sorted[i].Op, sorted[i].Epoch, sorted[i].Start, sorted[i].End)
+			}
+		}
+	}
+	// Dependency ordering.
+	end := make(map[instance]float64, len(t.Entries))
+	start := make(map[instance]float64, len(t.Entries))
+	for _, e := range t.Entries {
+		end[instance{e.Op, e.Epoch}] = e.End
+		start[instance{e.Op, e.Epoch}] = e.Start
+	}
+	for _, e := range t.Entries {
+		for _, pred := range p.Deps.Pred(e.Op) {
+			if pe, ok := end[instance{pred, e.Epoch}]; ok && start[instance{e.Op, e.Epoch}] < pe-1e-9 {
+				return fmt.Errorf("dpipe: trace: %s@%d starts before dependency %s@%d finishes", e.Op, e.Epoch, pred, e.Epoch)
+			}
+		}
+		if e.Epoch > 0 {
+			for _, se := range p.StateEdges {
+				if se.To != e.Op {
+					continue
+				}
+				if pe, ok := end[instance{se.From, e.Epoch - 1}]; ok && start[instance{e.Op, e.Epoch}] < pe-1e-9 {
+					return fmt.Errorf("dpipe: trace: %s@%d starts before recurrence %s@%d finishes", e.Op, e.Epoch, se.From, e.Epoch-1)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// BusyCycles returns the total busy time per array in the trace.
+func (t *Trace) BusyCycles() (busy2D, busy1D float64) {
+	for _, e := range t.Entries {
+		if e.Array == perf.PE2D {
+			busy2D += e.End - e.Start
+		} else {
+			busy1D += e.End - e.Start
+		}
+	}
+	return busy2D, busy1D
+}
+
+// Gantt renders the trace as a two-lane ASCII timeline with the given
+// character width. Each lane is one PE array; each cell shows the op that
+// occupied that array during the corresponding time slice (first letters of
+// its name), '.' for idle.
+func (t *Trace) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if t.Makespan == 0 || len(t.Entries) == 0 {
+		return "(empty trace)\n"
+	}
+	lanes := map[perf.ArrayKind][]byte{
+		perf.PE2D: bytesRepeat('.', width),
+		perf.PE1D: bytesRepeat('.', width),
+	}
+	scale := float64(width) / t.Makespan
+	for _, e := range t.Entries {
+		lo := int(e.Start * scale)
+		hi := int(e.End * scale)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		label := e.Op
+		lane := lanes[e.Array]
+		for i := lo; i < hi && i < width; i++ {
+			idx := i - lo
+			if idx < len(label) {
+				lane[i] = label[idx]
+			} else {
+				lane[i] = '='
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d epochs, makespan %.0f cycles\n", t.Problem, t.Epochs, t.Makespan)
+	fmt.Fprintf(&b, "2D |%s|\n", lanes[perf.PE2D])
+	fmt.Fprintf(&b, "1D |%s|\n", lanes[perf.PE1D])
+	return b.String()
+}
+
+func bytesRepeat(c byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package dpipe
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/perf"
+)
+
+func TestTraceScheduleBasics(t *testing.T) {
+	p := twoStageProblem(4)
+	tr, err := TraceSchedule(p, arch.Cloud(), nil, nil, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) != 8 { // 2 ops x 4 epochs
+		t.Fatalf("entries = %d, want 8", len(tr.Entries))
+	}
+	if err := tr.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Makespan <= 0 {
+		t.Fatalf("makespan = %v", tr.Makespan)
+	}
+	b2, b1 := tr.BusyCycles()
+	if b2 <= 0 || b1 < 0 {
+		t.Fatalf("busy = %v/%v", b2, b1)
+	}
+	if b2 > tr.Makespan+1e-9 || b1 > tr.Makespan+1e-9 {
+		t.Fatalf("busy exceeds makespan: %v/%v vs %v", b2, b1, tr.Makespan)
+	}
+}
+
+func TestTraceMatchesSequentialAssignments(t *testing.T) {
+	p := twoStageProblem(3)
+	spec := arch.Cloud()
+	assign := ClassAssignment(p)
+	tr, err := TraceSchedule(p, spec, nil, nil, 3, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Entries {
+		if e.Array != assign[e.Op] {
+			t.Fatalf("%s placed on %v, pinned to %v", e.Op, e.Array, assign[e.Op])
+		}
+	}
+}
+
+func TestTraceInterleavedSequenceValid(t *testing.T) {
+	p := mhaProblem(t, 8)
+	spec := arch.Edge()
+	// Use the winning plan's order and bipartition to build the trace.
+	plan, err := Plan(p, spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := TraceSchedule(p, spec, plan.Order, plan.Bipartition.First, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) != 11*8 {
+		t.Fatalf("entries = %d, want %d", len(tr.Entries), 11*8)
+	}
+}
+
+func TestTraceDetectsCorruption(t *testing.T) {
+	p := twoStageProblem(2)
+	tr, err := TraceSchedule(p, arch.Cloud(), nil, nil, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force an overlap on the 2D array.
+	bad := *tr
+	bad.Entries = append([]TraceEntry(nil), tr.Entries...)
+	for i := range bad.Entries {
+		bad.Entries[i].Array = perf.PE2D
+		bad.Entries[i].Start = 0
+		bad.Entries[i].End = 10
+	}
+	if err := bad.Validate(p); err == nil {
+		t.Fatal("overlapping trace validated")
+	}
+	// Negative-duration entry.
+	bad2 := *tr
+	bad2.Entries = append([]TraceEntry(nil), tr.Entries...)
+	bad2.Entries[0].Start = bad2.Entries[0].End + 1
+	if err := bad2.Validate(p); err == nil {
+		t.Fatal("negative-duration trace validated")
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	p := twoStageProblem(3)
+	tr, err := TraceSchedule(p, arch.Cloud(), nil, nil, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tr.Gantt(60)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("gantt lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "2D |") || !strings.HasPrefix(lines[2], "1D |") {
+		t.Fatalf("gantt lanes malformed:\n%s", out)
+	}
+	// The GEMM 'G' must appear on some lane.
+	if !strings.Contains(out, "G") {
+		t.Fatalf("gantt missing op label:\n%s", out)
+	}
+	// Tiny width clamps instead of panicking.
+	if small := tr.Gantt(1); !strings.Contains(small, "2D |") {
+		t.Fatalf("small gantt malformed: %q", small)
+	}
+	empty := &Trace{Problem: "x"}
+	if !strings.Contains(empty.Gantt(20), "empty") {
+		t.Fatal("empty trace rendering wrong")
+	}
+}
+
+// Property: for any epoch count, the interleaved trace of the best plan is
+// dependency- and overlap-valid.
+func TestQuickTraceAlwaysValid(t *testing.T) {
+	spec := arch.Edge()
+	f := func(eRaw uint8) bool {
+		epochs := int(eRaw%6) + 2
+		p := twoStageProblem(int64(epochs))
+		plan, err := Plan(p, spec, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		tr, err := TraceSchedule(p, spec, plan.Order, plan.Bipartition.First, epochs, nil)
+		if err != nil {
+			return false
+		}
+		return tr.Validate(p) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The trace's makespan over explicit epochs must agree with the DP's
+// explicit-epoch scheduling (same equations, same sequencing).
+func TestTraceMakespanMatchesScheduleForExplicitEpochs(t *testing.T) {
+	p := twoStageProblem(4) // <= ExplicitEpochs, so Plan is exact
+	spec := arch.Cloud()
+	plan, err := Plan(p, spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := TraceSchedule(p, spec, plan.Order, plan.Bipartition.First, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := tr.Makespan - plan.TotalCycles; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("trace makespan %v != plan %v", tr.Makespan, plan.TotalCycles)
+	}
+}

@@ -1,0 +1,79 @@
+package einsum
+
+import "math"
+
+// Common combine functions used by the Transformer cascades. Each takes one
+// scalar per input operand in declaration order.
+
+// Add2 returns vals[0] + vals[1].
+func Add2(vals []float64) float64 { return vals[0] + vals[1] }
+
+// Sub2 returns vals[0] - vals[1].
+func Sub2(vals []float64) float64 { return vals[0] - vals[1] }
+
+// Mul2 returns vals[0] * vals[1].
+func Mul2(vals []float64) float64 { return vals[0] * vals[1] }
+
+// Div2 returns vals[0] / vals[1].
+func Div2(vals []float64) float64 { return vals[0] / vals[1] }
+
+// Max2 returns max(vals[0], vals[1]); used for the running-max update.
+func Max2(vals []float64) float64 { return math.Max(vals[0], vals[1]) }
+
+// ExpSub returns exp(vals[0] - vals[1]); the shifted-exponential map of the
+// numerically stable streaming softmax.
+func ExpSub(vals []float64) float64 { return math.Exp(vals[0] - vals[1]) }
+
+// Square returns vals[0]^2; used by the LayerNorm variance computation.
+func Square(vals []float64) float64 { return vals[0] * vals[0] }
+
+// Identity returns vals[0].
+func Identity(vals []float64) float64 { return vals[0] }
+
+// RSqrt returns 1/sqrt(vals[0]); the LayerNorm normalisation factor. A small
+// epsilon guards against zero variance exactly as hardware LayerNorm units do.
+func RSqrt(vals []float64) float64 { return 1 / math.Sqrt(vals[0]+layerNormEps) }
+
+const layerNormEps = 1e-12
+
+// Scale returns a combine function multiplying the single input by k; used
+// for the 1/(H*F) mean scaling.
+func Scale(k float64) CombineFunc {
+	return func(vals []float64) float64 { return vals[0] * k }
+}
+
+// MulAdd3 returns vals[0]*vals[1] + vals[2]; not used by the cascades (bias
+// addition is modelled as a separate Einsum) but exported for extensions.
+func MulAdd3(vals []float64) float64 { return vals[0]*vals[1] + vals[2] }
+
+// Activation functions for the FFN cascade (Eq. 38). The paper lists ReLU,
+// GeLU, and SiLU as common choices.
+
+// ReLU is max(0, x).
+func ReLU(vals []float64) float64 { return math.Max(0, vals[0]) }
+
+// GeLU is the Gaussian Error Linear Unit (tanh approximation, as deployed in
+// BERT-class accelerators).
+func GeLU(vals []float64) float64 {
+	x := vals[0]
+	return 0.5 * x * (1 + math.Tanh(math.Sqrt(2/math.Pi)*(x+0.044715*x*x*x)))
+}
+
+// SiLU is x * sigmoid(x) (the Llama-family activation).
+func SiLU(vals []float64) float64 {
+	x := vals[0]
+	return x / (1 + math.Exp(-x))
+}
+
+// ActivationByName resolves an activation combine function from its model-zoo
+// name; unknown names fall back to ReLU.
+func ActivationByName(name string) CombineFunc {
+	switch name {
+	case "gelu":
+		return GeLU
+	case "silu":
+		return SiLU
+	default:
+		return ReLU
+	}
+}

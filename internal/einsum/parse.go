@@ -1,0 +1,79 @@
+package einsum
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse builds a classic (product/sum) Einsum from a compact spec of the form
+//
+//	"OUT = A[h,e,p] * B[h,e,m1,m0] -> [h,m1,m0,p]"
+//
+// i.e. an output name, one or more bracketed operands separated by '*', and
+// the output index list after '->'. Whitespace is insignificant. Parse covers
+// only the contraction form; map/reduce Einsums with custom semantics are
+// built with the Map and Reduction constructors.
+func Parse(spec string) (*Einsum, error) {
+	eq := strings.SplitN(spec, "=", 2)
+	if len(eq) != 2 {
+		return nil, fmt.Errorf("einsum: parse %q: missing '='", spec)
+	}
+	name := strings.TrimSpace(eq[0])
+	if name == "" {
+		return nil, fmt.Errorf("einsum: parse %q: empty output name", spec)
+	}
+	body := strings.SplitN(eq[1], "->", 2)
+	if len(body) != 2 {
+		return nil, fmt.Errorf("einsum: parse %q: missing '->'", spec)
+	}
+	outIdx, err := parseIndexList(strings.TrimSpace(body[1]))
+	if err != nil {
+		return nil, fmt.Errorf("einsum: parse %q: output indices: %w", spec, err)
+	}
+	var inputs []Arg
+	for _, part := range strings.Split(body[0], "*") {
+		part = strings.TrimSpace(part)
+		open := strings.Index(part, "[")
+		if open <= 0 || !strings.HasSuffix(part, "]") {
+			return nil, fmt.Errorf("einsum: parse %q: malformed operand %q", spec, part)
+		}
+		idx, err := parseIndexList(part[open:])
+		if err != nil {
+			return nil, fmt.Errorf("einsum: parse %q: operand %q: %w", spec, part, err)
+		}
+		inputs = append(inputs, Arg{Tensor: strings.TrimSpace(part[:open]), Idx: idx})
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("einsum: parse %q: no operands", spec)
+	}
+	return New(name, outIdx, inputs...), nil
+}
+
+// MustParse is Parse that panics on error; for tests and static definitions.
+func MustParse(spec string) *Einsum {
+	e, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func parseIndexList(s string) ([]string, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return nil, fmt.Errorf("index list %q not bracketed", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return nil, nil
+	}
+	parts := strings.Split(inner, ",")
+	idx := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("empty index label in %q", s)
+		}
+		idx = append(idx, p)
+	}
+	return idx, nil
+}

@@ -1,0 +1,149 @@
+package eval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/fusedmindlab/transfusion/internal/einsum"
+	"github.com/fusedmindlab/transfusion/internal/tensor"
+)
+
+// Equivalence: the compiled path must agree with the reference interpreter
+// on every Einsum shape the cascades use.
+
+func applyBoth(t *testing.T, e *einsum.Einsum, env Env, sizes map[string]int) (*tensor.Tensor, *tensor.Tensor) {
+	t.Helper()
+	ref, err := Apply(e, env, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := ApplyFast(e, env, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref, fast
+}
+
+func TestFastMatmul(t *testing.T) {
+	a := tensor.Rand(1, tensor.Dim{Name: "m", Size: 5}, tensor.Dim{Name: "k", Size: 7})
+	b := tensor.Rand(2, tensor.Dim{Name: "k", Size: 7}, tensor.Dim{Name: "n", Size: 3})
+	e := einsum.MustParse("C = A[m,k] * B[k,n] -> [m,n]")
+	ref, fast := applyBoth(t, e, Env{"A": a, "B": b}, map[string]int{"m": 5, "k": 7, "n": 3})
+	if d := tensor.MaxAbsDiff(ref, fast); d > 1e-12 {
+		t.Fatalf("compiled matmul deviates by %v", d)
+	}
+}
+
+func TestFastBroadcastMap(t *testing.T) {
+	x := tensor.Rand(3, tensor.Dim{Name: "h", Size: 3}, tensor.Dim{Name: "p", Size: 4})
+	mu := tensor.Rand(4, tensor.Dim{Name: "p", Size: 4})
+	e := einsum.Map("D", []string{"h", "p"}, einsum.Sub2, einsum.In("X", "h", "p"), einsum.In("MU", "p"))
+	ref, fast := applyBoth(t, e, Env{"X": x, "MU": mu}, map[string]int{"h": 3, "p": 4})
+	if d := tensor.MaxAbsDiff(ref, fast); d > 1e-12 {
+		t.Fatalf("compiled broadcast deviates by %v", d)
+	}
+}
+
+func TestFastMaxReduce(t *testing.T) {
+	x := tensor.Rand(5, tensor.Dim{Name: "p", Size: 4}, tensor.Dim{Name: "m", Size: 9})
+	e := einsum.Reduction("M", []string{"p"}, einsum.ReduceMax, einsum.In("X", "p", "m"))
+	ref, fast := applyBoth(t, e, Env{"X": x}, map[string]int{"p": 4, "m": 9})
+	if d := tensor.MaxAbsDiff(ref, fast); d > 1e-12 {
+		t.Fatalf("compiled max-reduce deviates by %v", d)
+	}
+}
+
+func TestFastScalarOutput(t *testing.T) {
+	x := tensor.Rand(6, tensor.Dim{Name: "p", Size: 11})
+	e := einsum.Reduction("T", nil, einsum.ReduceSum, einsum.In("X", "p"))
+	ref, fast := applyBoth(t, e, Env{"X": x}, map[string]int{"p": 11})
+	if ref.AtFlat(0) != fast.AtFlat(0) {
+		t.Fatalf("compiled scalar sum = %v, want %v", fast.AtFlat(0), ref.AtFlat(0))
+	}
+}
+
+func TestFastRepeatedOperand(t *testing.T) {
+	// QAV = DAV * DAV: the same tensor appears twice.
+	x := tensor.Rand(7, tensor.Dim{Name: "p", Size: 6})
+	e := einsum.Map("Q", []string{"p"}, einsum.Mul2, einsum.In("X", "p"), einsum.In("X", "p"))
+	ref, fast := applyBoth(t, e, Env{"X": x}, map[string]int{"p": 6})
+	if d := tensor.MaxAbsDiff(ref, fast); d > 1e-12 {
+		t.Fatalf("repeated-operand deviates by %v", d)
+	}
+}
+
+// An operand that uses the same loop index on two of its own dimensions
+// (diagonal addressing) must accumulate both strides.
+func TestFastDiagonalAddressing(t *testing.T) {
+	x := tensor.Rand(8, tensor.Dim{Name: "a", Size: 4}, tensor.Dim{Name: "b", Size: 4})
+	e := einsum.Map("D", []string{"i"}, einsum.Identity, einsum.In("X", "i", "i"))
+	ref, fast := applyBoth(t, e, Env{"X": x}, map[string]int{"i": 4})
+	if d := tensor.MaxAbsDiff(ref, fast); d > 1e-12 {
+		t.Fatalf("diagonal addressing deviates by %v", d)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	a := tensor.Rand(1, tensor.Dim{Name: "m", Size: 2}, tensor.Dim{Name: "k", Size: 3})
+	e := einsum.MustParse("C = A[m,k] * B[k,n] -> [m,n]")
+	if _, err := Compile(e, Env{"A": a}, map[string]int{"m": 2, "k": 3, "n": 2}); err == nil {
+		t.Fatal("missing tensor accepted")
+	}
+	badRank := tensor.Rand(2, tensor.Dim{Name: "k", Size: 3})
+	if _, err := Compile(e, Env{"A": a, "B": badRank}, map[string]int{"m": 2, "k": 3, "n": 2}); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	badSize := tensor.Rand(3, tensor.Dim{Name: "k", Size: 4}, tensor.Dim{Name: "n", Size: 2})
+	if _, err := Compile(e, Env{"A": a, "B": badSize}, map[string]int{"m": 2, "k": 3, "n": 2}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+// Property: compiled and reference paths agree on random contraction
+// shapes and random broadcast patterns.
+func TestQuickFastEquivalence(t *testing.T) {
+	e := einsum.MustParse("C = A[m,k] * B[k,n] -> [m,n]")
+	f := func(seed uint64, mr, kr, nr uint8) bool {
+		m, k, n := int(mr%5)+1, int(kr%5)+1, int(nr%5)+1
+		a := tensor.Rand(seed|1, tensor.Dim{Name: "m", Size: m}, tensor.Dim{Name: "k", Size: k})
+		b := tensor.Rand(seed|2, tensor.Dim{Name: "k", Size: k}, tensor.Dim{Name: "n", Size: n})
+		sizes := map[string]int{"m": m, "k": k, "n": n}
+		ref, err1 := Apply(e, Env{"A": a, "B": b}, sizes)
+		fast, err2 := ApplyFast(e, Env{"A": a, "B": b}, sizes)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return tensor.MaxAbsDiff(ref, fast) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkApplyReference(b *testing.B) {
+	a := tensor.Rand(1, tensor.Dim{Name: "m", Size: 64}, tensor.Dim{Name: "k", Size: 64})
+	bb := tensor.Rand(2, tensor.Dim{Name: "k", Size: 64}, tensor.Dim{Name: "n", Size: 64})
+	e := einsum.MustParse("C = A[m,k] * B[k,n] -> [m,n]")
+	sizes := map[string]int{"m": 64, "k": 64, "n": 64}
+	env := Env{"A": a, "B": bb}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Apply(e, env, sizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApplyCompiled(b *testing.B) {
+	a := tensor.Rand(1, tensor.Dim{Name: "m", Size: 64}, tensor.Dim{Name: "k", Size: 64})
+	bb := tensor.Rand(2, tensor.Dim{Name: "k", Size: 64}, tensor.Dim{Name: "n", Size: 64})
+	e := einsum.MustParse("C = A[m,k] * B[k,n] -> [m,n]")
+	sizes := map[string]int{"m": 64, "k": 64, "n": 64}
+	env := Env{"A": a, "B": bb}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ApplyFast(e, env, sizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/fusedmindlab/transfusion/internal/einsum"
+	"github.com/fusedmindlab/transfusion/internal/tensor"
+)
+
+func TestMatmul(t *testing.T) {
+	a := tensor.New(tensor.Dim{Name: "m", Size: 2}, tensor.Dim{Name: "k", Size: 3})
+	b := tensor.New(tensor.Dim{Name: "k", Size: 3}, tensor.Dim{Name: "n", Size: 2})
+	// a = [[1,2,3],[4,5,6]]; b = [[7,8],[9,10],[11,12]]
+	for i, v := range []float64{1, 2, 3, 4, 5, 6} {
+		a.SetFlat(i, v)
+	}
+	for i, v := range []float64{7, 8, 9, 10, 11, 12} {
+		b.SetFlat(i, v)
+	}
+	e := einsum.MustParse("C = A[m,k] * B[k,n] -> [m,n]")
+	env := Env{"A": a, "B": b}
+	sizes, err := env.Sizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := MustApply(e, env, sizes)
+	want := [][]float64{{58, 64}, {139, 154}}
+	for m := 0; m < 2; m++ {
+		for n := 0; n < 2; n++ {
+			if got := c.At(map[string]int{"m": m, "n": n}); got != want[m][n] {
+				t.Fatalf("C[%d,%d] = %v, want %v", m, n, got, want[m][n])
+			}
+		}
+	}
+}
+
+func TestMaxReduce(t *testing.T) {
+	x := tensor.New(tensor.Dim{Name: "p", Size: 2}, tensor.Dim{Name: "m", Size: 3})
+	for i, v := range []float64{1, 5, 2, -1, -7, -3} {
+		x.SetFlat(i, v)
+	}
+	e := einsum.Reduction("M", []string{"p"}, einsum.ReduceMax, einsum.In("X", "p", "m"))
+	got := MustApply(e, Env{"X": x}, map[string]int{"p": 2, "m": 3})
+	if got.At(map[string]int{"p": 0}) != 5 || got.At(map[string]int{"p": 1}) != -1 {
+		t.Fatalf("max reduce = %v, %v", got.At(map[string]int{"p": 0}), got.At(map[string]int{"p": 1}))
+	}
+}
+
+func TestBroadcastSubtract(t *testing.T) {
+	x := tensor.New(tensor.Dim{Name: "h", Size: 2}, tensor.Dim{Name: "p", Size: 2}).Fill(10)
+	mu := tensor.New(tensor.Dim{Name: "p", Size: 2})
+	mu.SetFlat(0, 1)
+	mu.SetFlat(1, 2)
+	e := einsum.Map("D", []string{"h", "p"}, einsum.Sub2, einsum.In("X", "h", "p"), einsum.In("MU", "p"))
+	got := MustApply(e, Env{"X": x, "MU": mu}, map[string]int{"h": 2, "p": 2})
+	if got.At(map[string]int{"h": 1, "p": 0}) != 9 || got.At(map[string]int{"h": 0, "p": 1}) != 8 {
+		t.Fatalf("broadcast subtract wrong: %v", got.Data())
+	}
+}
+
+func TestExpSubMap(t *testing.T) {
+	x := tensor.New(tensor.Dim{Name: "p", Size: 2})
+	x.SetFlat(0, 3)
+	x.SetFlat(1, 5)
+	m := tensor.Scalar(0)
+	m.SetFlat(0, 5)
+	e := einsum.Map("S", []string{"p"}, einsum.ExpSub, einsum.In("X", "p"), einsum.In("M"))
+	got := MustApply(e, Env{"X": x, "M": m}, map[string]int{"p": 2})
+	if math.Abs(got.AtFlat(0)-math.Exp(-2)) > 1e-12 || math.Abs(got.AtFlat(1)-1) > 1e-12 {
+		t.Fatalf("ExpSub = %v", got.Data())
+	}
+}
+
+func TestLabelRemapping(t *testing.T) {
+	// The operand labels address a tensor whose own dim names differ:
+	// weight stored as (d, s) but used as W[f, s] in the cascade index space.
+	w := tensor.Rand(3, tensor.Dim{Name: "d", Size: 4}, tensor.Dim{Name: "s", Size: 2})
+	x := tensor.Rand(4, tensor.Dim{Name: "f", Size: 4})
+	e := einsum.New("Y", []string{"s"}, einsum.In("X", "f"), einsum.In("W", "f", "s"))
+	got := MustApply(e, Env{"X": x, "W": w}, map[string]int{"f": 4, "s": 2})
+	for s := 0; s < 2; s++ {
+		want := 0.0
+		for f := 0; f < 4; f++ {
+			want += x.At(map[string]int{"f": f}) * w.At(map[string]int{"d": f, "s": s})
+		}
+		if math.Abs(got.At(map[string]int{"s": s})-want) > 1e-12 {
+			t.Fatalf("label remap wrong at s=%d", s)
+		}
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	a := tensor.New(tensor.Dim{Name: "m", Size: 2}, tensor.Dim{Name: "k", Size: 3})
+	e := einsum.MustParse("C = A[m,k] * B[k,n] -> [m,n]")
+	// Missing tensor B.
+	if _, err := Apply(e, Env{"A": a}, map[string]int{"m": 2, "k": 3, "n": 2}); err == nil {
+		t.Fatal("Apply with missing input succeeded")
+	}
+	// Rank mismatch.
+	b1 := tensor.New(tensor.Dim{Name: "k", Size: 3})
+	if _, err := Apply(e, Env{"A": a, "B": b1}, map[string]int{"m": 2, "k": 3, "n": 2}); err == nil {
+		t.Fatal("Apply with rank mismatch succeeded")
+	}
+	// Missing dim size.
+	b := tensor.New(tensor.Dim{Name: "k", Size: 3}, tensor.Dim{Name: "n", Size: 2})
+	if _, err := Apply(e, Env{"A": a, "B": b}, map[string]int{"m": 2, "k": 3}); err == nil {
+		t.Fatal("Apply with missing dim size succeeded")
+	}
+}
+
+func TestEnvSizesConflict(t *testing.T) {
+	env := Env{
+		"A": tensor.New(tensor.Dim{Name: "k", Size: 3}),
+		"B": tensor.New(tensor.Dim{Name: "k", Size: 4}),
+	}
+	if _, err := env.Sizes(); err == nil {
+		t.Fatal("Sizes with conflicting extents succeeded")
+	}
+}
+
+func TestScalarOutput(t *testing.T) {
+	x := tensor.New(tensor.Dim{Name: "p", Size: 4})
+	for i := 0; i < 4; i++ {
+		x.SetFlat(i, float64(i+1))
+	}
+	e := einsum.Reduction("T", nil, einsum.ReduceSum, einsum.In("X", "p"))
+	got := MustApply(e, Env{"X": x}, map[string]int{"p": 4})
+	if got.Rank() != 0 || got.AtFlat(0) != 10 {
+		t.Fatalf("scalar sum = %v", got.AtFlat(0))
+	}
+}
+
+// Property: einsum matmul matches a hand-rolled triple loop for random
+// shapes and values.
+func TestQuickMatmulMatchesNaive(t *testing.T) {
+	e := einsum.MustParse("C = A[m,k] * B[k,n] -> [m,n]")
+	f := func(seed uint64, mr, kr, nr uint8) bool {
+		m, k, n := int(mr%5)+1, int(kr%5)+1, int(nr%5)+1
+		a := tensor.Rand(seed|1, tensor.Dim{Name: "m", Size: m}, tensor.Dim{Name: "k", Size: k})
+		b := tensor.Rand(seed|2, tensor.Dim{Name: "k", Size: k}, tensor.Dim{Name: "n", Size: n})
+		sizes := map[string]int{"m": m, "k": k, "n": n}
+		c := MustApply(e, Env{"A": a, "B": b}, sizes)
+		for mi := 0; mi < m; mi++ {
+			for ni := 0; ni < n; ni++ {
+				want := 0.0
+				for ki := 0; ki < k; ki++ {
+					want += a.At(map[string]int{"m": mi, "k": ki}) * b.At(map[string]int{"k": ki, "n": ni})
+				}
+				if math.Abs(c.At(map[string]int{"m": mi, "n": ni})-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sum reduction is linear — scaling the input scales the output.
+func TestQuickSumLinearity(t *testing.T) {
+	e := einsum.Reduction("S", []string{"p"}, einsum.ReduceSum, einsum.In("X", "p", "m"))
+	f := func(seed uint64, scaleRaw uint8) bool {
+		scale := float64(scaleRaw%7) + 1
+		x := tensor.Rand(seed|1, tensor.Dim{Name: "p", Size: 3}, tensor.Dim{Name: "m", Size: 4})
+		sizes := map[string]int{"p": 3, "m": 4}
+		s1 := MustApply(e, Env{"X": x}, sizes)
+		xs := x.Clone().Apply(func(v float64) float64 { return v * scale })
+		s2 := MustApply(e, Env{"X": xs}, sizes)
+		for p := 0; p < 3; p++ {
+			a := s1.At(map[string]int{"p": p}) * scale
+			b := s2.At(map[string]int{"p": p})
+			if math.Abs(a-b) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/cascade"
+	"github.com/fusedmindlab/transfusion/internal/dpipe"
+	"github.com/fusedmindlab/transfusion/internal/model"
+	"github.com/fusedmindlab/transfusion/internal/pipeline"
+	"github.com/fusedmindlab/transfusion/internal/report"
+	"github.com/fusedmindlab/transfusion/internal/tileseek"
+	"github.com/fusedmindlab/transfusion/internal/tiling"
+)
+
+// AblationTileSeek compares the MCTS search against random search (equal
+// rollout budget) and a budget-capped exhaustive scan, all using the full
+// TransFusion evaluation as the objective. Lower cost (EDP) is better.
+func AblationTileSeek(r *Runner) (*report.Table, error) {
+	t := report.NewTable("Ablation: tiling-search strategy (objective = latency x energy; lower is better)",
+		"Arch", "Strategy", "Best cost", "vs MCTS", "Evaluated", "Pruned")
+	budget := r.Opts.TileSeekIterations
+	if budget <= 0 {
+		budget = pipeline.DefaultOptions().TileSeekIterations
+	}
+	for _, spec := range []arch.Spec{arch.Cloud(), arch.Edge()} {
+		w := tiling.Workload{Model: model.Llama3(), SeqLen: model.SeqLength64K, Batch: model.EvalBatch}
+		objective := func(c tiling.Config) (float64, bool) {
+			res, err := pipeline.EvaluateWithTile(w, spec, pipeline.TransFusion(), c, r.Opts)
+			if err != nil {
+				return 0, false
+			}
+			return res.TotalCycles * res.Energy.Total(), true
+		}
+		space := tileseek.DefaultSpace(w, spec)
+
+		mcts, err := tileseek.Search(space, objective, budget, 1)
+		if err != nil {
+			return nil, err
+		}
+		rnd, err := tileseek.RandomSearch(space, objective, budget, 1)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := tileseek.Exhaustive(space, objective, budget)
+		if err != nil {
+			return nil, err
+		}
+		// The static heuristic as a fourth point of comparison.
+		heur, err := tiling.HeuristicTile(w, spec)
+		if err != nil {
+			return nil, err
+		}
+		heurCost, _ := objective(heur)
+
+		for _, row := range []struct {
+			name string
+			res  tileseek.Result
+		}{
+			{"MCTS (TileSeek)", mcts},
+			{"Random", rnd},
+			{"Exhaustive (capped)", ex},
+			{"Heuristic", tileseek.Result{BestCost: heurCost, Evaluated: 1}},
+		} {
+			t.AddRow(spec.Name, row.name, report.Sci(row.res.BestCost),
+				report.F(row.res.BestCost/mcts.BestCost, 2),
+				report.F(float64(row.res.Evaluated), 0), report.F(float64(row.res.Pruned), 0))
+		}
+	}
+	return t, nil
+}
+
+// AblationDPipe isolates the scheduler: for each sub-layer cascade of
+// Llama3 at 64K (heuristic tile), compare fully sequential execution, the
+// FuseMax-style static pipeline, and the full DPipe search.
+func AblationDPipe(r *Runner) (*report.Table, error) {
+	t := report.NewTable("Ablation: scheduler per sub-layer (cycles per tile instance, Llama3 @64K)",
+		"Arch", "Layer", "Sequential", "Static pipeline", "DPipe", "DPipe gain", "Candidates")
+	for _, spec := range []arch.Spec{arch.Cloud(), arch.Edge()} {
+		w := tiling.Workload{Model: model.Llama3(), SeqLen: model.SeqLength64K, Batch: model.EvalBatch}
+		tile, err := tiling.HeuristicTile(w, spec)
+		if err != nil {
+			return nil, err
+		}
+		probs, err := pipeline.BuildProblems(w, spec, pipeline.TransFusion(), tile)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range []string{"qproj", "kvproj", "mha", "ln", "ffn"} {
+			prob := probs[name]
+			seq, err := dpipe.Sequential(prob, spec, nil)
+			if err != nil {
+				return nil, err
+			}
+			static, err := dpipe.StaticPipelined(prob, spec, nil)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := dpipe.Plan(prob, spec, r.Opts.DPipe)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(spec.Name, name,
+				report.Sci(seq.TotalCycles), report.Sci(static.TotalCycles), report.Sci(plan.TotalCycles),
+				report.F(static.TotalCycles/plan.TotalCycles, 2),
+				report.F(float64(plan.Candidates), 0))
+		}
+	}
+	return t, nil
+}
+
+// AblationAttentionPasses compares the three attention dataflow
+// generations under identical DPipe scheduling: the naive
+// full-materialisation form, the FlashAttention-1-style two-pass form
+// (global statistics first, weighted sum second, scores computed twice),
+// and the FuseMax/TransFusion one-pass streaming form (Einsum Cascade 1).
+// Cycles are per query-tile instance on the heuristic tile, Llama3 at 64K.
+func AblationAttentionPasses(r *Runner) (*report.Table, error) {
+	t := report.NewTable("Ablation: attention dataflow generations (cycles per query tile, Llama3 @64K, DPipe-scheduled)",
+		"Arch", "Dataflow", "Cycles", "vs 1-pass")
+	for _, spec := range []arch.Spec{arch.Cloud(), arch.Edge()} {
+		w := tiling.Workload{Model: model.Llama3(), SeqLen: model.SeqLength64K, Batch: model.EvalBatch}
+		tile, err := tiling.HeuristicTile(w, spec)
+		if err != nil {
+			return nil, err
+		}
+		m := w.Model
+		dims := map[string]int{"h": m.H, "e": m.E, "f": m.F, "p": tile.P, "m0": tile.M0}
+		epochs := int64((w.SeqLen + tile.M0 - 1) / tile.M0)
+
+		plan := func(c *cascade.Cascade, eps int64) (float64, error) {
+			prob, err := dpipe.FromCascade(c, dims, eps)
+			if err != nil {
+				return 0, err
+			}
+			res, err := dpipe.Plan(prob, spec, r.Opts.DPipe)
+			if err != nil {
+				return 0, err
+			}
+			return res.TotalCycles, nil
+		}
+
+		onePass, err := plan(cascade.Attention(), epochs)
+		if err != nil {
+			return nil, err
+		}
+		statsCycles, err := plan(cascade.TwoPassStats(), epochs)
+		if err != nil {
+			return nil, err
+		}
+		weightedCycles, err := plan(cascade.TwoPassWeighted(), epochs)
+		if err != nil {
+			return nil, err
+		}
+		twoPass := statsCycles + weightedCycles
+
+		naiveDims := map[string]int{"h": m.H, "e": m.E, "f": m.F, "p": tile.P, "m0": w.SeqLen}
+		naiveProb, err := dpipe.FromCascade(cascade.NaiveAttention(), naiveDims, 1)
+		if err != nil {
+			return nil, err
+		}
+		naiveRes, err := dpipe.Plan(naiveProb, spec, r.Opts.DPipe)
+		if err != nil {
+			return nil, err
+		}
+
+		for _, row := range []struct {
+			name   string
+			cycles float64
+		}{
+			{"naive (full materialisation)", naiveRes.TotalCycles},
+			{"2-pass (FlashAttention-1 style)", twoPass},
+			{"1-pass (Einsum Cascade 1)", onePass},
+		} {
+			t.AddRow(spec.Name, row.name, report.Sci(row.cycles), report.F(row.cycles/onePass, 2))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/model"
+	"github.com/fusedmindlab/transfusion/internal/pipeline"
+	"github.com/fusedmindlab/transfusion/internal/report"
+)
+
+// SensitivityBandwidth sweeps the DRAM bandwidth around each preset
+// (0.25x to 4x) and reports TransFusion's speedup over FuseMax at each
+// point, on Llama3 at 64K. This extends the paper's evaluation with the
+// robustness question its reviewers asked about compute capability (§6.2),
+// applied to the memory system: fusion's advantage must grow as bandwidth
+// shrinks (more memory-bound) and DPipe's advantage must persist as
+// bandwidth grows (compute-bound).
+func SensitivityBandwidth(r *Runner) (*report.Table, error) {
+	t := report.NewTable("Sensitivity: TransFusion vs FuseMax across DRAM bandwidth (Llama3, 64K)",
+		"Arch", "BW scale", "BW (GB/s)", "FuseMax cycles", "TransFusion cycles", "Speedup")
+	for _, base := range []arch.Spec{arch.Cloud(), arch.Edge()} {
+		for _, scale := range []float64{0.25, 0.5, 1, 2, 4} {
+			spec := base
+			spec.Name = fmt.Sprintf("%s-bw%gx", base.Name, scale)
+			spec.DRAMBandwidth = base.DRAMBandwidth * scale
+			w := pipeline.Workload{Model: model.Llama3(), SeqLen: model.SeqLength64K, Batch: model.EvalBatch}
+			fm, err := pipeline.Evaluate(w, spec, pipeline.FuseMax(), r.Opts)
+			if err != nil {
+				return nil, err
+			}
+			tf, err := pipeline.Evaluate(w, spec, pipeline.TransFusion(), r.Opts)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(base.Name, fmt.Sprintf("%gx", scale),
+				fmt.Sprintf("%.0f", spec.DRAMBandwidth/1e9),
+				report.Sci(fm.TotalCycles), report.Sci(tf.TotalCycles),
+				report.F(tf.Speedup(fm), 2))
+		}
+	}
+	return t, nil
+}
+
+// SensitivityCausal compares bidirectional and causal (decoder-masked)
+// attention under TransFusion across sequence lengths — the decoder
+// extension's effect on end-to-end latency.
+func SensitivityCausal(r *Runner) (*report.Table, error) {
+	t := report.NewTable("Sensitivity: causal (decoder) masking under TransFusion, Llama3 on cloud",
+		"Seq", "Bidirectional cycles", "Causal cycles", "Causal/Bi")
+	for _, n := range scalingSeqs() {
+		w := pipeline.Workload{Model: model.Llama3(), SeqLen: n, Batch: model.EvalBatch}
+		bi, err := pipeline.Evaluate(w, arch.Cloud(), pipeline.TransFusion(), r.Opts)
+		if err != nil {
+			return nil, err
+		}
+		w.Causal = true
+		ca, err := pipeline.Evaluate(w, arch.Cloud(), pipeline.TransFusion(), r.Opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(report.SeqLabel(n), report.Sci(bi.TotalCycles), report.Sci(ca.TotalCycles),
+			report.F(ca.TotalCycles/bi.TotalCycles, 2))
+	}
+	return t, nil
+}
+
+// StackT5 evaluates the encoder-decoder composition on T5 (the zoo's
+// actual encoder-decoder model): a 16K-token source encoded once, a
+// 4K-token target decoded with masked self-attention and per-layer
+// cross-attention over the memory. Extends the paper's encoder-only
+// evaluation with its §3.2 hybrid-composition claim.
+func StackT5(r *Runner) (*report.Table, error) {
+	t := report.NewTable("Extension: encoder-decoder stack (T5, 16K source / 4K target)",
+		"Arch", "System", "Encoder", "Dec self", "Dec cross", "Total", "vs Unfused")
+	for _, spec := range []arch.Spec{arch.Cloud(), arch.Edge()} {
+		w := pipeline.Workload{Model: model.T5(), Batch: model.EvalBatch}
+		var unfused float64
+		for _, sys := range []pipeline.System{pipeline.Unfused(), pipeline.FuseMax(), pipeline.TransFusion()} {
+			res, err := pipeline.EvaluateEncoderDecoder(w, 16<<10, 4<<10, spec, sys, r.Opts)
+			if err != nil {
+				return nil, err
+			}
+			if sys.Name == "unfused" {
+				unfused = res.TotalCycles
+			}
+			t.AddRow(spec.Name, sys.Name,
+				report.Sci(res.Encoder.TotalCycles), report.Sci(res.DecoderSelf.TotalCycles),
+				report.Sci(res.DecoderCross.TotalCycles), report.Sci(res.TotalCycles),
+				report.F(unfused/res.TotalCycles, 2))
+		}
+	}
+	return t, nil
+}

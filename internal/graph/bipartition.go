@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bipartition is a split of a DAG's nodes into two subgraphs: First runs as
+// pipeline stage 1, Second as stage 2.
+type Bipartition struct {
+	First  map[string]bool
+	Second map[string]bool
+}
+
+// FirstSorted returns the first subgraph's node IDs, sorted.
+func (b Bipartition) FirstSorted() []string { return sortedKeys(b.First) }
+
+// SecondSorted returns the second subgraph's node IDs, sorted.
+func (b Bipartition) SecondSorted() []string { return sortedKeys(b.Second) }
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders "first | second" for debugging and deterministic tests.
+func (b Bipartition) String() string {
+	return fmt.Sprintf("%v | %v", b.FirstSorted(), b.SecondSorted())
+}
+
+// maxBipartitionNodes guards the subset enumeration; the cascades scheduled
+// in practice have at most a dozen nodes.
+const maxBipartitionNodes = 22
+
+// ValidBipartition checks the four DPipe constraints from §4.1 of the paper
+// for a candidate split:
+//
+//  1. Source-sink alignment: every source node of the DAG is in First and
+//     every sink node is in Second.
+//  2. Weak connectivity: both induced subgraphs are weakly connected.
+//  3. Dependency completeness: every predecessor of a node in First is
+//     itself in First (no edge crosses from Second into First).
+//  4. Reachability: every node in First is reachable from the DAG's sources
+//     along paths that stay inside First.
+func (g *DAG) ValidBipartition(b Bipartition) bool {
+	if len(b.First) == 0 || len(b.Second) == 0 {
+		return false
+	}
+	if len(b.First)+len(b.Second) != len(g.nodes) {
+		return false
+	}
+	for n := range b.First {
+		if !g.nodes[n] || b.Second[n] {
+			return false
+		}
+	}
+	// (1) Source-sink alignment.
+	for _, s := range g.Sources() {
+		if !b.First[s] {
+			return false
+		}
+	}
+	for _, s := range g.Sinks() {
+		if !b.Second[s] {
+			return false
+		}
+	}
+	// (3) Dependency completeness.
+	for n := range b.First {
+		for _, p := range g.pred[n] {
+			if !b.First[p] {
+				return false
+			}
+		}
+	}
+	// (2) Weak connectivity.
+	if !g.WeaklyConnected(b.First) || !g.WeaklyConnected(b.Second) {
+		return false
+	}
+	// (4) Reachability within First from the DAG's sources.
+	first := g.Induced(b.First)
+	reach := first.ReachableFrom(g.Sources()...)
+	for n := range b.First {
+		if !reach[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// Bipartitions enumerates every valid bipartition of the DAG under the four
+// constraints, in a deterministic order. It returns an error for graphs
+// larger than the enumeration guard.
+func (g *DAG) Bipartitions() ([]Bipartition, error) {
+	nodes := g.Nodes()
+	n := len(nodes)
+	if n > maxBipartitionNodes {
+		return nil, fmt.Errorf("graph: bipartition enumeration limited to %d nodes, got %d", maxBipartitionNodes, n)
+	}
+	if n < 2 {
+		return nil, nil
+	}
+	var out []Bipartition
+	// Enumerate subsets as bitmasks over the sorted node list; bit i set
+	// means nodes[i] is in the first subgraph. Skip the empty and full sets.
+	for mask := uint32(1); mask < (uint32(1)<<n)-1; mask++ {
+		first := make(map[string]bool)
+		second := make(map[string]bool)
+		for i, node := range nodes {
+			if mask&(1<<i) != 0 {
+				first[node] = true
+			} else {
+				second[node] = true
+			}
+		}
+		b := Bipartition{First: first, Second: second}
+		if g.ValidBipartition(b) {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// TopoOrders enumerates topological orderings of the DAG via backtracking,
+// stopping after limit orderings (limit <= 0 means only the canonical
+// order). The enumeration is deterministic: at each step the lexicographically
+// smallest ready node is explored first, so the first ordering returned is
+// the canonical TopoSort order.
+func (g *DAG) TopoOrders(limit int) [][]string {
+	if limit <= 0 {
+		limit = 1
+	}
+	indeg := make(map[string]int, len(g.nodes))
+	for n := range g.nodes {
+		indeg[n] = len(g.pred[n])
+	}
+	var out [][]string
+	order := make([]string, 0, len(g.nodes))
+
+	var rec func()
+	rec = func() {
+		if len(out) >= limit {
+			return
+		}
+		if len(order) == len(g.nodes) {
+			out = append(out, append([]string(nil), order...))
+			return
+		}
+		var ready []string
+		for n, d := range indeg {
+			if d == 0 {
+				ready = append(ready, n)
+			}
+		}
+		sort.Strings(ready)
+		for _, n := range ready {
+			indeg[n] = -1 // mark as taken
+			for _, s := range g.succ[n] {
+				indeg[s]--
+			}
+			order = append(order, n)
+			rec()
+			order = order[:len(order)-1]
+			for _, s := range g.succ[n] {
+				indeg[s]++
+			}
+			indeg[n] = 0
+			if len(out) >= limit {
+				return
+			}
+		}
+	}
+	rec()
+	return out
+}
+
+// WithVirtualRoot returns a copy of the DAG with an extra node rootID that
+// has an edge to every current source node; DPipe uses this to connect the
+// two subgraphs of a bipartition into a single schedulable DAG (§4.1).
+func (g *DAG) WithVirtualRoot(rootID string) (*DAG, error) {
+	if g.nodes[rootID] {
+		return nil, fmt.Errorf("graph: virtual root %q collides with an existing node", rootID)
+	}
+	c := g.Clone()
+	c.AddNode(rootID)
+	for _, s := range g.Sources() {
+		c.AddEdge(rootID, s)
+	}
+	return c, nil
+}

@@ -1,0 +1,228 @@
+// Package graph provides the directed-acyclic-graph machinery DPipe is
+// built on: deterministic topological sorting, weak-connectivity tests,
+// reachability, enumeration of valid bipartitions under the four
+// constraints of §4.1 of the paper, and bounded enumeration of topological
+// orderings.
+//
+// Nodes are identified by strings (the Einsum output-tensor names). The
+// graphs scheduled in practice are small — a Transformer sub-layer has at
+// most a dozen Einsums — so the enumeration routines favour clarity and
+// determinism over asymptotic cleverness, with explicit size guards.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DAG is a directed acyclic graph over string-named nodes. The zero value
+// is not usable; create with New.
+type DAG struct {
+	nodes map[string]bool
+	succ  map[string][]string
+	pred  map[string][]string
+}
+
+// New creates an empty DAG.
+func New() *DAG {
+	return &DAG{
+		nodes: make(map[string]bool),
+		succ:  make(map[string][]string),
+		pred:  make(map[string][]string),
+	}
+}
+
+// AddNode inserts a node; adding an existing node is a no-op.
+func (g *DAG) AddNode(id string) {
+	g.nodes[id] = true
+}
+
+// AddEdge inserts a directed edge from -> to, adding missing endpoints.
+// Duplicate edges are ignored.
+func (g *DAG) AddEdge(from, to string) {
+	g.AddNode(from)
+	g.AddNode(to)
+	for _, s := range g.succ[from] {
+		if s == to {
+			return
+		}
+	}
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+}
+
+// HasNode reports whether id is in the graph.
+func (g *DAG) HasNode(id string) bool { return g.nodes[id] }
+
+// Len returns the number of nodes.
+func (g *DAG) Len() int { return len(g.nodes) }
+
+// Nodes returns all node IDs, sorted for determinism.
+func (g *DAG) Nodes() []string {
+	out := make([]string, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Succ returns the successors of id, sorted.
+func (g *DAG) Succ(id string) []string {
+	out := append([]string(nil), g.succ[id]...)
+	sort.Strings(out)
+	return out
+}
+
+// Pred returns the predecessors of id, sorted.
+func (g *DAG) Pred(id string) []string {
+	out := append([]string(nil), g.pred[id]...)
+	sort.Strings(out)
+	return out
+}
+
+// Sources returns nodes with zero in-degree, sorted.
+func (g *DAG) Sources() []string {
+	var out []string
+	for _, n := range g.Nodes() {
+		if len(g.pred[n]) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Sinks returns nodes with zero out-degree, sorted.
+func (g *DAG) Sinks() []string {
+	var out []string
+	for _, n := range g.Nodes() {
+		if len(g.succ[n]) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TopoSort returns a deterministic topological ordering (Kahn's algorithm
+// with lexicographic tie-breaking) or an error if the graph has a cycle.
+func (g *DAG) TopoSort() ([]string, error) {
+	indeg := make(map[string]int, len(g.nodes))
+	for n := range g.nodes {
+		indeg[n] = len(g.pred[n])
+	}
+	ready := g.Sources()
+	var order []string
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		changed := false
+		for _, s := range g.succ[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+				changed = true
+			}
+		}
+		if changed {
+			sort.Strings(ready)
+		}
+	}
+	if len(order) != len(g.nodes) {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d nodes ordered)", len(order), len(g.nodes))
+	}
+	return order, nil
+}
+
+// IsAcyclic reports whether the graph has no cycles.
+func (g *DAG) IsAcyclic() bool {
+	_, err := g.TopoSort()
+	return err == nil
+}
+
+// ReachableFrom returns the set of nodes reachable from any of the given
+// start nodes (inclusive), following edges forward.
+func (g *DAG) ReachableFrom(starts ...string) map[string]bool {
+	seen := make(map[string]bool)
+	stack := append([]string(nil), starts...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] || !g.nodes[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, g.succ[n]...)
+	}
+	return seen
+}
+
+// WeaklyConnected reports whether the induced subgraph on the given node
+// set is weakly connected (connected when edge directions are ignored).
+// The empty set is not weakly connected; a singleton is.
+func (g *DAG) WeaklyConnected(set map[string]bool) bool {
+	if len(set) == 0 {
+		return false
+	}
+	var start string
+	for n := range set {
+		start = n
+		break
+	}
+	seen := map[string]bool{}
+	stack := []string{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		for _, s := range g.succ[n] {
+			if set[s] && !seen[s] {
+				stack = append(stack, s)
+			}
+		}
+		for _, p := range g.pred[n] {
+			if set[p] && !seen[p] {
+				stack = append(stack, p)
+			}
+		}
+	}
+	return len(seen) == len(set)
+}
+
+// Clone returns a deep copy of the graph.
+func (g *DAG) Clone() *DAG {
+	c := New()
+	for n := range g.nodes {
+		c.AddNode(n)
+	}
+	for from, tos := range g.succ {
+		for _, to := range tos {
+			c.AddEdge(from, to)
+		}
+	}
+	return c
+}
+
+// Induced returns the subgraph induced by the given node set.
+func (g *DAG) Induced(set map[string]bool) *DAG {
+	s := New()
+	for n := range set {
+		if g.nodes[n] {
+			s.AddNode(n)
+		}
+	}
+	for from, tos := range g.succ {
+		if !set[from] {
+			continue
+		}
+		for _, to := range tos {
+			if set[to] {
+				s.AddEdge(from, to)
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,356 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// chain builds a -> b -> c -> ...
+func chain(ids ...string) *DAG {
+	g := New()
+	for i := 0; i < len(ids)-1; i++ {
+		g.AddEdge(ids[i], ids[i+1])
+	}
+	return g
+}
+
+// diamond builds a -> b, a -> c, b -> d, c -> d.
+func diamond() *DAG {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "c")
+	g.AddEdge("b", "d")
+	g.AddEdge("c", "d")
+	return g
+}
+
+func TestTopoSortChain(t *testing.T) {
+	g := chain("a", "b", "c")
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, "") != "abc" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	g := diamond()
+	o1, _ := g.TopoSort()
+	o2, _ := g.TopoSort()
+	if strings.Join(o1, "") != strings.Join(o2, "") {
+		t.Fatalf("nondeterministic topo sort: %v vs %v", o1, o2)
+	}
+	// Lexicographic tie-break: b before c.
+	if strings.Join(o1, "") != "abcd" {
+		t.Fatalf("order = %v, want [a b c d]", o1)
+	}
+}
+
+func TestTopoSortDetectsCycle(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "a")
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if g.IsAcyclic() {
+		t.Fatal("IsAcyclic true for cyclic graph")
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := diamond()
+	if got := g.Sources(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Sources = %v", got)
+	}
+	if got := g.Sinks(); len(got) != 1 || got[0] != "d" {
+		t.Fatalf("Sinks = %v", got)
+	}
+}
+
+func TestDuplicateEdgeIgnored(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "b")
+	if got := len(g.Succ("a")); got != 1 {
+		t.Fatalf("duplicate edge stored: %d successors", got)
+	}
+	if got := len(g.Pred("b")); got != 1 {
+		t.Fatalf("duplicate edge stored: %d predecessors", got)
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := diamond()
+	g.AddNode("island")
+	r := g.ReachableFrom("b")
+	if !r["b"] || !r["d"] || r["a"] || r["c"] || r["island"] {
+		t.Fatalf("ReachableFrom(b) = %v", r)
+	}
+}
+
+func TestWeaklyConnected(t *testing.T) {
+	g := diamond()
+	if !g.WeaklyConnected(map[string]bool{"a": true, "b": true, "c": true}) {
+		t.Fatal("a,b,c should be weakly connected")
+	}
+	if g.WeaklyConnected(map[string]bool{"b": true, "c": true}) {
+		t.Fatal("b,c are not connected without a or d")
+	}
+	if g.WeaklyConnected(map[string]bool{}) {
+		t.Fatal("empty set reported connected")
+	}
+	if !g.WeaklyConnected(map[string]bool{"a": true}) {
+		t.Fatal("singleton not connected")
+	}
+}
+
+func TestInduced(t *testing.T) {
+	g := diamond()
+	s := g.Induced(map[string]bool{"a": true, "b": true, "d": true})
+	if s.Len() != 3 {
+		t.Fatalf("induced size = %d", s.Len())
+	}
+	if len(s.Succ("a")) != 1 || s.Succ("a")[0] != "b" {
+		t.Fatalf("induced Succ(a) = %v", s.Succ("a"))
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := chain("a", "b")
+	c := g.Clone()
+	c.AddEdge("b", "z")
+	if g.HasNode("z") {
+		t.Fatal("Clone shares state")
+	}
+}
+
+func TestValidBipartitionChain(t *testing.T) {
+	g := chain("a", "b", "c")
+	ok := Bipartition{
+		First:  map[string]bool{"a": true},
+		Second: map[string]bool{"b": true, "c": true},
+	}
+	if !g.ValidBipartition(ok) {
+		t.Fatal("a | b,c should be valid")
+	}
+	// Sink in first subgraph violates alignment.
+	bad := Bipartition{
+		First:  map[string]bool{"a": true, "c": true},
+		Second: map[string]bool{"b": true},
+	}
+	if g.ValidBipartition(bad) {
+		t.Fatal("a,c | b accepted (sink alignment + dependency completeness violated)")
+	}
+	// Empty side.
+	if g.ValidBipartition(Bipartition{First: map[string]bool{}, Second: map[string]bool{"a": true, "b": true, "c": true}}) {
+		t.Fatal("empty first side accepted")
+	}
+}
+
+func TestBipartitionsChainCount(t *testing.T) {
+	// For a chain of n nodes there are exactly n-1 valid cut points.
+	g := chain("a", "b", "c", "d")
+	parts, err := g.Bipartitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("chain-4 bipartitions = %d, want 3", len(parts))
+	}
+}
+
+func TestBipartitionsDiamond(t *testing.T) {
+	g := diamond()
+	parts, err := g.Bipartitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Valid ideals containing a but not d, with both sides weakly connected:
+	// {a}, {a,b}, {a,c}, {a,b,c}. All second sides are weakly connected
+	// ({b,c,d} via d, {c,d}, {b,d}, {d}).
+	if len(parts) != 4 {
+		t.Fatalf("diamond bipartitions = %d, want 4: %v", len(parts), parts)
+	}
+	for _, b := range parts {
+		if !g.ValidBipartition(b) {
+			t.Fatalf("enumerated invalid bipartition %v", b)
+		}
+	}
+}
+
+func TestBipartitionsDisconnectedSecond(t *testing.T) {
+	// a -> b, a -> c with no join: first={a} gives second={b,c} which is NOT
+	// weakly connected, so there are no valid bipartitions at that cut.
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "c")
+	parts, err := g.Bipartitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// first={a} gives second={b,c}: not weakly connected. Any other split
+	// places a sink (b or c) in the first subgraph, violating alignment.
+	// So this DAG admits no valid bipartition at all.
+	if len(parts) != 0 {
+		t.Fatalf("got %d bipartitions, want 0: %v", len(parts), parts)
+	}
+}
+
+func TestBipartitionsSizeGuard(t *testing.T) {
+	g := New()
+	for i := 0; i < maxBipartitionNodes+1; i++ {
+		g.AddNode(string(rune('A' + i)))
+	}
+	if _, err := g.Bipartitions(); err == nil {
+		t.Fatal("size guard did not trigger")
+	}
+}
+
+func TestTopoOrdersDiamond(t *testing.T) {
+	g := diamond()
+	orders := g.TopoOrders(10)
+	// Diamond has exactly two topological orders: abcd and acbd.
+	if len(orders) != 2 {
+		t.Fatalf("topo orders = %d, want 2", len(orders))
+	}
+	if strings.Join(orders[0], "") != "abcd" || strings.Join(orders[1], "") != "acbd" {
+		t.Fatalf("orders = %v", orders)
+	}
+}
+
+func TestTopoOrdersLimit(t *testing.T) {
+	// An antichain of k nodes has k! orders; the limit must bound the output.
+	g := New()
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		g.AddNode(n)
+	}
+	orders := g.TopoOrders(7)
+	if len(orders) != 7 {
+		t.Fatalf("limit ignored: got %d orders", len(orders))
+	}
+	if got := len(g.TopoOrders(0)); got != 1 {
+		t.Fatalf("limit<=0 should yield 1 order, got %d", got)
+	}
+}
+
+func TestWithVirtualRoot(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "c")
+	g.AddEdge("b", "c")
+	r, err := g.WithVirtualRoot("ROOT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Sources(); len(got) != 1 || got[0] != "ROOT" {
+		t.Fatalf("Sources after root = %v", got)
+	}
+	if len(r.Succ("ROOT")) != 2 {
+		t.Fatalf("ROOT successors = %v", r.Succ("ROOT"))
+	}
+	// Original untouched.
+	if g.HasNode("ROOT") {
+		t.Fatal("WithVirtualRoot mutated the original")
+	}
+	// Collision rejected.
+	if _, err := g.WithVirtualRoot("a"); err == nil {
+		t.Fatal("root collision accepted")
+	}
+}
+
+// randomDAG builds a DAG over n nodes where an edge i->j (i<j) exists when
+// the corresponding bit of seed is set; acyclic by construction.
+func randomDAG(seed uint64, n int) *DAG {
+	g := New()
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	bit := 0
+	for i := 0; i < n; i++ {
+		g.AddNode(names[i])
+		for j := i + 1; j < n; j++ {
+			if seed&(1<<(bit%64)) != 0 {
+				g.AddEdge(names[i], names[j])
+			}
+			bit++
+		}
+	}
+	return g
+}
+
+// Property: every bipartition returned by the enumerator satisfies
+// ValidBipartition, and the two sides partition the node set.
+func TestQuickBipartitionsAreValid(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%5) + 3 // 3..7 nodes
+		g := randomDAG(seed, n)
+		parts, err := g.Bipartitions()
+		if err != nil {
+			return false
+		}
+		for _, b := range parts {
+			if !g.ValidBipartition(b) {
+				return false
+			}
+			if len(b.First)+len(b.Second) != g.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every enumerated topological order respects all edges.
+func TestQuickTopoOrdersRespectEdges(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%5) + 3
+		g := randomDAG(seed, n)
+		for _, order := range g.TopoOrders(50) {
+			pos := make(map[string]int, len(order))
+			for i, id := range order {
+				pos[id] = i
+			}
+			for _, from := range g.Nodes() {
+				for _, to := range g.Succ(from) {
+					if pos[from] >= pos[to] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: in every valid bipartition, no edge crosses from Second to First
+// (dependency completeness restated as an edge condition).
+func TestQuickNoBackwardCrossEdges(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%5) + 3
+		g := randomDAG(seed, n)
+		parts, err := g.Bipartitions()
+		if err != nil {
+			return false
+		}
+		for _, b := range parts {
+			for from := range b.Second {
+				for _, to := range g.Succ(from) {
+					if b.First[to] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

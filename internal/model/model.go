@@ -1,0 +1,134 @@
+// Package model defines the Transformer workload zoo used in the paper's
+// evaluation (§6.1): BERT-Base, TrXL (Transformer-XL wt103), T5-small, XLM,
+// and Llama3-8B, plus the sequence-length sweep and batch size the figures
+// use.
+package model
+
+import "fmt"
+
+// Config describes one Transformer model's architecture hyper-parameters in
+// the paper's dimension vocabulary.
+type Config struct {
+	// Name identifies the model ("bert", "trxl", ...).
+	Name string
+	// D is the model (hidden) dimension; D = H * E.
+	D int
+	// H is the number of attention heads.
+	H int
+	// E is the per-head query/key embedding dimension.
+	E int
+	// F is the per-head value embedding dimension (E == F in every workload).
+	F int
+	// S is the FFN hidden dimension.
+	S int
+	// Layers is the encoder/decoder layer count.
+	Layers int
+	// Activation names the FFN nonlinearity ("relu", "gelu", "silu").
+	Activation string
+}
+
+// Validate checks internal consistency (in particular D == H*E == H*F).
+func (c Config) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("model: empty name")
+	case c.D <= 0 || c.H <= 0 || c.E <= 0 || c.F <= 0 || c.S <= 0 || c.Layers <= 0:
+		return fmt.Errorf("model %s: non-positive dimension in %+v", c.Name, c)
+	case c.D != c.H*c.E:
+		return fmt.Errorf("model %s: D=%d != H*E=%d", c.Name, c.D, c.H*c.E)
+	case c.E != c.F:
+		return fmt.Errorf("model %s: E=%d != F=%d (the evaluation assumes E == F)", c.Name, c.E, c.F)
+	default:
+		return nil
+	}
+}
+
+// InvHF returns 1/(H*F), the LayerNorm mean scale.
+func (c Config) InvHF() float64 { return 1 / float64(c.H*c.F) }
+
+// BERT is BERT-Base (Devlin et al.).
+func BERT() Config {
+	return Config{Name: "bert", D: 768, H: 12, E: 64, F: 64, S: 3072, Layers: 12, Activation: "gelu"}
+}
+
+// TrXL is Transformer-XL trained on wt103.
+func TrXL() Config {
+	return Config{Name: "trxl", D: 1024, H: 16, E: 64, F: 64, S: 4096, Layers: 18, Activation: "relu"}
+}
+
+// T5 is T5-small (Raffel et al.).
+func T5() Config {
+	return Config{Name: "t5", D: 512, H: 8, E: 64, F: 64, S: 2048, Layers: 6, Activation: "relu"}
+}
+
+// XLM is the cross-lingual language model (Conneau & Lample).
+func XLM() Config {
+	return Config{Name: "xlm", D: 1024, H: 8, E: 128, F: 128, S: 4096, Layers: 12, Activation: "gelu"}
+}
+
+// Llama3 is Llama3-8B (Grattafiori et al.).
+func Llama3() Config {
+	return Config{Name: "llama3", D: 4096, H: 32, E: 128, F: 128, S: 14336, Layers: 32, Activation: "silu"}
+}
+
+// All returns the five evaluation models in the paper's presentation order.
+func All() []Config {
+	return []Config{BERT(), TrXL(), T5(), XLM(), Llama3()}
+}
+
+// ByName resolves a model by name.
+func ByName(name string) (Config, error) {
+	for _, c := range All() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("model: unknown model %q", name)
+}
+
+// EvalBatch is the fixed batch size of every experiment (§6.1, following
+// FLAT and FuseMax).
+const EvalBatch = 64
+
+// SeqLengths is the sequence-length sweep of the scaling figures (1K–1M).
+func SeqLengths() []int {
+	return []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+}
+
+// SeqLength64K is the fixed length of the cross-model comparison figures.
+const SeqLength64K = 64 << 10
+
+// Custom builds a model configuration outside the zoo — the workload
+// generator for sweeps beyond the paper's five models. headDim is the
+// per-head embedding (E = F); D is derived as heads*headDim.
+func Custom(name string, heads, headDim, ffnHidden, layers int, activation string) (Config, error) {
+	c := Config{
+		Name:       name,
+		D:          heads * headDim,
+		H:          heads,
+		E:          headDim,
+		F:          headDim,
+		S:          ffnHidden,
+		Layers:     layers,
+		Activation: activation,
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// Scale returns a copy of the configuration with the head count and FFN
+// hidden dimension multiplied by k — a simple family generator for
+// model-size sweeps (D scales with the head count).
+func (c Config) Scale(k int) (Config, error) {
+	if k <= 0 {
+		return Config{}, fmt.Errorf("model: non-positive scale %d", k)
+	}
+	s := c
+	s.Name = fmt.Sprintf("%s-x%d", c.Name, k)
+	s.H = c.H * k
+	s.D = s.H * s.E
+	s.S = c.S * k
+	return s, s.Validate()
+}

@@ -1,0 +1,121 @@
+package model
+
+import "testing"
+
+func TestAllModelsValidate(t *testing.T) {
+	for _, c := range All() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestZooMatchesPublishedShapes(t *testing.T) {
+	cases := []struct {
+		cfg     Config
+		d, h, s int
+	}{
+		{BERT(), 768, 12, 3072},
+		{TrXL(), 1024, 16, 4096},
+		{T5(), 512, 8, 2048},
+		{XLM(), 1024, 8, 4096},
+		{Llama3(), 4096, 32, 14336},
+	}
+	for _, c := range cases {
+		if c.cfg.D != c.d || c.cfg.H != c.h || c.cfg.S != c.s {
+			t.Errorf("%s: got D=%d H=%d S=%d, want D=%d H=%d S=%d",
+				c.cfg.Name, c.cfg.D, c.cfg.H, c.cfg.S, c.d, c.h, c.s)
+		}
+	}
+}
+
+func TestValidateRejectsInconsistentConfig(t *testing.T) {
+	c := BERT()
+	c.E = 32 // breaks D == H*E
+	if err := c.Validate(); err == nil {
+		t.Fatal("inconsistent D/H/E accepted")
+	}
+	c = BERT()
+	c.F = 32 // breaks E == F
+	if err := c.Validate(); err == nil {
+		t.Fatal("E != F accepted")
+	}
+	c = BERT()
+	c.Layers = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero layers accepted")
+	}
+	c = BERT()
+	c.Name = ""
+	if err := c.Validate(); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName("llama3")
+	if err != nil || c.D != 4096 {
+		t.Fatalf("ByName(llama3) = %+v, %v", c, err)
+	}
+	if _, err := ByName("gpt5"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestInvHF(t *testing.T) {
+	c := BERT()
+	if got := c.InvHF(); got != 1.0/768 {
+		t.Fatalf("InvHF = %v, want %v", got, 1.0/768)
+	}
+}
+
+func TestSeqLengths(t *testing.T) {
+	ls := SeqLengths()
+	if ls[0] != 1024 || ls[len(ls)-1] != 1<<20 {
+		t.Fatalf("SeqLengths = %v", ls)
+	}
+	for i := 1; i < len(ls); i++ {
+		if ls[i] <= ls[i-1] {
+			t.Fatalf("SeqLengths not increasing: %v", ls)
+		}
+	}
+	found := false
+	for _, l := range ls {
+		if l == SeqLength64K {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("64K missing from the sweep")
+	}
+}
+
+func TestCustom(t *testing.T) {
+	c, err := Custom("tiny", 4, 32, 512, 2, "relu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.D != 128 || c.E != 32 || c.F != 32 {
+		t.Fatalf("Custom derived %+v", c)
+	}
+	if _, err := Custom("bad", 0, 32, 512, 2, "relu"); err == nil {
+		t.Fatal("zero heads accepted")
+	}
+}
+
+func TestScale(t *testing.T) {
+	base := BERT()
+	big, err := base.Scale(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.D != 2*base.D || big.S != 2*base.S || big.H != 2*base.H {
+		t.Fatalf("Scale(2) = %+v", big)
+	}
+	if big.E != base.E {
+		t.Fatal("Scale changed the head dimension")
+	}
+	if _, err := base.Scale(0); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+}

@@ -1,0 +1,121 @@
+package perf
+
+import (
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/einsum"
+)
+
+// Traffic accumulates access counts across the memory hierarchy plus scalar
+// operation counts; it is the raw material of the energy model (the
+// Accelergy substitute).
+// Counts are float64: end-to-end totals (instances x epochs x per-op
+// volumes) overflow int64 for the largest modelled workloads, and energy
+// accounting does not need exact integers.
+type Traffic struct {
+	// DRAMBytes is the off-chip volume moved (reads + writes).
+	DRAMBytes float64
+	// BufferBytes is the global on-chip buffer volume (reads + writes).
+	BufferBytes float64
+	// RegBytes is the register-file volume (reads + writes).
+	RegBytes float64
+	// MACs counts multiply-accumulate operations.
+	MACs float64
+	// VectorOps counts non-MAC scalar operations.
+	VectorOps float64
+}
+
+// Add accumulates other into t.
+func (t *Traffic) Add(other Traffic) {
+	t.DRAMBytes += other.DRAMBytes
+	t.BufferBytes += other.BufferBytes
+	t.RegBytes += other.RegBytes
+	t.MACs += other.MACs
+	t.VectorOps += other.VectorOps
+}
+
+// Scale multiplies every count by k (e.g. the repeat factor of an outer
+// tile loop) and returns the result.
+func (t Traffic) Scale(k float64) Traffic {
+	return Traffic{
+		DRAMBytes:   t.DRAMBytes * k,
+		BufferBytes: t.BufferBytes * k,
+		RegBytes:    t.RegBytes * k,
+		MACs:        t.MACs * k,
+		VectorOps:   t.VectorOps * k,
+	}
+}
+
+// Energy is the per-component energy breakdown in picojoules — the Figure 13
+// decomposition (DRAM / global buffer / register file / PE arrays).
+type Energy struct {
+	DRAM   float64
+	Buffer float64
+	Reg    float64
+	PE     float64
+}
+
+// Total sums the components.
+func (e Energy) Total() float64 { return e.DRAM + e.Buffer + e.Reg + e.PE }
+
+// Add accumulates other into e.
+func (e *Energy) Add(other Energy) {
+	e.DRAM += other.DRAM
+	e.Buffer += other.Buffer
+	e.Reg += other.Reg
+	e.PE += other.PE
+}
+
+// Energy prices the traffic under the spec's energy table.
+func (t Traffic) Energy(spec arch.Spec) Energy {
+	et := spec.Energy
+	return Energy{
+		DRAM:   t.DRAMBytes * et.DRAMPerByte,
+		Buffer: t.BufferBytes * et.BufferPerByte,
+		Reg:    t.RegBytes * et.RegPerByte,
+		PE:     t.MACs*et.MACOp + t.VectorOps*et.VectorOp,
+	}
+}
+
+// OpTraffic returns the on-chip traffic and operation counts of executing
+// the op once. The kind parameter identifies the executing array for
+// symmetry with Cycles; the access counting itself is array-independent
+// (a MAC costs MAC energy wherever it runs). DRAM traffic is deliberately
+// zero here:
+// which tensors cross the off-chip boundary is a property of the dataflow
+// (fusion decisions), not of the operation, and is accounted by the
+// dataflow models in internal/baselines and internal/pipeline.
+//
+// Accounting:
+//   - every scalar map operation costs three register-file accesses (two
+//     operand reads and a write/accumulate);
+//   - every distinct input tensor is read from the buffer once and the
+//     output written once per execution; fusedOperands names input tensors
+//     that stay in the register file between producer and consumer (the
+//     FuseMax-style in-register retention) and are therefore not charged
+//     buffer traffic.
+func OpTraffic(o OpSpec, spec arch.Spec, kind ArrayKind, fusedOperands map[string]bool) Traffic {
+	load := float64(o.Load())
+	bytes := float64(spec.BytesPerElement)
+	var tr Traffic
+	tr.RegBytes = 3 * load * bytes
+	if o.E.Class() == einsum.ClassContraction {
+		tr.MACs = load
+	} else {
+		tr.VectorOps = load
+	}
+	bufElems := float64(o.OutputElems())
+	seen := make(map[string]bool, len(o.E.Inputs))
+	for _, in := range o.E.Inputs {
+		if seen[in.Tensor] || fusedOperands[in.Tensor] {
+			continue
+		}
+		seen[in.Tensor] = true
+		n := 1.0
+		for _, idx := range in.Idx {
+			n *= float64(o.Dims[idx])
+		}
+		bufElems += n
+	}
+	tr.BufferBytes = bufElems * bytes
+	return tr
+}

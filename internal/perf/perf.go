@@ -1,0 +1,204 @@
+// Package perf is the analytical performance model — the repository's
+// substitute for the Timeloop + Accelergy simulators the paper uses. It
+// implements the paper's own latency formulation (Eqs. 40–42: compute load =
+// product of output dims × reduction dims, cycles = load / assigned PEs)
+// plus a roofline composition against DRAM bandwidth, and an energy model
+// built from per-component access counts (DRAM / global buffer / register
+// file / PE arrays) priced by the arch.EnergyTable.
+//
+// The model captures the mechanisms every result in the paper's evaluation
+// depends on:
+//
+//   - GEMM-like contractions run at full rate on the 2D array and are
+//     hopeless on the 256-lane 1D array;
+//   - streaming vector work (softmax, LayerNorm, activations) runs at one
+//     element per lane per cycle on the 1D array and with a fixed emulation
+//     penalty on the 2D array — so offloading vector work to the 2D array
+//     wins on cloud (65536 PEs) and loses on edge (256 PEs), which is
+//     exactly the asymmetry DPipe exploits (§6.2, "Utilization");
+//   - phases are memory-bound when their DRAM traffic outweighs compute
+//     (roofline max), which is what makes fusion matter at short sequences.
+package perf
+
+import (
+	"fmt"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/einsum"
+)
+
+// ArrayKind selects the PE array an operation runs on.
+type ArrayKind int
+
+const (
+	// PE2D is the matrix array.
+	PE2D ArrayKind = iota
+	// PE1D is the streaming/vector array.
+	PE1D
+	numArrays = 2
+)
+
+// String names the array.
+func (k ArrayKind) String() string {
+	if k == PE2D {
+		return "2D"
+	}
+	return "1D"
+}
+
+// Vector2DPenalty is the cycle multiplier for running a vector-class scalar
+// operation on the 2D MAC array: exp/div/max are emulated with short
+// polynomial/iterative sequences rather than single MACs.
+const Vector2DPenalty = 8.0
+
+// Contraction1DPenalty is the cycle multiplier for running a
+// multiply-accumulate contraction on the 1D array. The 1D array's lanes are
+// vector MAC units (FuseMax already runs multiply-accumulate softmax stages
+// on it), but they lack the systolic operand-reuse network, so a contraction
+// pays a modest inefficiency. Keeping this close to 1 is what lets DPipe
+// shift matrix work onto the otherwise idle 1D array on edge devices, where
+// the two arrays have comparable PE counts (§6.2, "Utilization").
+const Contraction1DPenalty = 1.25
+
+// OpSpec is one Einsum bound to concrete dimension extents and a Table 1
+// style PE mapping. It is the unit the DPipe scheduler and the baseline
+// dataflows cost.
+type OpSpec struct {
+	// E is the Einsum being executed.
+	E *einsum.Einsum
+	// Dims gives the extent of every index label of E for one execution.
+	Dims map[string]int
+	// RowIdx and ColIdx are the index labels mapped onto 2D PE rows and
+	// columns (Table 1). Empty mappings fall back to output-size capping.
+	RowIdx []string
+	ColIdx []string
+}
+
+// Load returns the Eq. 40 compute load for one execution.
+func (o OpSpec) Load() int64 { return o.E.ComputeLoad(o.Dims) }
+
+// OutputElems returns the number of output elements for one execution.
+func (o OpSpec) OutputElems() int64 { return o.E.OutputSize(o.Dims) }
+
+// InputElems returns the total number of input elements read (distinct
+// tensors, each counted once at its addressed size).
+func (o OpSpec) InputElems() int64 {
+	seen := make(map[string]bool, len(o.E.Inputs))
+	total := int64(0)
+	for _, in := range o.E.Inputs {
+		if seen[in.Tensor] {
+			continue
+		}
+		seen[in.Tensor] = true
+		n := int64(1)
+		for _, idx := range in.Idx {
+			n *= int64(o.Dims[idx])
+		}
+		total += n
+	}
+	return total
+}
+
+func extent(idx []string, dims map[string]int) int64 {
+	p := int64(1)
+	for _, i := range idx {
+		if s, ok := dims[i]; ok {
+			p *= int64(s)
+		}
+	}
+	return p
+}
+
+// NumPEs implements the Table 1 mapping: on the 2D array the row-mapped and
+// column-mapped index extents are capped by the array geometry; on the 1D
+// array the row-mapped extent (and, when lanes remain, the column extents —
+// §3.3's "further unfolds computation along dimensions originally assigned
+// to 2D PE columns") is capped by the lane count. Without an explicit
+// mapping the parallelism is capped by the output size.
+func (o OpSpec) NumPEs(spec arch.Spec, kind ArrayKind) int64 {
+	switch kind {
+	case PE2D:
+		if len(o.RowIdx) == 0 && len(o.ColIdx) == 0 {
+			return minI64(int64(spec.PE2D.NumPEs()), o.OutputElems())
+		}
+		rows := minI64(int64(spec.PE2D.Rows), extent(o.RowIdx, o.Dims))
+		cols := minI64(int64(spec.PE2D.Cols), extent(o.ColIdx, o.Dims))
+		return maxI64(1, rows*cols)
+	default:
+		par := o.OutputElems()
+		if len(o.RowIdx) > 0 || len(o.ColIdx) > 0 {
+			par = extent(o.RowIdx, o.Dims) * extent(o.ColIdx, o.Dims)
+		}
+		return maxI64(1, minI64(int64(spec.PE1DLanes), par))
+	}
+}
+
+// Cycles implements Eqs. 41–42 in clock-cycle units: load divided by the
+// assigned PE count, with the vector-emulation penalty applied when a
+// vector-class op runs on the 2D array.
+func (o OpSpec) Cycles(spec arch.Spec, kind ArrayKind) float64 {
+	load := float64(o.Load())
+	pes := float64(o.NumPEs(spec, kind))
+	cycles := load / pes
+	switch {
+	case kind == PE2D && o.E.Class() == einsum.ClassVector:
+		cycles *= Vector2DPenalty
+	case kind == PE1D && o.E.Class() == einsum.ClassContraction:
+		cycles *= Contraction1DPenalty
+	}
+	return cycles
+}
+
+// BestArray returns the array with the lower cycle count for this op and
+// that count; used by schedulers that are free to choose.
+func (o OpSpec) BestArray(spec arch.Spec) (ArrayKind, float64) {
+	c2 := o.Cycles(spec, PE2D)
+	c1 := o.Cycles(spec, PE1D)
+	if c2 <= c1 {
+		return PE2D, c2
+	}
+	return PE1D, c1
+}
+
+// Validate checks the op is well-formed under its dimension environment.
+func (o OpSpec) Validate() error {
+	if o.E == nil {
+		return fmt.Errorf("perf: OpSpec with nil einsum")
+	}
+	return o.E.Validate(o.Dims)
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SecondsFromCycles converts a cycle count to seconds under the spec clock.
+func SecondsFromCycles(cycles float64, spec arch.Spec) float64 {
+	return cycles / spec.ClockHz
+}
+
+// DRAMCycles converts a DRAM byte volume to the equivalent cycle count at
+// the spec's bandwidth and clock (bytes / BW * clock).
+func DRAMCycles(bytes int64, spec arch.Spec) float64 {
+	return float64(bytes) / spec.DRAMBandwidth * spec.ClockHz
+}
+
+// Roofline composes a compute time with a DRAM-streaming time assuming
+// double-buffered overlap: the phase takes the maximum of the two.
+func Roofline(computeCycles float64, dramBytes int64, spec arch.Spec) float64 {
+	d := DRAMCycles(dramBytes, spec)
+	if d > computeCycles {
+		return d
+	}
+	return computeCycles
+}

@@ -1,0 +1,273 @@
+package perf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/einsum"
+)
+
+func gemmOp(m, k, n int) OpSpec {
+	return OpSpec{
+		E:      einsum.MustParse("C = A[m,k] * B[k,n] -> [m,n]"),
+		Dims:   map[string]int{"m": m, "k": k, "n": n},
+		RowIdx: []string{"m"},
+		ColIdx: []string{"n"},
+	}
+}
+
+// vecOp builds a vector-class op over p x q elements mapped rows=p, cols=q,
+// mirroring how the cascades map streaming work (e.g. LayerNorm: p -> rows,
+// (h,f) -> columns per Table 1).
+func vecOp2(p, q int) OpSpec {
+	return OpSpec{
+		E:      einsum.Map("Y", []string{"p", "q"}, einsum.ExpSub, einsum.In("X", "p", "q"), einsum.In("M", "p")),
+		Dims:   map[string]int{"p": p, "q": q},
+		RowIdx: []string{"p"},
+		ColIdx: []string{"q"},
+	}
+}
+
+func vecOp(n int) OpSpec { return vecOp2(n, 1) }
+
+func TestLoadMatchesEq40(t *testing.T) {
+	o := gemmOp(128, 64, 256)
+	if got := o.Load(); got != 128*64*256 {
+		t.Fatalf("Load = %d", got)
+	}
+	if got := o.OutputElems(); got != 128*256 {
+		t.Fatalf("OutputElems = %d", got)
+	}
+	if got := o.InputElems(); got != 128*64+64*256 {
+		t.Fatalf("InputElems = %d", got)
+	}
+}
+
+func TestNumPEsMappingCaps(t *testing.T) {
+	cloud := arch.Cloud()
+	// Large GEMM saturates the array.
+	big := gemmOp(1024, 64, 1024)
+	if got := big.NumPEs(cloud, PE2D); got != 256*256 {
+		t.Fatalf("big GEMM NumPEs = %d, want 65536", got)
+	}
+	// Small row extent underutilises rows.
+	small := gemmOp(4, 64, 1024)
+	if got := small.NumPEs(cloud, PE2D); got != 4*256 {
+		t.Fatalf("small GEMM NumPEs = %d, want 1024", got)
+	}
+	// 1D array capped by lanes.
+	v := vecOp(100000)
+	if got := v.NumPEs(cloud, PE1D); got != 256 {
+		t.Fatalf("1D NumPEs = %d, want 256", got)
+	}
+	if got := vecOp(10).NumPEs(cloud, PE1D); got != 10 {
+		t.Fatalf("small 1D NumPEs = %d, want 10", got)
+	}
+}
+
+func TestNumPEsFallbackWithoutMapping(t *testing.T) {
+	o := gemmOp(1024, 64, 1024)
+	o.RowIdx, o.ColIdx = nil, nil
+	cloud := arch.Cloud()
+	if got := o.NumPEs(cloud, PE2D); got != 256*256 {
+		t.Fatalf("fallback NumPEs = %d", got)
+	}
+	small := gemmOp(4, 64, 4)
+	small.RowIdx, small.ColIdx = nil, nil
+	if got := small.NumPEs(cloud, PE2D); got != 16 {
+		t.Fatalf("fallback small NumPEs = %d, want output size 16", got)
+	}
+}
+
+func TestCyclesEq41(t *testing.T) {
+	cloud := arch.Cloud()
+	o := gemmOp(1024, 64, 1024)
+	want := float64(1024*64*1024) / float64(256*256)
+	if got := o.Cycles(cloud, PE2D); got != want {
+		t.Fatalf("Cycles = %v, want %v", got, want)
+	}
+}
+
+func TestVectorPenaltyOn2D(t *testing.T) {
+	cloud := arch.Cloud()
+	v := vecOp2(1024, 1024)
+	c2 := v.Cycles(cloud, PE2D)
+	c1 := v.Cycles(cloud, PE1D)
+	// On cloud the 2D array has 256x more lanes; even with the penalty it
+	// should beat the 1D array for large row x column vector work.
+	if c2 >= c1 {
+		t.Fatalf("cloud: vector on 2D (%v) not faster than 1D (%v)", c2, c1)
+	}
+	edge := arch.Edge()
+	e2 := v.Cycles(edge, PE2D)
+	e1 := v.Cycles(edge, PE1D)
+	// On edge the arrays have equal PE counts, so the penalty must make the
+	// 1D array the right home for vector work.
+	if e1 >= e2 {
+		t.Fatalf("edge: vector on 1D (%v) not faster than 2D (%v)", e1, e2)
+	}
+}
+
+func TestContractionHopelessOn1D(t *testing.T) {
+	cloud := arch.Cloud()
+	o := gemmOp(1024, 64, 1024)
+	if o.Cycles(cloud, PE1D) <= o.Cycles(cloud, PE2D) {
+		t.Fatal("GEMM on the 1D array should be far slower than on the 2D array")
+	}
+}
+
+func TestBestArray(t *testing.T) {
+	cloud := arch.Cloud()
+	kind, cycles := gemmOp(1024, 64, 1024).BestArray(cloud)
+	if kind != PE2D {
+		t.Fatalf("GEMM best array = %v", kind)
+	}
+	if cycles <= 0 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+	edge := arch.Edge()
+	kind, _ = vecOp(1 << 16).BestArray(edge)
+	if kind != PE1D {
+		t.Fatalf("edge vector best array = %v", kind)
+	}
+}
+
+func TestRoofline(t *testing.T) {
+	cloud := arch.Cloud()
+	// Tiny compute, huge traffic: memory bound.
+	if got := Roofline(10, 1<<30, cloud); got != DRAMCycles(1<<30, cloud) {
+		t.Fatalf("memory-bound roofline = %v", got)
+	}
+	// Huge compute, tiny traffic: compute bound.
+	if got := Roofline(1e12, 16, cloud); got != 1e12 {
+		t.Fatalf("compute-bound roofline = %v", got)
+	}
+}
+
+func TestDRAMCyclesAndSeconds(t *testing.T) {
+	cloud := arch.Cloud()
+	// 400 GB at 400 GB/s = 1 s = ClockHz cycles.
+	cycles := DRAMCycles(400e9, cloud)
+	if cycles != cloud.ClockHz {
+		t.Fatalf("DRAMCycles = %v, want %v", cycles, cloud.ClockHz)
+	}
+	if got := SecondsFromCycles(cloud.ClockHz, cloud); got != 1 {
+		t.Fatalf("SecondsFromCycles = %v, want 1", got)
+	}
+}
+
+func TestOpTrafficAccounting(t *testing.T) {
+	cloud := arch.Cloud()
+	o := gemmOp(8, 4, 16)
+	tr := OpTraffic(o, cloud, PE2D, nil)
+	load := float64(8 * 4 * 16)
+	if tr.MACs != load || tr.VectorOps != 0 {
+		t.Fatalf("GEMM on 2D: MACs=%v VectorOps=%v", tr.MACs, tr.VectorOps)
+	}
+	if tr.RegBytes != 3*load*2 {
+		t.Fatalf("RegBytes = %v", tr.RegBytes)
+	}
+	wantBuf := float64(8*4+4*16+8*16) * 2
+	if tr.BufferBytes != wantBuf {
+		t.Fatalf("BufferBytes = %v, want %v", tr.BufferBytes, wantBuf)
+	}
+	if tr.DRAMBytes != 0 {
+		t.Fatal("OpTraffic must not charge DRAM traffic")
+	}
+	// The op-count accounting is array-independent: a contraction's MACs
+	// cost MAC energy wherever the schedule places them.
+	tr1 := OpTraffic(o, cloud, PE1D, nil)
+	if tr1.MACs != load || tr1.VectorOps != 0 {
+		t.Fatalf("GEMM on 1D: MACs=%v VectorOps=%v", tr1.MACs, tr1.VectorOps)
+	}
+}
+
+func TestOpTrafficFusedOperandSkipsBuffer(t *testing.T) {
+	cloud := arch.Cloud()
+	o := gemmOp(8, 4, 16)
+	full := OpTraffic(o, cloud, PE2D, nil)
+	fused := OpTraffic(o, cloud, PE2D, map[string]bool{"A": true})
+	saved := float64(8*4) * 2
+	if full.BufferBytes-fused.BufferBytes != saved {
+		t.Fatalf("fused operand saved %v buffer bytes, want %v", full.BufferBytes-fused.BufferBytes, saved)
+	}
+}
+
+func TestTrafficAddScaleEnergy(t *testing.T) {
+	a := Traffic{DRAMBytes: 1, BufferBytes: 2, RegBytes: 3, MACs: 4, VectorOps: 5}
+	b := a
+	b.Add(a)
+	if b.DRAMBytes != 2 || b.VectorOps != 10 {
+		t.Fatalf("Add = %+v", b)
+	}
+	s := a.Scale(10)
+	if s.MACs != 40 || s.BufferBytes != 20 {
+		t.Fatalf("Scale = %+v", s)
+	}
+	cloud := arch.Cloud()
+	e := a.Energy(cloud)
+	et := cloud.Energy
+	if e.DRAM != 1*et.DRAMPerByte || e.Buffer != 2*et.BufferPerByte ||
+		e.Reg != 3*et.RegPerByte || e.PE != 4*et.MACOp+5*et.VectorOp {
+		t.Fatalf("Energy = %+v", e)
+	}
+	if e.Total() != e.DRAM+e.Buffer+e.Reg+e.PE {
+		t.Fatal("Total mismatch")
+	}
+	var acc Energy
+	acc.Add(e)
+	acc.Add(e)
+	if acc.DRAM != 2*e.DRAM {
+		t.Fatalf("Energy.Add = %+v", acc)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := gemmOp(2, 2, 2).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := OpSpec{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("nil einsum accepted")
+	}
+	missing := gemmOp(2, 2, 2)
+	delete(missing.Dims, "k")
+	if err := missing.Validate(); err == nil {
+		t.Fatal("missing dim accepted")
+	}
+}
+
+// Property (Eq. 41 monotonicity): more PEs never increases cycles.
+func TestQuickMorePEsNoSlower(t *testing.T) {
+	f := func(mRaw, nRaw, kRaw uint8) bool {
+		m, n, k := int(mRaw)+1, int(nRaw)+1, int(kRaw)+1
+		o := gemmOp(m, k, n)
+		small := arch.Edge()
+		big := arch.Cloud()
+		return o.Cycles(big, PE2D) <= o.Cycles(small, PE2D)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: roofline is monotone in both compute and traffic.
+func TestQuickRooflineMonotone(t *testing.T) {
+	cloud := arch.Cloud()
+	f := func(cRaw uint16, bRaw uint32) bool {
+		c := float64(cRaw)
+		b := int64(bRaw)
+		base := Roofline(c, b, cloud)
+		return Roofline(c+1, b, cloud) >= base && Roofline(c, b+1024, cloud) >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArrayKindString(t *testing.T) {
+	if PE2D.String() != "2D" || PE1D.String() != "1D" {
+		t.Fatal("ArrayKind names wrong")
+	}
+}

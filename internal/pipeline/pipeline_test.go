@@ -1,0 +1,459 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/model"
+	"github.com/fusedmindlab/transfusion/internal/tiling"
+)
+
+func fastOpts() Options {
+	o := DefaultOptions()
+	o.TileSeekIterations = 24
+	return o
+}
+
+func bertWorkload(n int) Workload {
+	return Workload{Model: model.BERT(), SeqLen: n, Batch: 64}
+}
+
+func evalAll(t *testing.T, w Workload, spec arch.Spec) map[string]Result {
+	t.Helper()
+	out := make(map[string]Result, 5)
+	for _, sys := range AllSystems() {
+		r, err := Evaluate(w, spec, sys, fastOpts())
+		if err != nil {
+			t.Fatalf("%s on %s: %v", sys.Name, spec.Name, err)
+		}
+		out[sys.Name] = r
+	}
+	return out
+}
+
+func TestSystemsValidate(t *testing.T) {
+	for _, s := range AllSystems() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	bad := System{Name: "x", FuseLayer: true}
+	if err := bad.Validate(); err == nil {
+		t.Error("layer fusion without attention fusion accepted")
+	}
+	bad2 := System{Name: "y", StreamingAttention: true}
+	if err := bad2.Validate(); err == nil {
+		t.Error("streaming without fusion accepted")
+	}
+	if _, err := SystemByName("transfusion"); err != nil {
+		t.Error(err)
+	}
+	if _, err := SystemByName("nope"); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestSchedulerString(t *testing.T) {
+	if SchedSequential.String() != "sequential" || SchedStatic.String() != "static-pipeline" || SchedDPipe.String() != "dpipe" {
+		t.Fatal("scheduler names wrong")
+	}
+}
+
+func TestAllSystemsEvaluate(t *testing.T) {
+	for _, spec := range []arch.Spec{arch.Cloud(), arch.Edge()} {
+		results := evalAll(t, bertWorkload(4096), spec)
+		for name, r := range results {
+			if r.TotalCycles <= 0 || math.IsNaN(r.TotalCycles) || math.IsInf(r.TotalCycles, 0) {
+				t.Errorf("%s/%s: TotalCycles = %v", spec.Name, name, r.TotalCycles)
+			}
+			if r.Seconds <= 0 {
+				t.Errorf("%s/%s: Seconds = %v", spec.Name, name, r.Seconds)
+			}
+			if r.Energy.Total() <= 0 {
+				t.Errorf("%s/%s: Energy = %v", spec.Name, name, r.Energy.Total())
+			}
+			for _, u := range []float64{r.Utilization1D(), r.Utilization2D()} {
+				if u < 0 || u > 1+1e-9 {
+					t.Errorf("%s/%s: utilization %v out of range", spec.Name, name, u)
+				}
+			}
+		}
+	}
+}
+
+// Dominance invariants that must hold by construction:
+//   - FuseMax never loses to Unfused (it strictly removes traffic and adds
+//     overlap in MHA, leaving the rest identical);
+//   - LayerFuse never loses to FuseMax (same compute, strictly less DRAM);
+//   - TransFusion never loses to LayerFuse (DPipe subsumes the static
+//     schedule among its candidates, TileSeek is seeded with the heuristic
+//     tile).
+func TestSystemDominance(t *testing.T) {
+	const slack = 1.001
+	for _, spec := range []arch.Spec{arch.Cloud(), arch.Edge()} {
+		for _, n := range []int{4096, 65536} {
+			r := evalAll(t, bertWorkload(n), spec)
+			if r["fusemax"].TotalCycles > r["unfused"].TotalCycles*slack {
+				t.Errorf("%s/%d: fusemax (%v) worse than unfused (%v)", spec.Name, n,
+					r["fusemax"].TotalCycles, r["unfused"].TotalCycles)
+			}
+			if r["fusemax+layerfuse"].TotalCycles > r["fusemax"].TotalCycles*slack {
+				t.Errorf("%s/%d: layerfuse (%v) worse than fusemax (%v)", spec.Name, n,
+					r["fusemax+layerfuse"].TotalCycles, r["fusemax"].TotalCycles)
+			}
+			if r["transfusion"].TotalCycles > r["fusemax+layerfuse"].TotalCycles*slack {
+				t.Errorf("%s/%d: transfusion (%v) worse than layerfuse (%v)", spec.Name, n,
+					r["transfusion"].TotalCycles, r["fusemax+layerfuse"].TotalCycles)
+			}
+		}
+	}
+}
+
+// The paper's headline cloud trends: TransFusion beats FuseMax, and the
+// FLAT gap widens with sequence length (full-softmax row residency
+// collapses FLAT's utilisation at long sequences).
+func TestCloudTrendShapes(t *testing.T) {
+	cloud := arch.Cloud()
+	short := evalAll(t, bertWorkload(4096), cloud)
+	long := evalAll(t, bertWorkload(262144), cloud)
+
+	if s := short["transfusion"].Speedup(short["fusemax"]); s < 1.05 {
+		t.Errorf("short: TransFusion/FuseMax = %v, want > 1.05", s)
+	}
+	gapShort := short["transfusion"].Speedup(short["flat"])
+	gapLong := long["transfusion"].Speedup(long["flat"])
+	if gapLong <= gapShort {
+		t.Errorf("FLAT gap did not widen with sequence length: %v -> %v", gapShort, gapLong)
+	}
+
+	// Layer fusion's benefit over plain FuseMax shrinks as compute comes to
+	// dominate (§6.2: "its benefit diminishes as sequence length increases").
+	lfShort := short["fusemax"].TotalCycles / short["fusemax+layerfuse"].TotalCycles
+	lfLong := long["fusemax"].TotalCycles / long["fusemax+layerfuse"].TotalCycles
+	if lfLong > lfShort+1e-9 {
+		t.Errorf("layer-fusion benefit grew with sequence length: %v -> %v", lfShort, lfLong)
+	}
+}
+
+// Edge: DPipe's matrix spill onto the 1D array must produce a clear win and
+// a busy 1D array (§6.2's 82% 1D utilization narrative).
+func TestEdgeSpillShape(t *testing.T) {
+	edge := arch.Edge()
+	r := evalAll(t, bertWorkload(65536), edge)
+	if s := r["transfusion"].Speedup(r["fusemax"]); s < 1.2 {
+		t.Errorf("edge TransFusion/FuseMax = %v, want >= 1.2", s)
+	}
+	if u := r["transfusion"].Utilization1D(); u < 0.3 {
+		t.Errorf("edge TransFusion 1D utilization = %v, want substantial", u)
+	}
+	if u := r["fusemax"].Utilization1D(); u > 0.5 {
+		t.Errorf("edge FuseMax 1D utilization = %v, expected mostly idle", u)
+	}
+}
+
+func TestEnergyOrdering(t *testing.T) {
+	cloud := arch.Cloud()
+	r := evalAll(t, bertWorkload(65536), cloud)
+	// Fusion eliminates DRAM round trips: DRAM energy must shrink
+	// monotonically from Unfused through the fused systems.
+	if !(r["unfused"].Energy.DRAM > r["fusemax"].Energy.DRAM) {
+		t.Errorf("DRAM energy: unfused %v <= fusemax %v", r["unfused"].Energy.DRAM, r["fusemax"].Energy.DRAM)
+	}
+	if !(r["fusemax"].Energy.DRAM >= r["fusemax+layerfuse"].Energy.DRAM) {
+		t.Errorf("DRAM energy: fusemax %v < layerfuse %v", r["fusemax"].Energy.DRAM, r["fusemax+layerfuse"].Energy.DRAM)
+	}
+	// Total energy strictly positive in every component.
+	e := r["transfusion"].Energy
+	if e.DRAM <= 0 || e.Buffer <= 0 || e.Reg <= 0 || e.PE <= 0 {
+		t.Errorf("energy components must be positive: %+v", e)
+	}
+}
+
+func TestResultAccounting(t *testing.T) {
+	cloud := arch.Cloud()
+	r, err := Evaluate(bertWorkload(4096), cloud, FuseMax(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TotalCycles must equal the sum over phases of instances x layers x
+	// rooflined per-instance time.
+	sum := 0.0
+	for _, ph := range r.Phases {
+		sum += ph.TimeCycles * float64(ph.Instances) * float64(r.Workload.Model.Layers)
+	}
+	if math.Abs(sum-r.TotalCycles)/r.TotalCycles > 1e-9 {
+		t.Fatalf("phase sum %v != total %v", sum, r.TotalCycles)
+	}
+	// Layer attribution covers the whole latency.
+	var lsum float64
+	for _, c := range r.LayerCycles {
+		lsum += c
+	}
+	if math.Abs(lsum-r.TotalCycles)/r.TotalCycles > 1e-6 {
+		t.Fatalf("layer attribution %v != total %v", lsum, r.TotalCycles)
+	}
+}
+
+func TestContributionSumsToOne(t *testing.T) {
+	cloud := arch.Cloud()
+	base, err := Evaluate(bertWorkload(4096), cloud, FuseMax(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := Evaluate(bertWorkload(4096), cloud, TransFusion(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	contrib := tf.Contribution(base)
+	sum := 0.0
+	for _, c := range contrib {
+		if c < 0 {
+			t.Fatalf("negative contribution: %v", contrib)
+		}
+		sum += c
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("contributions sum to %v, want 1", sum)
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	cloud := arch.Cloud()
+	a, err := Evaluate(bertWorkload(4096), cloud, TransFusion(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(bertWorkload(4096), cloud, TransFusion(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCycles != b.TotalCycles || a.Tile != b.Tile {
+		t.Fatalf("nondeterministic evaluation: %v/%v vs %v/%v", a.TotalCycles, a.Tile, b.TotalCycles, b.Tile)
+	}
+}
+
+func TestEvaluateWithTileRejectsInfeasible(t *testing.T) {
+	w := bertWorkload(4096)
+	// A tile that exceeds the edge buffer.
+	tile := tiling.Config{B: 64, D: 768, P: 4096, M1: 64, M0: 64, S: 3072}
+	if _, err := EvaluateWithTile(w, arch.Edge(), FuseMax(), tile, fastOpts()); err == nil {
+		t.Fatal("infeasible tile accepted")
+	}
+	// A structurally invalid tile.
+	bad := tiling.Config{B: 0, D: 768, P: 256, M1: 1, M0: 64, S: 512}
+	if _, err := EvaluateWithTile(w, arch.Cloud(), FuseMax(), bad, fastOpts()); err == nil {
+		t.Fatal("invalid tile accepted")
+	}
+}
+
+func TestEvaluateRejectsBadInputs(t *testing.T) {
+	cloud := arch.Cloud()
+	if _, err := Evaluate(Workload{Model: model.BERT(), SeqLen: 0, Batch: 64}, cloud, FuseMax(), fastOpts()); err == nil {
+		t.Fatal("zero sequence accepted")
+	}
+	if _, err := Evaluate(bertWorkload(4096), cloud, System{}, fastOpts()); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	badSpec := cloud
+	badSpec.PE1DLanes = 0
+	if _, err := Evaluate(bertWorkload(4096), badSpec, FuseMax(), fastOpts()); err == nil {
+		t.Fatal("invalid arch accepted")
+	}
+}
+
+func TestTransFusionRecordsSearchEvals(t *testing.T) {
+	r, err := Evaluate(bertWorkload(4096), arch.Cloud(), TransFusion(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TileSearchEvals < 1 {
+		t.Fatalf("TileSearchEvals = %d", r.TileSearchEvals)
+	}
+	base, err := Evaluate(bertWorkload(4096), arch.Cloud(), FuseMax(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.TileSearchEvals != 0 {
+		t.Fatalf("baseline recorded search evals: %d", base.TileSearchEvals)
+	}
+}
+
+func TestLayerKindString(t *testing.T) {
+	want := []string{"QKV", "MHA", "Add&LayerNorm", "FFN"}
+	for i, k := range LayerKinds() {
+		if k.String() != want[i] {
+			t.Fatalf("LayerKind %d = %q", i, k.String())
+		}
+	}
+}
+
+// The MHA share of latency must grow with sequence length (quadratic vs
+// linear terms) — the mechanism behind Figure 11's shift from LayerNorm/FFN
+// gains to MHA-dominated gains.
+func TestMHAShareGrowsWithSequence(t *testing.T) {
+	cloud := arch.Cloud()
+	short, err := Evaluate(bertWorkload(1024), cloud, TransFusion(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Evaluate(bertWorkload(262144), cloud, TransFusion(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shareShort := short.LayerCycles[LayerMHA] / short.TotalCycles
+	shareLong := long.LayerCycles[LayerMHA] / long.TotalCycles
+	if shareLong <= shareShort {
+		t.Fatalf("MHA share did not grow: %v -> %v", shareShort, shareLong)
+	}
+}
+
+func TestAllModelsAllArchesEvaluate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full model sweep in short mode")
+	}
+	opts := fastOpts()
+	opts.TileSeekIterations = 8
+	for _, spec := range []arch.Spec{arch.Cloud(), arch.Edge(), arch.Edge32(), arch.Edge64()} {
+		for _, m := range model.All() {
+			w := Workload{Model: m, SeqLen: 65536, Batch: 64}
+			for _, sys := range []System{Unfused(), FuseMax(), TransFusion()} {
+				if _, err := Evaluate(w, spec, sys, opts); err != nil {
+					t.Errorf("%s/%s/%s: %v", spec.Name, m.Name, sys.Name, err)
+				}
+			}
+		}
+	}
+}
+
+// Property: longer sequences never get cheaper (work is monotone in N).
+func TestQuickSeqMonotonicity(t *testing.T) {
+	cloud := arch.Cloud()
+	opts := fastOpts()
+	seqs := []int{1024, 4096, 16384, 65536}
+	var prev float64
+	for i, n := range seqs {
+		r, err := Evaluate(bertWorkload(n), cloud, FuseMax(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && r.TotalCycles < prev {
+			t.Fatalf("cycles decreased from seq %d to %d: %v -> %v", seqs[i-1], n, prev, r.TotalCycles)
+		}
+		prev = r.TotalCycles
+	}
+}
+
+// Property: more DRAM bandwidth never slows any system down.
+func TestBandwidthMonotonicity(t *testing.T) {
+	base := arch.Edge()
+	fast := base
+	fast.Name = "edge-fastmem"
+	fast.DRAMBandwidth *= 4
+	for _, sys := range []System{Unfused(), FuseMax()} {
+		slow, err := Evaluate(bertWorkload(4096), base, sys, fastOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		quick, err := Evaluate(bertWorkload(4096), fast, sys, fastOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if quick.TotalCycles > slow.TotalCycles*1.001 {
+			t.Fatalf("%s: 4x bandwidth made it slower: %v -> %v", sys.Name, slow.TotalCycles, quick.TotalCycles)
+		}
+	}
+}
+
+// Property: a custom model with identical hyper-parameters to a zoo model
+// produces identical results (the evaluation depends only on shapes).
+func TestCustomModelEquivalence(t *testing.T) {
+	custom, err := model.Custom("bertclone", 12, 64, 3072, 12, "gelu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Evaluate(Workload{Model: model.BERT(), SeqLen: 4096, Batch: 64}, arch.Cloud(), FuseMax(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(Workload{Model: custom, SeqLen: 4096, Batch: 64}, arch.Cloud(), FuseMax(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCycles != b.TotalCycles || a.Energy.Total() != b.Energy.Total() {
+		t.Fatalf("clone differs: %v/%v vs %v/%v", a.TotalCycles, a.Energy.Total(), b.TotalCycles, b.Energy.Total())
+	}
+}
+
+// The three TileSeek objectives all produce valid, deterministic runs, and
+// the energy objective never picks a higher-energy tile than the latency
+// objective picks (given the shared heuristic seeding, both are upper-
+// bounded by the heuristic; energy-mode search can only improve energy).
+func TestTileSeekObjectives(t *testing.T) {
+	edge := arch.Edge()
+	results := map[Objective]Result{}
+	for _, obj := range []Objective{ObjectiveEDP, ObjectiveLatency, ObjectiveEnergy} {
+		opts := fastOpts()
+		opts.TileSeekObjective = obj
+		r, err := Evaluate(bertWorkload(16384), edge, TransFusion(), opts)
+		if err != nil {
+			t.Fatalf("%v: %v", obj, err)
+		}
+		results[obj] = r
+	}
+	// With heuristic seeding, the latency objective's cycles lower-bound
+	// the other modes' cycles only approximately; assert sanity instead:
+	// every mode produced finite positive results and the latency mode is
+	// not the slowest by more than 1%.
+	for obj, r := range results {
+		if r.TotalCycles <= 0 || r.Energy.Total() <= 0 {
+			t.Fatalf("%v: degenerate result", obj)
+		}
+	}
+	lat := results[ObjectiveLatency].TotalCycles
+	for obj, r := range results {
+		if lat > r.TotalCycles*1.01 {
+			t.Fatalf("latency objective (%v cycles) slower than %v objective (%v cycles)", lat, obj, r.TotalCycles)
+		}
+	}
+	if ObjectiveEDP.String() != "edp" || ObjectiveLatency.String() != "latency" || ObjectiveEnergy.String() != "energy" {
+		t.Fatal("objective names wrong")
+	}
+}
+
+// Integration: the schedulable problems must carry exactly the cascades'
+// body Einsums — the performance model schedules precisely the operations
+// the functional layer executes.
+func TestProblemsMirrorCascades(t *testing.T) {
+	w := bertWorkload(4096)
+	spec := arch.Cloud()
+	tile, err := tiling.HeuristicTile(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := BuildProblems(w, spec, TransFusion(), tile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := map[string][]string{
+		"qproj":  {"Q"},
+		"kvproj": {"BK", "BV"},
+		"mha":    {"BQK", "LM", "RM_next", "SLN", "SLD", "SLNV", "PRM", "SPD", "RD_next", "SPNV", "RNV_next"},
+		"ln":     {"IAV", "SAV", "MAV", "DAV", "QAV", "SQAV", "MQAV", "SR", "NR"},
+		"ffn":    {"FFN1", "FFN1B", "AR", "FFN2", "FFN2B"},
+	}
+	for name, want := range wantOps {
+		prob, ok := probs[name]
+		if !ok {
+			t.Fatalf("problem %q missing", name)
+		}
+		if len(prob.Ops) != len(want) {
+			t.Fatalf("%s: %d ops, want %d", name, len(prob.Ops), len(want))
+		}
+		for _, op := range want {
+			if _, ok := prob.Ops[op]; !ok {
+				t.Errorf("%s: op %q missing", name, op)
+			}
+		}
+	}
+}

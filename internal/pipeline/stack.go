@@ -1,0 +1,261 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/dpipe"
+	"github.com/fusedmindlab/transfusion/internal/perf"
+	"github.com/fusedmindlab/transfusion/internal/tiling"
+)
+
+// Encoder-decoder composition (§3.2): TransFusion "composes and reorders
+// Add & LayerNorm, FFN and MHA by their uniform input/output tensor shape,
+// supporting different model structures such as encoders, decoders, or
+// hybrid configurations". This file models a full encoder-decoder stack:
+//
+//	encoder:      Layers x [QKV -> MHA -> Add&LN -> FFN]         (bidirectional)
+//	decoder self: Layers x [QKV -> masked MHA -> Add&LN -> FFN]  (causal)
+//	decoder cross: Layers x [Q proj + memory K/V proj -> MHA -> Add&LN]
+//
+// The encoder and decoder-self parts reuse Evaluate directly; the
+// cross-attention part is the same phase machinery with the key/value
+// length decoupled from the query length (Workload.KVSeqLen).
+
+// StackResult aggregates an encoder-decoder evaluation.
+type StackResult struct {
+	// Encoder is the bidirectional encoder stack's evaluation.
+	Encoder Result
+	// DecoderSelf is the masked self-attention decoder stack's evaluation.
+	DecoderSelf Result
+	// DecoderCross is the cross-attention stage's evaluation (per decoder
+	// layer: query projection, memory K/V projection, MHA over the encoder
+	// memory, Add & LayerNorm).
+	DecoderCross Result
+	// TotalCycles / Seconds / Energy aggregate the three parts.
+	TotalCycles float64
+	Seconds     float64
+	Energy      perf.Energy
+}
+
+// EvaluateEncoderDecoder models a full encoder-decoder Transformer (equal
+// encoder and decoder depth, per the model configuration) with encSeq
+// source tokens and decSeq target tokens.
+func EvaluateEncoderDecoder(w Workload, encSeq, decSeq int, spec arch.Spec, sys System, opts Options) (StackResult, error) {
+	if encSeq <= 0 || decSeq <= 0 {
+		return StackResult{}, fmt.Errorf("pipeline: non-positive stack lengths enc=%d dec=%d", encSeq, decSeq)
+	}
+	var out StackResult
+	var err error
+
+	encW := w
+	encW.SeqLen = encSeq
+	encW.Causal = false
+	encW.KVSeqLen = 0
+	out.Encoder, err = Evaluate(encW, spec, sys, opts)
+	if err != nil {
+		return StackResult{}, fmt.Errorf("pipeline: encoder stack: %w", err)
+	}
+
+	selfW := w
+	selfW.SeqLen = decSeq
+	selfW.Causal = true
+	selfW.KVSeqLen = 0
+	out.DecoderSelf, err = Evaluate(selfW, spec, sys, opts)
+	if err != nil {
+		return StackResult{}, fmt.Errorf("pipeline: decoder self-attention stack: %w", err)
+	}
+
+	crossW := w
+	crossW.SeqLen = decSeq
+	crossW.Causal = false
+	crossW.KVSeqLen = encSeq
+	out.DecoderCross, err = EvaluateCross(crossW, spec, sys, opts)
+	if err != nil {
+		return StackResult{}, fmt.Errorf("pipeline: decoder cross-attention stage: %w", err)
+	}
+
+	out.TotalCycles = out.Encoder.TotalCycles + out.DecoderSelf.TotalCycles + out.DecoderCross.TotalCycles
+	out.Seconds = perf.SecondsFromCycles(out.TotalCycles, spec)
+	out.Energy.Add(out.Encoder.Energy)
+	out.Energy.Add(out.DecoderSelf.Energy)
+	out.Energy.Add(out.DecoderCross.Energy)
+	return out, nil
+}
+
+// EvaluateCross models the cross-attention stage of a decoder stack: per
+// decoder layer, the query projection over the decoder stream, the memory
+// key/value projection over the encoder output, the MHA over the memory,
+// and the Add & LayerNorm — no FFN (it belongs to the self-attention
+// evaluation). The workload's KVSeqLen must carry the encoder length.
+func EvaluateCross(w Workload, spec arch.Spec, sys System, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if err := sys.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	if w.KVSeqLen == 0 {
+		return Result{}, fmt.Errorf("pipeline: EvaluateCross requires KVSeqLen")
+	}
+	tile, err := tiling.HeuristicTile(w, spec)
+	if err != nil {
+		return Result{}, err
+	}
+
+	m := w.Model
+	dm := m.D
+	bytes := int64(spec.BytesPerElement)
+	bt := int64(tile.B)
+	qInst := int64(w.Batch) * int64(w.SeqLen/tile.P)
+	kvInst := int64(w.Batch) * tile.KVChunks(w)
+
+	probs, err := buildProblems(w, spec, sys, tile)
+	if err != nil {
+		return Result{}, err
+	}
+
+	sched := func(name string) (dpipe.Result, layerProblem, error) {
+		lp := probs[name]
+		var res dpipe.Result
+		var err error
+		switch lp.sched {
+		case SchedSequential:
+			res, err = dpipe.Sequential(lp.prob, spec, nil)
+		case SchedStatic:
+			res, err = dpipe.StaticPipelined(lp.prob, spec, dpipe.FuseMaxAssignment(lp.prob, spec))
+		default:
+			res, err = dpipe.Plan(lp.prob, spec, opts.DPipe)
+		}
+		return res, lp, err
+	}
+	onChip := func(lp layerProblem, res dpipe.Result) perf.Traffic {
+		var fused map[string]bool
+		if lp.sched != SchedSequential {
+			fused = make(map[string]bool, len(lp.prob.Ops))
+			for op := range lp.prob.Ops {
+				fused[op] = true
+			}
+		}
+		var tr perf.Traffic
+		for opName, op := range lp.prob.Ops {
+			tr.Add(perf.OpTraffic(op, spec, res.Assignment[opName], fused).Scale(float64(lp.prob.Epochs)))
+		}
+		return tr
+	}
+
+	var phases []Phase
+
+	// Memory K/V projection (once per KV chunk per decoder layer).
+	kvRes, kvLP, err := sched("kvproj")
+	if err != nil {
+		return Result{}, err
+	}
+	kvPhase := Phase{
+		Name:          "cross-kvproj",
+		ComputeCycles: kvRes.TotalCycles,
+		DRAMBytes:     kernelDRAM(kvLP, bt, bytes),
+		Instances:     kvInst,
+		Busy1D:        kvRes.Busy1D,
+		Busy2D:        kvRes.Busy2D,
+		OnChip:        onChip(kvLP, kvRes),
+	}
+	kvPhase.ComputeByLayer[LayerQKV] = kvRes.TotalCycles
+	phases = append(phases, kvPhase)
+
+	// Query path: Q projection + MHA over memory + Add & LayerNorm.
+	names := []string{"qproj", "mha", "ln"}
+	kinds := []LayerKind{LayerQKV, LayerMHA, LayerNorm}
+	if sys.FuseLayer {
+		var compute, busy1, busy2 float64
+		var byLayer [numLayerKinds]float64
+		var chip perf.Traffic
+		for i, name := range names {
+			res, lp, err := sched(name)
+			if err != nil {
+				return Result{}, err
+			}
+			compute += res.TotalCycles
+			busy1 += res.Busy1D
+			busy2 += res.Busy2D
+			byLayer[kinds[i]] += res.TotalCycles
+			chip.Add(onChip(lp, res))
+		}
+		dram := bytes * (int64(tile.P)*int64(dm) + // decoder stream read
+			2*int64(w.KVLen())*int64(dm) + // memory K/V stream
+			int64(dm)*int64(dm)/bt + // WQ
+			int64(tile.P)*int64(dm)) // output write
+		ph := Phase{
+			Name:           "cross-layer",
+			ComputeCycles:  compute,
+			DRAMBytes:      dram,
+			Instances:      qInst,
+			Busy1D:         busy1,
+			Busy2D:         busy2,
+			OnChip:         chip,
+			ComputeByLayer: byLayer,
+		}
+		phases = append(phases, ph)
+	} else {
+		for i, name := range names {
+			res, lp, err := sched(name)
+			if err != nil {
+				return Result{}, err
+			}
+			var dram int64
+			if name == "mha" && sys.FuseAttention {
+				mhaP := tile.P
+				if lp.instOverride > 0 {
+					mhaP = lp.fullDims["p"]
+				}
+				dram = bytes * (int64(mhaP)*int64(dm) + 2*int64(w.KVLen())*int64(dm) + int64(mhaP)*int64(dm))
+			} else {
+				dram = kernelDRAM(lp, bt, bytes)
+			}
+			inst := qInst
+			if lp.instOverride > 0 {
+				inst = lp.instOverride
+			}
+			ph := Phase{
+				Name:          "cross-" + name,
+				ComputeCycles: res.TotalCycles,
+				DRAMBytes:     dram,
+				Instances:     inst,
+				Busy1D:        res.Busy1D,
+				Busy2D:        res.Busy2D,
+				OnChip:        onChip(lp, res),
+			}
+			ph.ComputeByLayer[kinds[i]] = res.TotalCycles
+			phases = append(phases, ph)
+		}
+	}
+
+	// Roofline and accumulate across decoder layers.
+	res := Result{System: sys.Name, Arch: spec.Name, Workload: w, Tile: tile}
+	layers := int64(m.Layers)
+	for i := range phases {
+		ph := &phases[i]
+		ph.TimeCycles = perf.Roofline(ph.ComputeCycles, ph.DRAMBytes, spec)
+		scale := float64(ph.Instances * layers)
+		res.TotalCycles += ph.TimeCycles * scale
+		computeSum := 0.0
+		for _, c := range ph.ComputeByLayer {
+			computeSum += c
+		}
+		if computeSum > 0 {
+			for k := 0; k < int(numLayerKinds); k++ {
+				res.LayerCycles[k] += ph.TimeCycles * scale * ph.ComputeByLayer[k] / computeSum
+			}
+		}
+		res.Busy1D += ph.Busy1D * scale
+		res.Busy2D += ph.Busy2D * scale
+		total := ph.OnChip.Scale(scale)
+		total.DRAMBytes = float64(ph.DRAMBytes) * scale
+		res.Traffic.Add(total)
+	}
+	res.Energy = res.Traffic.Energy(spec)
+	res.Seconds = perf.SecondsFromCycles(res.TotalCycles, spec)
+	res.Phases = phases
+	return res, nil
+}

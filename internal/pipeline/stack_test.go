@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/model"
+)
+
+func TestEvaluateEncoderDecoder(t *testing.T) {
+	w := Workload{Model: model.T5(), Batch: 64}
+	for _, sys := range []System{Unfused(), FuseMax(), TransFusion()} {
+		res, err := EvaluateEncoderDecoder(w, 4096, 1024, arch.Cloud(), sys, fastOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name, err)
+		}
+		sum := res.Encoder.TotalCycles + res.DecoderSelf.TotalCycles + res.DecoderCross.TotalCycles
+		if math.Abs(sum-res.TotalCycles)/res.TotalCycles > 1e-9 {
+			t.Fatalf("%s: parts %v != total %v", sys.Name, sum, res.TotalCycles)
+		}
+		if res.Seconds <= 0 || res.Energy.Total() <= 0 {
+			t.Fatalf("%s: bad aggregates %v / %v", sys.Name, res.Seconds, res.Energy.Total())
+		}
+		// The cross stage has no FFN: its FFN attribution must be zero.
+		if res.DecoderCross.LayerCycles[LayerFFN] != 0 {
+			t.Fatalf("%s: cross stage charged FFN cycles", sys.Name)
+		}
+		// Decoder-self used causal masking: cheaper per token than the
+		// encoder at the same length would be. (Compare per-token: encoder
+		// is 4x the tokens.)
+		perTokEnc := res.Encoder.TotalCycles / 4096
+		perTokSelf := res.DecoderSelf.TotalCycles / 1024
+		if perTokSelf > perTokEnc*1.2 {
+			t.Fatalf("%s: causal decoder per-token (%v) much worse than encoder (%v)", sys.Name, perTokSelf, perTokEnc)
+		}
+	}
+}
+
+func TestEvaluateEncoderDecoderOrdering(t *testing.T) {
+	// TransFusion must beat FuseMax on the whole stack, as on the parts.
+	w := Workload{Model: model.T5(), Batch: 64}
+	fm, err := EvaluateEncoderDecoder(w, 4096, 1024, arch.Edge(), FuseMax(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := EvaluateEncoderDecoder(w, 4096, 1024, arch.Edge(), TransFusion(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf.TotalCycles > fm.TotalCycles*1.001 {
+		t.Fatalf("stack: transfusion (%v) worse than fusemax (%v)", tf.TotalCycles, fm.TotalCycles)
+	}
+}
+
+func TestEvaluateCrossRequiresKVLen(t *testing.T) {
+	w := Workload{Model: model.T5(), SeqLen: 1024, Batch: 64}
+	if _, err := EvaluateCross(w, arch.Cloud(), FuseMax(), fastOpts()); err == nil {
+		t.Fatal("EvaluateCross without KVSeqLen succeeded")
+	}
+}
+
+func TestEvaluateEncoderDecoderErrors(t *testing.T) {
+	w := Workload{Model: model.T5(), Batch: 64}
+	if _, err := EvaluateEncoderDecoder(w, 0, 1024, arch.Cloud(), FuseMax(), fastOpts()); err == nil {
+		t.Fatal("zero encoder length accepted")
+	}
+	if _, err := EvaluateEncoderDecoder(w, 1024, -1, arch.Cloud(), FuseMax(), fastOpts()); err == nil {
+		t.Fatal("negative decoder length accepted")
+	}
+}
+
+// Cross-attention work must scale with the encoder length (the KV side).
+func TestCrossScalesWithMemoryLength(t *testing.T) {
+	w := Workload{Model: model.T5(), SeqLen: 1024, Batch: 64}
+	w.KVSeqLen = 4096
+	small, err := EvaluateCross(w, arch.Cloud(), FuseMax(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.KVSeqLen = 16384
+	big, err := EvaluateCross(w, arch.Cloud(), FuseMax(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := big.TotalCycles / small.TotalCycles
+	if ratio < 2 || ratio > 8 {
+		t.Fatalf("4x memory length scaled cross cycles by %v, want ~4", ratio)
+	}
+}

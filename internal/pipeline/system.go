@@ -1,0 +1,158 @@
+// Package pipeline is the end-to-end evaluation engine: it turns a
+// (workload, architecture, system) triple into modelled latency, energy,
+// traffic, and utilization by composing the Einsum cascades (internal/
+// cascade), the DPipe scheduler (internal/dpipe), the outer-tiling machinery
+// (internal/tiling, internal/tileseek), and the performance model
+// (internal/perf).
+//
+// Five systems are modelled, matching §6.1 of the paper:
+//
+//	Unfused    every Einsum is a separate kernel with DRAM-resident
+//	           operands; naive two-pass softmax; no 1D/2D overlap.
+//	FLAT       attention fused on-chip per query tile (row-wise fusion,
+//	           naive softmax) but executed sequentially; all other layers
+//	           unfused.
+//	FuseMax    attention fused with the 1-pass streaming cascade and a
+//	           static 2D/1D pipeline (contractions on the 2D array, the
+//	           softmax chain on the 1D array); other layers unfused.
+//	FuseMax+LayerFuse
+//	           the ablation: end-to-end inter-layer fusion (activations
+//	           stay on-chip through QKV, MHA, Add&LayerNorm, FFN) but no
+//	           DPipe — layers run sequentially, only the FuseMax attention
+//	           pipeline overlaps.
+//	TransFusion
+//	           inter-layer fusion + DPipe schedules for every layer +
+//	           TileSeek outer tiling.
+package pipeline
+
+import (
+	"fmt"
+
+	"github.com/fusedmindlab/transfusion/internal/tiling"
+)
+
+// Scheduler selects how a fused layer's Einsums are ordered onto the PE
+// arrays.
+type Scheduler int
+
+const (
+	// SchedSequential serialises every op on its class-assigned array.
+	SchedSequential Scheduler = iota
+	// SchedStatic is the FuseMax static pipeline: class-assigned arrays
+	// with Eq. 43–46 overlap, canonical order.
+	SchedStatic
+	// SchedDPipe is the full DPipe search (bipartitions + orders + DP).
+	SchedDPipe
+)
+
+// String names the scheduler.
+func (s Scheduler) String() string {
+	switch s {
+	case SchedSequential:
+		return "sequential"
+	case SchedStatic:
+		return "static-pipeline"
+	default:
+		return "dpipe"
+	}
+}
+
+// System describes one modelled system's dataflow.
+type System struct {
+	// Name identifies the system in reports.
+	Name string
+	// FuseAttention keeps attention intermediates on-chip (FLAT and later).
+	FuseAttention bool
+	// StreamingAttention uses the 1-pass cascade (FuseMax and later);
+	// otherwise the naive full-softmax cascade.
+	StreamingAttention bool
+	// FuseLayer keeps all inter-layer activations on-chip (LayerFuse,
+	// TransFusion).
+	FuseLayer bool
+	// AttentionScheduler schedules the attention cascade.
+	AttentionScheduler Scheduler
+	// OtherScheduler schedules QKV / LayerNorm / FFN.
+	OtherScheduler Scheduler
+	// UseTileSeek selects the outer tile with the MCTS search instead of
+	// the static heuristic.
+	UseTileSeek bool
+}
+
+// Validate rejects inconsistent system descriptions.
+func (s System) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("pipeline: system with empty name")
+	}
+	if s.FuseLayer && !s.FuseAttention {
+		return fmt.Errorf("pipeline: system %s fuses layers but not attention", s.Name)
+	}
+	if s.StreamingAttention && !s.FuseAttention {
+		return fmt.Errorf("pipeline: system %s streams attention without fusing it", s.Name)
+	}
+	return nil
+}
+
+// Unfused is the sequential, DRAM-everything baseline.
+func Unfused() System {
+	return System{Name: "unfused"}
+}
+
+// FLAT is the attention-fusion baseline (Kao et al.).
+func FLAT() System {
+	return System{Name: "flat", FuseAttention: true}
+}
+
+// FuseMax is the primary baseline (Nayak et al.): streaming attention with
+// a static 2D/1D pipeline.
+func FuseMax() System {
+	return System{
+		Name:               "fusemax",
+		FuseAttention:      true,
+		StreamingAttention: true,
+		AttentionScheduler: SchedStatic,
+	}
+}
+
+// FuseMaxLayerFuse is the paper's ablation: FuseMax plus end-to-end
+// inter-layer fusion, without DPipe.
+func FuseMaxLayerFuse() System {
+	return System{
+		Name:               "fusemax+layerfuse",
+		FuseAttention:      true,
+		StreamingAttention: true,
+		FuseLayer:          true,
+		AttentionScheduler: SchedStatic,
+	}
+}
+
+// TransFusion is the paper's system: end-to-end fusion, DPipe everywhere,
+// TileSeek outer tiling.
+func TransFusion() System {
+	return System{
+		Name:               "transfusion",
+		FuseAttention:      true,
+		StreamingAttention: true,
+		FuseLayer:          true,
+		AttentionScheduler: SchedDPipe,
+		OtherScheduler:     SchedDPipe,
+		UseTileSeek:        true,
+	}
+}
+
+// AllSystems returns the five systems in the evaluation's comparison order.
+func AllSystems() []System {
+	return []System{Unfused(), FLAT(), FuseMax(), FuseMaxLayerFuse(), TransFusion()}
+}
+
+// SystemByName resolves a system by its report name.
+func SystemByName(name string) (System, error) {
+	for _, s := range AllSystems() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return System{}, fmt.Errorf("pipeline: unknown system %q", name)
+}
+
+// Workload re-exports the tiling workload for the public API's convenience.
+type Workload = tiling.Workload

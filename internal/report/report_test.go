@@ -1,0 +1,104 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name ") {
+		t.Fatalf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "-----") {
+		t.Fatalf("separator line = %q", lines[2])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	// Column alignment: "value" column starts at the same offset everywhere.
+	col := strings.Index(lines[1], "value")
+	if lines[3][col:col+1] != "1" || lines[4][col:col+5] != "22222" {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	if tb.NumRows() != 1 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	if !strings.Contains(tb.Render(), "only") {
+		t.Fatal("row missing")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Fatalf("F = %q", F(1.23456, 2))
+	}
+	if Sci(12345.0) != "1.234e+04" && Sci(12345.0) != "1.235e+04" {
+		t.Fatalf("Sci = %q", Sci(12345.0))
+	}
+	if Pct(0.58) != "58%" {
+		t.Fatalf("Pct = %q", Pct(0.58))
+	}
+}
+
+func TestSeqLabel(t *testing.T) {
+	cases := map[int]string{
+		1024:    "1K",
+		4096:    "4K",
+		65536:   "64K",
+		1 << 20: "1M",
+		999:     "999",
+		1500:    "1500",
+	}
+	for n, want := range cases {
+		if got := SeqLabel(n); got != want {
+			t.Errorf("SeqLabel(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("Geomean(2,8) = %v", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("Geomean(nil) = %v", g)
+	}
+	// Non-positive values skipped.
+	if g := Geomean([]float64{4, 0, -1}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("Geomean with non-positives = %v", g)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.AddRow("x", "1,5")
+	tb.AddRow("quote\"y", "2")
+	out := tb.CSV()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != `x,"1,5"` {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[2] != `"quote""y",2` {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}

@@ -1,0 +1,45 @@
+package tensor
+
+// xorshift64star is a tiny deterministic PRNG so functional tests and
+// examples are reproducible without importing math/rand's global state.
+type xorshift64star struct{ state uint64 }
+
+func (x *xorshift64star) next() uint64 {
+	x.state ^= x.state >> 12
+	x.state ^= x.state << 25
+	x.state ^= x.state >> 27
+	return x.state * 0x2545F4914F6CDD1D
+}
+
+// float64 returns a uniform value in [0, 1).
+func (x *xorshift64star) float64() float64 {
+	return float64(x.next()>>11) / (1 << 53)
+}
+
+// Rand fills a new tensor of the given dimensions with deterministic
+// pseudo-random values in [-1, 1), seeded by seed.
+func Rand(seed uint64, dims ...Dim) *Tensor {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	rng := &xorshift64star{state: seed}
+	t := New(dims...)
+	for i := range t.data {
+		t.data[i] = 2*rng.float64() - 1
+	}
+	return t
+}
+
+// RandPositive fills a new tensor with deterministic pseudo-random values in
+// (0, 1]; useful for denominators and variance inputs.
+func RandPositive(seed uint64, dims ...Dim) *Tensor {
+	if seed == 0 {
+		seed = 0xDEADBEEFCAFEBABE
+	}
+	rng := &xorshift64star{state: seed}
+	t := New(dims...)
+	for i := range t.data {
+		t.data[i] = 1 - rng.float64()
+	}
+	return t
+}

@@ -1,0 +1,394 @@
+// Package tensor provides a small dense tensor library with named
+// dimensions. It is the numeric substrate on which the Extended Einsum
+// interpreter (internal/eval) and the cascade executor (internal/cascade)
+// run, and is used throughout the test suite to validate that the paper's
+// Einsum Cascades are semantically correct (e.g. that the streaming 1-pass
+// softmax matches a naive reference).
+//
+// Dimensions are identified by name ("h", "e", "p", "m0", ...) rather than
+// by position, mirroring the index-label notation of Extended Einsums. The
+// stored element type is float64; performance modelling elsewhere in the
+// repository assumes a configurable element size, so the functional tensors
+// here are deliberately decoupled from the modelled datatype width.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Dim is a named dimension with an extent.
+type Dim struct {
+	Name string
+	Size int
+}
+
+// Tensor is a dense tensor with named dimensions stored in row-major order
+// (the first dimension is the slowest varying).
+type Tensor struct {
+	dims    []Dim
+	strides []int
+	data    []float64
+}
+
+// New creates a zero-filled tensor with the given dimensions. It panics if a
+// dimension has a non-positive size or a duplicated name; tensor construction
+// errors are programming errors in this codebase, not runtime conditions.
+func New(dims ...Dim) *Tensor {
+	seen := make(map[string]bool, len(dims))
+	n := 1
+	for _, d := range dims {
+		if d.Size <= 0 {
+			panic(fmt.Sprintf("tensor: dimension %q has non-positive size %d", d.Name, d.Size))
+		}
+		if d.Name == "" {
+			panic("tensor: dimension with empty name")
+		}
+		if seen[d.Name] {
+			panic(fmt.Sprintf("tensor: duplicate dimension %q", d.Name))
+		}
+		seen[d.Name] = true
+		n *= d.Size
+	}
+	t := &Tensor{
+		dims:    append([]Dim(nil), dims...),
+		strides: make([]int, len(dims)),
+		data:    make([]float64, n),
+	}
+	stride := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		t.strides[i] = stride
+		stride *= dims[i].Size
+	}
+	return t
+}
+
+// Scalar creates a zero-dimensional tensor holding v.
+func Scalar(v float64) *Tensor {
+	t := New()
+	t.data[0] = v
+	return t
+}
+
+// Fill sets every element to v and returns the tensor for chaining.
+func (t *Tensor) Fill(v float64) *Tensor {
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.dims) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Dims returns a copy of the dimension list.
+func (t *Tensor) Dims() []Dim { return append([]Dim(nil), t.dims...) }
+
+// DimNames returns the dimension names in storage order.
+func (t *Tensor) DimNames() []string {
+	names := make([]string, len(t.dims))
+	for i, d := range t.dims {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// Size returns the extent of the named dimension and whether it exists.
+func (t *Tensor) Size(name string) (int, bool) {
+	for _, d := range t.dims {
+		if d.Name == name {
+			return d.Size, true
+		}
+	}
+	return 0, false
+}
+
+// MustSize returns the extent of the named dimension, panicking if absent.
+func (t *Tensor) MustSize(name string) int {
+	n, ok := t.Size(name)
+	if !ok {
+		panic(fmt.Sprintf("tensor: no dimension %q (have %v)", name, t.DimNames()))
+	}
+	return n
+}
+
+// HasDim reports whether the tensor has a dimension with the given name.
+func (t *Tensor) HasDim(name string) bool {
+	_, ok := t.Size(name)
+	return ok
+}
+
+// Data returns the underlying storage. Mutating it mutates the tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// offset computes the flat index for coordinates given as a map from
+// dimension name to index. Extra keys in the map are ignored so a single
+// coordinate environment can address tensors of different ranks.
+func (t *Tensor) offset(coord map[string]int) int {
+	off := 0
+	for i, d := range t.dims {
+		idx, ok := coord[d.Name]
+		if !ok {
+			panic(fmt.Sprintf("tensor: coordinate missing dimension %q", d.Name))
+		}
+		if idx < 0 || idx >= d.Size {
+			panic(fmt.Sprintf("tensor: index %d out of range for dimension %q (size %d)", idx, d.Name, d.Size))
+		}
+		off += idx * t.strides[i]
+	}
+	return off
+}
+
+// At returns the element at the named coordinates.
+func (t *Tensor) At(coord map[string]int) float64 { return t.data[t.offset(coord)] }
+
+// Set stores v at the named coordinates.
+func (t *Tensor) Set(coord map[string]int, v float64) { t.data[t.offset(coord)] = v }
+
+// AtFlat returns the element at flat index i.
+func (t *Tensor) AtFlat(i int) float64 { return t.data[i] }
+
+// SetFlat stores v at flat index i.
+func (t *Tensor) SetFlat(i int, v float64) { t.data[i] = v }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.dims...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Each calls f for every coordinate in row-major order. The coordinate map is
+// reused between calls; callers must not retain it.
+func (t *Tensor) Each(f func(coord map[string]int, v float64)) {
+	coord := make(map[string]int, len(t.dims))
+	t.each(0, coord, f)
+}
+
+func (t *Tensor) each(dim int, coord map[string]int, f func(map[string]int, float64)) {
+	if dim == len(t.dims) {
+		f(coord, t.data[t.offset(coord)])
+		return
+	}
+	for i := 0; i < t.dims[dim].Size; i++ {
+		coord[t.dims[dim].Name] = i
+		t.each(dim+1, coord, f)
+	}
+	delete(coord, t.dims[dim].Name)
+}
+
+// Apply replaces every element x with f(x) and returns the tensor.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+	return t
+}
+
+// Slice returns a new tensor with the named dimension fixed to index idx;
+// the dimension is removed from the result.
+func (t *Tensor) Slice(name string, idx int) *Tensor {
+	pos := -1
+	for i, d := range t.dims {
+		if d.Name == name {
+			pos = i
+			break
+		}
+	}
+	if pos == -1 {
+		panic(fmt.Sprintf("tensor: Slice: no dimension %q", name))
+	}
+	if idx < 0 || idx >= t.dims[pos].Size {
+		panic(fmt.Sprintf("tensor: Slice: index %d out of range for %q (size %d)", idx, name, t.dims[pos].Size))
+	}
+	rest := make([]Dim, 0, len(t.dims)-1)
+	for i, d := range t.dims {
+		if i != pos {
+			rest = append(rest, d)
+		}
+	}
+	out := New(rest...)
+	out.Each(func(coord map[string]int, _ float64) {
+		coord[name] = idx
+		v := t.At(coord)
+		delete(coord, name)
+		out.Set(coord, v)
+	})
+	return out
+}
+
+// Narrow returns a copy restricted to [start, start+length) along the named
+// dimension. The dimension is retained with the reduced extent.
+func (t *Tensor) Narrow(name string, start, length int) *Tensor {
+	size := t.MustSize(name)
+	if start < 0 || length <= 0 || start+length > size {
+		panic(fmt.Sprintf("tensor: Narrow: [%d,%d) out of range for %q (size %d)", start, start+length, name, size))
+	}
+	dims := t.Dims()
+	for i := range dims {
+		if dims[i].Name == name {
+			dims[i].Size = length
+		}
+	}
+	out := New(dims...)
+	out.Each(func(coord map[string]int, _ float64) {
+		orig := coord[name]
+		coord[name] = orig + start
+		v := t.At(coord)
+		coord[name] = orig
+		out.Set(coord, v)
+	})
+	return out
+}
+
+// SplitDim reshapes the named dimension of extent outer*inner into two
+// dimensions (outerName slowest, innerName fastest). The element order along
+// the original dimension is preserved: original index i maps to
+// (i/inner, i%inner). This implements the hierarchical sequence split
+// m -> (m1, m0) used by the 1-pass attention cascade.
+func (t *Tensor) SplitDim(name, outerName, innerName string, inner int) *Tensor {
+	size := t.MustSize(name)
+	if inner <= 0 || size%inner != 0 {
+		panic(fmt.Sprintf("tensor: SplitDim: extent %d of %q not divisible by inner %d", size, name, inner))
+	}
+	outer := size / inner
+	dims := make([]Dim, 0, len(t.dims)+1)
+	for _, d := range t.dims {
+		if d.Name == name {
+			dims = append(dims, Dim{outerName, outer}, Dim{innerName, inner})
+		} else {
+			dims = append(dims, d)
+		}
+	}
+	out := New(dims...)
+	out.Each(func(coord map[string]int, _ float64) {
+		o, in := coord[outerName], coord[innerName]
+		src := make(map[string]int, len(coord))
+		for k, v := range coord {
+			if k != outerName && k != innerName {
+				src[k] = v
+			}
+		}
+		src[name] = o*inner + in
+		out.Set(coord, t.At(src))
+	})
+	return out
+}
+
+// MergeDims is the inverse of SplitDim: (outerName, innerName) with extents
+// (O, I) become a single dimension name of extent O*I, outer-major.
+func (t *Tensor) MergeDims(outerName, innerName, name string) *Tensor {
+	outer := t.MustSize(outerName)
+	inner := t.MustSize(innerName)
+	dims := make([]Dim, 0, len(t.dims)-1)
+	placed := false
+	for _, d := range t.dims {
+		switch d.Name {
+		case outerName:
+			if !placed {
+				dims = append(dims, Dim{name, outer * inner})
+				placed = true
+			}
+		case innerName:
+			if !placed {
+				dims = append(dims, Dim{name, outer * inner})
+				placed = true
+			}
+		default:
+			dims = append(dims, d)
+		}
+	}
+	out := New(dims...)
+	out.Each(func(coord map[string]int, _ float64) {
+		merged := coord[name]
+		src := make(map[string]int, len(coord)+1)
+		for k, v := range coord {
+			if k != name {
+				src[k] = v
+			}
+		}
+		src[outerName] = merged / inner
+		src[innerName] = merged % inner
+		out.Set(coord, t.At(src))
+	})
+	return out
+}
+
+// Transpose returns a copy with the dimensions reordered to the given names,
+// which must be a permutation of the tensor's dimension names.
+func (t *Tensor) Transpose(names ...string) *Tensor {
+	if len(names) != len(t.dims) {
+		panic(fmt.Sprintf("tensor: Transpose: got %d names for rank-%d tensor", len(names), len(t.dims)))
+	}
+	dims := make([]Dim, len(names))
+	for i, n := range names {
+		size, ok := t.Size(n)
+		if !ok {
+			panic(fmt.Sprintf("tensor: Transpose: no dimension %q", n))
+		}
+		dims[i] = Dim{n, size}
+	}
+	out := New(dims...)
+	out.Each(func(coord map[string]int, _ float64) {
+		out.Set(coord, t.At(coord))
+	})
+	return out
+}
+
+// MaxAbsDiff returns the maximum absolute elementwise difference between two
+// tensors with identical dimension sets (order-insensitive).
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if !sameDimSet(a, b) {
+		panic(fmt.Sprintf("tensor: MaxAbsDiff: dimension mismatch %v vs %v", a.dims, b.dims))
+	}
+	max := 0.0
+	a.Each(func(coord map[string]int, v float64) {
+		d := math.Abs(v - b.At(coord))
+		if d > max {
+			max = d
+		}
+	})
+	return max
+}
+
+// AllClose reports whether every element of a is within tol of the matching
+// element of b.
+func AllClose(a, b *Tensor, tol float64) bool { return MaxAbsDiff(a, b) <= tol }
+
+func sameDimSet(a, b *Tensor) bool {
+	if len(a.dims) != len(b.dims) {
+		return false
+	}
+	for _, d := range a.dims {
+		s, ok := b.Size(d.Name)
+		if !ok || s != d.Size {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description, e.g. "Tensor[h:8 e:64 p:128]".
+func (t *Tensor) String() string {
+	parts := make([]string, len(t.dims))
+	for i, d := range t.dims {
+		parts[i] = fmt.Sprintf("%s:%d", d.Name, d.Size)
+	}
+	return "Tensor[" + strings.Join(parts, " ") + "]"
+}
+
+// SortedDimNames returns the dimension names sorted lexicographically;
+// useful for deterministic test output.
+func (t *Tensor) SortedDimNames() []string {
+	names := t.DimNames()
+	sort.Strings(names)
+	return names
+}
+
+// Strides returns a copy of the row-major strides, aligned with Dims().
+func (t *Tensor) Strides() []int { return append([]int(nil), t.strides...) }

@@ -1,0 +1,271 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(Dim{"a", 2}, Dim{"b", 3})
+	if x.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", x.Len())
+	}
+	for i := 0; i < x.Len(); i++ {
+		if x.AtFlat(i) != 0 {
+			t.Fatalf("element %d = %v, want 0", i, x.AtFlat(i))
+		}
+	}
+	if x.Rank() != 2 {
+		t.Fatalf("Rank = %d, want 2", x.Rank())
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	cases := []struct {
+		name string
+		dims []Dim
+	}{
+		{"zero size", []Dim{{"a", 0}}},
+		{"negative size", []Dim{{"a", -1}}},
+		{"empty name", []Dim{{"", 3}}},
+		{"duplicate name", []Dim{{"a", 2}, {"a", 3}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%v) did not panic", c.dims)
+				}
+			}()
+			New(c.dims...)
+		})
+	}
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	x := New(Dim{"h", 2}, Dim{"p", 3})
+	x.Set(map[string]int{"h": 1, "p": 2}, 42)
+	if got := x.At(map[string]int{"h": 1, "p": 2}); got != 42 {
+		t.Fatalf("At = %v, want 42", got)
+	}
+	// Row-major layout: (h=1, p=2) should be flat index 1*3+2 = 5.
+	if got := x.AtFlat(5); got != 42 {
+		t.Fatalf("AtFlat(5) = %v, want 42", got)
+	}
+}
+
+func TestAtIgnoresExtraCoordinates(t *testing.T) {
+	x := New(Dim{"a", 2})
+	x.Set(map[string]int{"a": 1, "unused": 99}, 7)
+	if got := x.At(map[string]int{"a": 1, "z": 3}); got != 7 {
+		t.Fatalf("At with extra coords = %v, want 7", got)
+	}
+}
+
+func TestAtPanicsOnMissingCoordinate(t *testing.T) {
+	x := New(Dim{"a", 2}, Dim{"b", 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At without full coordinates did not panic")
+		}
+	}()
+	x.At(map[string]int{"a": 0})
+}
+
+func TestAtPanicsOnOutOfRange(t *testing.T) {
+	x := New(Dim{"a", 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	x.At(map[string]int{"a": 2})
+}
+
+func TestScalar(t *testing.T) {
+	s := Scalar(3.5)
+	if s.Rank() != 0 || s.Len() != 1 {
+		t.Fatalf("Scalar rank/len = %d/%d, want 0/1", s.Rank(), s.Len())
+	}
+	if got := s.At(map[string]int{}); got != 3.5 {
+		t.Fatalf("Scalar value = %v, want 3.5", got)
+	}
+}
+
+func TestEachVisitsRowMajor(t *testing.T) {
+	x := New(Dim{"a", 2}, Dim{"b", 2})
+	for i := 0; i < 4; i++ {
+		x.SetFlat(i, float64(i))
+	}
+	var visited []float64
+	x.Each(func(_ map[string]int, v float64) { visited = append(visited, v) })
+	want := []float64{0, 1, 2, 3}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visit order %v, want %v", visited, want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := New(Dim{"a", 2}).Fill(1)
+	y := x.Clone()
+	y.SetFlat(0, 9)
+	if x.AtFlat(0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestSliceRemovesDim(t *testing.T) {
+	x := New(Dim{"h", 2}, Dim{"p", 3})
+	x.Set(map[string]int{"h": 1, "p": 2}, 5)
+	s := x.Slice("h", 1)
+	if s.Rank() != 1 || !s.HasDim("p") {
+		t.Fatalf("Slice dims = %v", s.DimNames())
+	}
+	if got := s.At(map[string]int{"p": 2}); got != 5 {
+		t.Fatalf("Slice value = %v, want 5", got)
+	}
+}
+
+func TestNarrow(t *testing.T) {
+	x := New(Dim{"p", 6})
+	for i := 0; i < 6; i++ {
+		x.SetFlat(i, float64(i))
+	}
+	n := x.Narrow("p", 2, 3)
+	if n.MustSize("p") != 3 {
+		t.Fatalf("Narrow size = %d, want 3", n.MustSize("p"))
+	}
+	for i := 0; i < 3; i++ {
+		if got := n.At(map[string]int{"p": i}); got != float64(i+2) {
+			t.Fatalf("Narrow[%d] = %v, want %v", i, got, float64(i+2))
+		}
+	}
+}
+
+func TestSplitMergeRoundTrip(t *testing.T) {
+	x := Rand(1, Dim{"h", 2}, Dim{"m", 12})
+	split := x.SplitDim("m", "m1", "m0", 4)
+	if split.MustSize("m1") != 3 || split.MustSize("m0") != 4 {
+		t.Fatalf("SplitDim sizes m1=%d m0=%d", split.MustSize("m1"), split.MustSize("m0"))
+	}
+	// Element (h, m=i) must appear at (h, m1=i/4, m0=i%4).
+	for i := 0; i < 12; i++ {
+		a := x.At(map[string]int{"h": 1, "m": i})
+		b := split.At(map[string]int{"h": 1, "m1": i / 4, "m0": i % 4})
+		if a != b {
+			t.Fatalf("split mismatch at m=%d: %v vs %v", i, a, b)
+		}
+	}
+	merged := split.MergeDims("m1", "m0", "m")
+	if MaxAbsDiff(x, merged) != 0 {
+		t.Fatal("MergeDims did not invert SplitDim")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	x := Rand(2, Dim{"a", 3}, Dim{"b", 4})
+	y := x.Transpose("b", "a")
+	if y.DimNames()[0] != "b" {
+		t.Fatalf("Transpose order = %v", y.DimNames())
+	}
+	if MaxAbsDiff(x, y) != 0 {
+		t.Fatal("Transpose changed values")
+	}
+}
+
+func TestApply(t *testing.T) {
+	x := New(Dim{"a", 3}).Fill(2)
+	x.Apply(func(v float64) float64 { return v * v })
+	for i := 0; i < 3; i++ {
+		if x.AtFlat(i) != 4 {
+			t.Fatalf("Apply result = %v, want 4", x.AtFlat(i))
+		}
+	}
+}
+
+func TestMaxAbsDiffDimOrderInsensitive(t *testing.T) {
+	x := Rand(3, Dim{"a", 2}, Dim{"b", 3})
+	y := x.Transpose("b", "a")
+	if d := MaxAbsDiff(x, y); d != 0 {
+		t.Fatalf("MaxAbsDiff across dim orders = %v, want 0", d)
+	}
+}
+
+func TestMaxAbsDiffPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxAbsDiff with mismatched dims did not panic")
+		}
+	}()
+	MaxAbsDiff(New(Dim{"a", 2}), New(Dim{"a", 3}))
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a := Rand(7, Dim{"x", 16})
+	b := Rand(7, Dim{"x", 16})
+	if MaxAbsDiff(a, b) != 0 {
+		t.Fatal("Rand with same seed differs")
+	}
+	c := Rand(8, Dim{"x", 16})
+	if MaxAbsDiff(a, c) == 0 {
+		t.Fatal("Rand with different seeds identical")
+	}
+}
+
+func TestRandRange(t *testing.T) {
+	a := Rand(11, Dim{"x", 1024})
+	for i := 0; i < a.Len(); i++ {
+		v := a.AtFlat(i)
+		if v < -1 || v >= 1 || math.IsNaN(v) {
+			t.Fatalf("Rand value %v out of [-1,1)", v)
+		}
+	}
+	p := RandPositive(11, Dim{"x", 1024})
+	for i := 0; i < p.Len(); i++ {
+		v := p.AtFlat(i)
+		if v <= 0 || v > 1 {
+			t.Fatalf("RandPositive value %v out of (0,1]", v)
+		}
+	}
+}
+
+// Property: SplitDim followed by MergeDims is the identity for any valid
+// inner factor.
+func TestQuickSplitMergeIdentity(t *testing.T) {
+	f := func(seed uint64, outerRaw, innerRaw uint8) bool {
+		outer := int(outerRaw%6) + 1
+		inner := int(innerRaw%6) + 1
+		x := Rand(seed|1, Dim{"m", outer * inner}, Dim{"k", 3})
+		y := x.SplitDim("m", "m1", "m0", inner).MergeDims("m1", "m0", "m")
+		return MaxAbsDiff(x, y) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Transpose preserves values under any permutation of 3 dims.
+func TestQuickTransposeValuePreserving(t *testing.T) {
+	perms := [][]string{
+		{"a", "b", "c"}, {"a", "c", "b"}, {"b", "a", "c"},
+		{"b", "c", "a"}, {"c", "a", "b"}, {"c", "b", "a"},
+	}
+	f := func(seed uint64, permIdx uint8) bool {
+		x := Rand(seed|1, Dim{"a", 2}, Dim{"b", 3}, Dim{"c", 4})
+		y := x.Transpose(perms[int(permIdx)%len(perms)]...)
+		return MaxAbsDiff(x, y) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	x := New(Dim{"h", 8}, Dim{"e", 64})
+	if got := x.String(); got != "Tensor[h:8 e:64]" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,103 @@
+package tileseek
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fusedmindlab/transfusion/internal/tiling"
+)
+
+// RandomSearch samples configurations uniformly from the space for the
+// given number of iterations — the ablation baseline for MCTS at an equal
+// rollout budget.
+func RandomSearch(space Space, objective Objective, iterations int, seed uint64) (Result, error) {
+	if err := space.Validate(); err != nil {
+		return Result{}, err
+	}
+	if iterations <= 0 {
+		iterations = 1
+	}
+	r := newRNG(seed)
+	levels := space.levels()
+	res := Result{BestCost: math.Inf(1)}
+	for it := 0; it < iterations; it++ {
+		full := make([]int, len(levels))
+		for i, l := range levels {
+			full[i] = l[r.intn(len(l))]
+		}
+		cfg := assemble(full)
+		if !tiling.Feasible(cfg, space.Workload, space.Spec) {
+			res.Pruned++
+			continue
+		}
+		cost, ok := objective(cfg)
+		if !ok || cost <= 0 {
+			continue
+		}
+		res.Evaluated++
+		if cost < res.BestCost {
+			res.BestCost = cost
+			res.Best = cfg
+			res.Found = true
+		}
+	}
+	if !res.Found {
+		return res, fmt.Errorf("tileseek: random search found no feasible configuration in %d iterations", iterations)
+	}
+	return res, nil
+}
+
+// Exhaustive enumerates the full cross product of the space (up to
+// maxEvaluations objective calls; feasibility pruning does not count
+// against the budget) and returns the global optimum within the budget.
+// It is the ablation's oracle for small spaces.
+func Exhaustive(space Space, objective Objective, maxEvaluations int) (Result, error) {
+	if err := space.Validate(); err != nil {
+		return Result{}, err
+	}
+	if maxEvaluations <= 0 {
+		maxEvaluations = math.MaxInt
+	}
+	levels := space.levels()
+	res := Result{BestCost: math.Inf(1)}
+	idx := make([]int, len(levels))
+	for {
+		full := make([]int, len(levels))
+		for i := range idx {
+			full[i] = levels[i][idx[i]]
+		}
+		cfg := assemble(full)
+		if tiling.Feasible(cfg, space.Workload, space.Spec) {
+			cost, ok := objective(cfg)
+			if ok && cost > 0 {
+				res.Evaluated++
+				if cost < res.BestCost {
+					res.BestCost = cost
+					res.Best = cfg
+					res.Found = true
+				}
+				if res.Evaluated >= maxEvaluations {
+					break
+				}
+			}
+		} else {
+			res.Pruned++
+		}
+		// Odometer increment.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(levels[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	if !res.Found {
+		return res, fmt.Errorf("tileseek: exhaustive search found no feasible configuration")
+	}
+	return res, nil
+}

@@ -1,0 +1,289 @@
+// Package tileseek implements TileSeek, the paper's MCTS-based outer-tiling
+// search (§5). Each node of the search tree fixes one more tiling factor
+// along the dimensions [B, D, P, M0, M1, S]; a root-to-leaf path is a
+// complete outer-tiling configuration. Selection uses the UCB1 criterion,
+// candidate tilings are validated against the Table 2 buffer constraints
+// before evaluation, leaves are scored by a caller-supplied objective (the
+// performance model's latency or energy — the Timeloop/Accelergy stand-in),
+// and rewards are backpropagated along the selected path.
+//
+// The package also provides random search and bounded exhaustive search
+// over the same space, used by the paper-style ablation comparing search
+// strategies at equal evaluation budgets.
+package tileseek
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/tiling"
+)
+
+// Objective scores a complete, feasible tiling configuration; lower is
+// better (e.g. modelled latency in cycles or energy in picojoules). The
+// boolean reports whether the configuration could be evaluated.
+type Objective func(c tiling.Config) (cost float64, ok bool)
+
+// Space is the candidate set per tiling dimension. Dimensions are decided
+// in the fixed order B, D, P, M0, M1, S.
+type Space struct {
+	Workload tiling.Workload
+	Spec     arch.Spec
+	Bs       []int
+	Ds       []int
+	Ps       []int
+	M0s      []int
+	M1s      []int
+	Ss       []int
+}
+
+// DefaultSpace derives the search space the evaluation uses: divisors of
+// the full extents, with the query tile and KV tile capped to keep the
+// space commensurate with the paper's (fine-grained but finite).
+func DefaultSpace(w tiling.Workload, spec arch.Spec) Space {
+	return Space{
+		Workload: w,
+		Spec:     spec,
+		Bs:       tiling.Divisors(w.Batch, 8),
+		Ds:       tiling.Divisors(w.Model.D, 0),
+		Ps:       tiling.Divisors(w.SeqLen, 0),
+		M0s:      tiling.Divisors(w.SeqLen, 4096),
+		M1s:      tiling.Divisors(w.SeqLen, 64),
+		Ss:       tiling.Divisors(w.Model.S, 0),
+	}
+}
+
+// levels returns the candidate lists in decision order.
+func (s Space) levels() [][]int {
+	return [][]int{s.Bs, s.Ds, s.Ps, s.M0s, s.M1s, s.Ss}
+}
+
+// minCompletion fills the undecided levels of a partial assignment with
+// each level's smallest candidate. Because every Table 2 buffer formula is
+// monotone in every tile extent, the minimal completion is a lower bound:
+// if it does not fit the buffer, no completion of the partial assignment
+// does, and the whole subtree can be pruned (§5.1, constraint validation).
+func (s Space) minCompletion(partial []int) tiling.Config {
+	levels := s.levels()
+	full := make([]int, len(levels))
+	for i := range full {
+		if i < len(partial) {
+			full[i] = partial[i]
+		} else {
+			full[i] = levels[i][0]
+		}
+	}
+	return assemble(full)
+}
+
+// partialFeasible reports whether some completion of the partial assignment
+// can satisfy the buffer constraint (via the minimal-completion lower
+// bound). Divisibility constraints are only enforced for decided levels —
+// the minimal candidates are always divisors, so they never reject a
+// partial spuriously.
+func (s Space) partialFeasible(partial []int) bool {
+	return tiling.Feasible(s.minCompletion(partial), s.Workload, s.Spec)
+}
+
+// assemble builds a Config from one choice per level.
+func assemble(choices []int) tiling.Config {
+	return tiling.Config{B: choices[0], D: choices[1], P: choices[2], M0: choices[3], M1: choices[4], S: choices[5]}
+}
+
+// Validate checks the space is non-empty in every dimension.
+func (s Space) Validate() error {
+	for i, l := range s.levels() {
+		if len(l) == 0 {
+			return fmt.Errorf("tileseek: empty candidate list at level %d", i)
+		}
+	}
+	return s.Workload.Validate()
+}
+
+// Size returns the total number of complete configurations in the space.
+func (s Space) Size() int64 {
+	n := int64(1)
+	for _, l := range s.levels() {
+		n *= int64(len(l))
+	}
+	return n
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// Best is the best feasible configuration found.
+	Best tiling.Config
+	// BestCost is its objective value.
+	BestCost float64
+	// Evaluated counts objective evaluations (feasible candidates).
+	Evaluated int
+	// Pruned counts candidates rejected by the buffer constraint before
+	// evaluation.
+	Pruned int
+	// Found reports whether any feasible configuration was found.
+	Found bool
+}
+
+// rng is a deterministic xorshift PRNG for reproducible searches.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x853C49E6748FEA9B
+	}
+	return &rng{state: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.state ^= r.state >> 12
+	r.state ^= r.state << 25
+	r.state ^= r.state >> 27
+	return r.state * 0x2545F4914F6CDD1D
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// ucbC is the UCB1 exploration constant.
+const ucbC = 1.4
+
+// node is one MCTS tree node: a partial configuration through `level`
+// decided levels.
+type node struct {
+	level    int // number of decided levels
+	choice   int // candidate index chosen at level-1 (undefined for root)
+	parent   *node
+	children []*node
+	visits   int
+	reward   float64
+	dead     bool // subtree pruned by the buffer-constraint lower bound
+}
+
+func (n *node) ucb(total int) float64 {
+	if n.dead {
+		return math.Inf(-1)
+	}
+	if n.visits == 0 {
+		return math.Inf(1)
+	}
+	return n.reward/float64(n.visits) + ucbC*math.Sqrt(math.Log(float64(total))/float64(n.visits))
+}
+
+// Search runs MCTS for the given number of iterations and returns the best
+// feasible configuration. Deterministic for a fixed seed.
+func Search(space Space, objective Objective, iterations int, seed uint64) (Result, error) {
+	if err := space.Validate(); err != nil {
+		return Result{}, err
+	}
+	if iterations <= 0 {
+		iterations = 1
+	}
+	levels := space.levels()
+	r := newRNG(seed)
+	res := Result{BestCost: math.Inf(1)}
+	// scale normalises rewards: the first feasible cost maps to reward 1.
+	scale := math.NaN()
+
+	root := &node{}
+	for it := 0; it < iterations; it++ {
+		// Selection: descend by UCB1 until a node with unexpanded children
+		// or a leaf. Subtrees whose minimal completion already exceeds the
+		// buffer are marked dead at expansion time and never selected.
+		cur := root
+		values := make([]int, 0, len(levels))
+		for cur.level < len(levels) {
+			cands := levels[cur.level]
+			if len(cur.children) < len(cands) {
+				// Expansion: add the next unexpanded child, pruning dead
+				// subtrees eagerly. Children are expanded from the largest
+				// candidate down — large tiles amortise weight and K/V
+				// re-reads best, so they deserve the earliest visits, and
+				// the ones that cannot fit are pruned by the lower bound
+				// before costing an evaluation.
+				idx := len(cands) - 1 - len(cur.children)
+				child := &node{level: cur.level + 1, choice: idx, parent: cur}
+				if !space.partialFeasible(append(values, cands[idx])) {
+					child.dead = true
+					res.Pruned++
+				}
+				cur.children = append(cur.children, child)
+				if child.dead {
+					continue // try the next candidate within this iteration
+				}
+				cur = child
+				values = append(values, cands[idx])
+				break
+			}
+			best := (*node)(nil)
+			bestScore := math.Inf(-1)
+			for _, ch := range cur.children {
+				if s := ch.ucb(cur.visits + 1); s > bestScore {
+					bestScore = s
+					best = ch
+				}
+			}
+			if best == nil || best.dead {
+				break // every child pruned: roll out from here
+			}
+			cur = best
+			values = append(values, levels[cur.level-1][cur.choice])
+		}
+
+		// Rollout: complete the remaining levels randomly among values that
+		// keep the minimal completion feasible (constraint-guided sampling,
+		// §5.1); fall back to uniform if no candidate passes the bound.
+		full := append([]int(nil), values...)
+		for len(full) < len(levels) {
+			cands := levels[len(full)]
+			var live []int
+			for _, v := range cands {
+				if space.partialFeasible(append(full, v)) {
+					live = append(live, v)
+				}
+			}
+			if len(live) == 0 {
+				live = cands
+			}
+			full = append(full, live[r.intn(len(live))])
+		}
+		cfg := assemble(full)
+
+		// Final constraint validation: infeasible tiles earn zero reward
+		// and are never passed to the expensive evaluation.
+		reward := 0.0
+		if tiling.Feasible(cfg, space.Workload, space.Spec) {
+			cost, ok := objective(cfg)
+			if ok && cost > 0 {
+				res.Evaluated++
+				if math.IsNaN(scale) {
+					scale = cost
+				}
+				reward = scale / cost
+				if cost < res.BestCost {
+					res.BestCost = cost
+					res.Best = cfg
+					res.Found = true
+				}
+			}
+		} else {
+			res.Pruned++
+		}
+
+		// Backpropagation.
+		for n := cur; n != nil; n = n.parent {
+			n.visits++
+			n.reward += reward
+		}
+	}
+	if !res.Found {
+		return res, fmt.Errorf("tileseek: no feasible configuration found in %d iterations", iterations)
+	}
+	return res, nil
+}

@@ -1,0 +1,230 @@
+package tileseek
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/model"
+	"github.com/fusedmindlab/transfusion/internal/tiling"
+)
+
+func testSpace() Space {
+	w := tiling.Workload{Model: model.BERT(), SeqLen: 16384, Batch: 64}
+	return DefaultSpace(w, arch.Cloud())
+}
+
+// syntheticObjective rewards large query tiles and column-matched KV tiles:
+// a smooth landscape with a known optimum (maximal P, M0 == 256) so search
+// quality is checkable.
+func syntheticObjective(w tiling.Workload) Objective {
+	return func(c tiling.Config) (float64, bool) {
+		kvRereads := float64(w.SeqLen / c.P)
+		m0Mismatch := math.Abs(float64(c.M0) - 256)
+		return kvRereads*1000 + m0Mismatch + float64(c.M1), true
+	}
+}
+
+func TestDefaultSpaceNonEmpty(t *testing.T) {
+	s := testSpace()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() <= 0 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	// D candidates cover the full divisor ladder up to the model dimension.
+	if s.Ds[len(s.Ds)-1] != 768 || s.Ds[0] != 1 {
+		t.Fatalf("Ds = %v, want 1..768", s.Ds)
+	}
+}
+
+func TestSpaceValidateEmptyLevel(t *testing.T) {
+	s := testSpace()
+	s.Ps = nil
+	if err := s.Validate(); err == nil {
+		t.Fatal("empty level accepted")
+	}
+}
+
+func TestSearchFindsFeasibleAndImproves(t *testing.T) {
+	s := testSpace()
+	obj := syntheticObjective(s.Workload)
+	res, err := Search(s, obj, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("no feasible configuration found")
+	}
+	if !tiling.Feasible(res.Best, s.Workload, s.Spec) {
+		t.Fatalf("returned infeasible config %v", res.Best)
+	}
+	if res.Evaluated == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+	// With 400 rollouts on this smooth landscape, MCTS should find a large
+	// query tile (few KV re-reads).
+	if s.Workload.SeqLen/res.Best.P > 8 {
+		t.Fatalf("search stuck at small P: %v (cost %v)", res.Best, res.BestCost)
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	s := testSpace()
+	obj := syntheticObjective(s.Workload)
+	r1, err1 := Search(s, obj, 150, 42)
+	r2, err2 := Search(s, obj, 150, 42)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r1.Best != r2.Best || r1.BestCost != r2.BestCost {
+		t.Fatalf("nondeterministic: %v/%v vs %v/%v", r1.Best, r1.BestCost, r2.Best, r2.BestCost)
+	}
+}
+
+func TestSearchRespectsBufferConstraint(t *testing.T) {
+	// On edge the buffer is 5 MB; every evaluated config must fit.
+	w := tiling.Workload{Model: model.Llama3(), SeqLen: 65536, Batch: 64}
+	s := DefaultSpace(w, arch.Edge())
+	var evaluated []tiling.Config
+	obj := func(c tiling.Config) (float64, bool) {
+		evaluated = append(evaluated, c)
+		return float64(c.P), true
+	}
+	if _, err := Search(s, obj, 200, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range evaluated {
+		if !tiling.Feasible(c, w, arch.Edge()) {
+			t.Fatalf("objective called on infeasible config %v", c)
+		}
+	}
+}
+
+func TestSearchBeatsOrMatchesRandomOnBudget(t *testing.T) {
+	s := testSpace()
+	obj := syntheticObjective(s.Workload)
+	const budget = 300
+	mcts, err := Search(s, obj, budget, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the mean of several random-search runs.
+	sum := 0.0
+	const runs = 5
+	for i := uint64(0); i < runs; i++ {
+		r, err := RandomSearch(s, obj, budget, 100+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += r.BestCost
+	}
+	if mcts.BestCost > sum/runs*1.05 {
+		t.Fatalf("MCTS (%v) worse than mean random (%v) at equal budget", mcts.BestCost, sum/runs)
+	}
+}
+
+func TestExhaustiveIsOracle(t *testing.T) {
+	// Small space: exhaustive finds the global optimum; MCTS approaches it.
+	w := tiling.Workload{Model: model.T5(), SeqLen: 1024, Batch: 4}
+	s := DefaultSpace(w, arch.Cloud())
+	obj := syntheticObjective(w)
+	ex, err := Exhaustive(s, obj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcts, err := Search(s, obj, 2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcts.BestCost < ex.BestCost-1e-9 {
+		t.Fatalf("MCTS (%v) beat the exhaustive optimum (%v) — exhaustive is broken", mcts.BestCost, ex.BestCost)
+	}
+	if mcts.BestCost > ex.BestCost*1.5 {
+		t.Fatalf("MCTS (%v) far from optimum (%v)", mcts.BestCost, ex.BestCost)
+	}
+}
+
+func TestExhaustiveBudget(t *testing.T) {
+	w := tiling.Workload{Model: model.T5(), SeqLen: 1024, Batch: 4}
+	s := DefaultSpace(w, arch.Cloud())
+	obj := syntheticObjective(w)
+	res, err := Exhaustive(s, obj, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 10 {
+		t.Fatalf("budget ignored: %d evaluations", res.Evaluated)
+	}
+}
+
+func TestSearchNoFeasible(t *testing.T) {
+	// A workload whose smallest tile exceeds a tiny buffer.
+	w := tiling.Workload{Model: model.Llama3(), SeqLen: 1 << 20, Batch: 64}
+	spec := arch.Edge()
+	spec.BufferBytes = 1024 // 1 KiB: nothing fits
+	s := DefaultSpace(w, spec)
+	if _, err := Search(s, func(tiling.Config) (float64, bool) { return 1, true }, 50, 1); err == nil {
+		t.Fatal("search succeeded with an impossible buffer")
+	}
+	if _, err := RandomSearch(s, func(tiling.Config) (float64, bool) { return 1, true }, 50, 1); err == nil {
+		t.Fatal("random search succeeded with an impossible buffer")
+	}
+}
+
+func TestObjectiveFailureHandled(t *testing.T) {
+	s := testSpace()
+	calls := 0
+	obj := func(c tiling.Config) (float64, bool) {
+		calls++
+		if calls%2 == 0 {
+			return 0, false // evaluation failure
+		}
+		return float64(c.P), true
+	}
+	res, err := Search(s, obj, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("search did not tolerate objective failures")
+	}
+}
+
+func TestHeuristicTileFeasibleEverywhere(t *testing.T) {
+	for _, spec := range []arch.Spec{arch.Cloud(), arch.Edge(), arch.Edge32(), arch.Edge64()} {
+		for _, m := range model.All() {
+			for _, n := range []int{1024, 65536, 1 << 20} {
+				w := tiling.Workload{Model: m, SeqLen: n, Batch: 64}
+				c, err := tiling.HeuristicTile(w, spec)
+				if err != nil {
+					t.Errorf("%s/%s/%d: %v", spec.Name, m.Name, n, err)
+					continue
+				}
+				if !tiling.Feasible(c, w, spec) {
+					t.Errorf("%s/%s/%d: heuristic tile %v infeasible", spec.Name, m.Name, n, c)
+				}
+			}
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := newRNG(5), newRNG(5)
+	for i := 0; i < 10; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng nondeterministic")
+		}
+	}
+	r := newRNG(0)
+	if r.intn(10) < 0 || r.intn(10) >= 10 {
+		t.Fatal("intn out of range")
+	}
+	if r.intn(0) != 0 {
+		t.Fatal("intn(0) != 0")
+	}
+	if f := r.float64(); f < 0 || f >= 1 {
+		t.Fatalf("float64 = %v", f)
+	}
+}

@@ -1,0 +1,75 @@
+package tiling
+
+import (
+	"github.com/fusedmindlab/transfusion/internal/arch"
+)
+
+// Buffer requirements per tile, in elements, implementing Table 2 of the
+// paper verbatim:
+//
+//	QKV Projection:   B*D*(4P + 3*M1*M0) + 3*D*H*E + 2*B*H*P
+//	MHA:              B*H*E*(P + 2*M1*M0) + B*H*P*(2 + 2F) + 4*M0*P' + 18*P'
+//	Add & LayerNorm:  3*B*H*F*P + 4*H*F*P'
+//	FFN:              H*F*(2*B*P + S) + S*(P + 2) + 2*S*P'
+//
+// where P' is the intra-tile sequence length per PE row. Each formula
+// accounts for the layer's resident input/output activations, the recurrent
+// MHA state, and the double-buffered pipeline staging buffers (§5.2).
+
+// QKVBufferReq returns the QKV-projection tile's buffer requirement.
+func QKVBufferReq(c Config, h, e int) int64 {
+	b, d, p, m1, m0 := int64(c.B), int64(c.D), int64(c.P), int64(c.M1), int64(c.M0)
+	return b*d*(4*p+3*m1*m0) + 3*d*int64(h)*int64(e) + 2*b*int64(h)*p
+}
+
+// MHABufferReq returns the fused-attention tile's buffer requirement.
+func MHABufferReq(c Config, h, e, f, pPrime int) int64 {
+	b, p, m1, m0 := int64(c.B), int64(c.P), int64(c.M1), int64(c.M0)
+	hh, ee, ff, pp := int64(h), int64(e), int64(f), int64(pPrime)
+	return b*hh*ee*(p+2*m1*m0) + b*hh*p*(2+2*ff) + 4*m0*pp + 18*pp
+}
+
+// LayerNormBufferReq returns the Add & LayerNorm tile's buffer requirement.
+func LayerNormBufferReq(c Config, h, f, pPrime int) int64 {
+	return 3*int64(c.B)*int64(h)*int64(f)*int64(c.P) + 4*int64(h)*int64(f)*int64(pPrime)
+}
+
+// FFNBufferReq returns the FFN tile's buffer requirement.
+func FFNBufferReq(c Config, h, f, pPrime int) int64 {
+	b, p, s := int64(c.B), int64(c.P), int64(c.S)
+	hf := int64(h) * int64(f)
+	return hf*(2*b*p+s) + s*(p+2) + 2*s*int64(pPrime)
+}
+
+// BufferReq returns the end-to-end fused tile's buffer requirement: the
+// maximum over the four layer stages. Adjacent stages share the buffer —
+// each stage's formula already includes both its input and output
+// activations, so the stage working sets overlap rather than accumulate,
+// and the binding constraint is the largest stage.
+func BufferReq(c Config, w Workload, spec arch.Spec) int64 {
+	m := w.Model
+	pp := c.PPrime(spec)
+	reqs := []int64{
+		QKVBufferReq(c, m.H, m.E),
+		MHABufferReq(c, m.H, m.E, m.F, pp),
+		LayerNormBufferReq(c, m.H, m.F, pp),
+		FFNBufferReq(c, m.H, m.F, pp),
+	}
+	max := reqs[0]
+	for _, r := range reqs[1:] {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// Feasible reports whether the tile's buffer requirement fits the
+// architecture's on-chip buffer — the constraint-validation stage of
+// TileSeek's MCTS (§5.1).
+func Feasible(c Config, w Workload, spec arch.Spec) bool {
+	if err := c.Validate(w); err != nil {
+		return false
+	}
+	return BufferReq(c, w, spec) <= spec.BufferElements()
+}

@@ -1,0 +1,107 @@
+package tiling
+
+import (
+	"fmt"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+)
+
+// HeuristicTile is the static outer-tiling rule the baseline systems use
+// (prior-work dataflows pick tiles with fixed heuristics rather than a
+// search):
+//
+//   - batch tile 1;
+//   - inner key/value tile matched to the 2D PE column count (the
+//     FuseMax-style mapping of m0 onto columns), staged chunk M1 = 1;
+//   - weight-staging slices (D for the QKV projection, S for the FFN)
+//     sized to at most a quarter of the buffer each, so activations keep
+//     most of the capacity;
+//   - then the largest query tile that satisfies the Table 2 buffer
+//     constraint, shrinking the weight slices further if even P = 1 does
+//     not fit.
+func HeuristicTile(w Workload, spec arch.Spec) (Config, error) {
+	if err := w.Validate(); err != nil {
+		return Config{}, err
+	}
+	m := w.Model
+	budget := spec.BufferElements()
+
+	c := Config{B: 1, M1: 1}
+	c.M0 = largestLE(Divisors(w.SeqLen, 0), spec.PE2D.Cols)
+
+	// Weight-staging slices capped at a quarter of the buffer each.
+	c.D = largestSuchThat(Divisors(m.D, 0), func(d int) bool {
+		return 3*int64(d)*int64(m.H)*int64(m.E) <= budget/4
+	})
+	c.S = largestSuchThat(Divisors(m.S, 0), func(s int) bool {
+		return int64(m.H)*int64(m.F)*int64(s) <= budget/4
+	})
+
+	// Joint batch/query-tile choice: among feasible (B, P) pairs, minimise
+	// the dominant off-chip traffic — per layer, weights are re-read once
+	// per (batch tile x query tile) and the key/value stream is re-read
+	// once per query tile per batch element:
+	//
+	//	traffic(b, p) ~ (N/p) * ((Batch/b) * Welems + Batch * 2*N*D)
+	weightElems := float64(3*m.D*m.D + 2*m.D*m.S)
+	kvElems := float64(w.Batch) * 2 * float64(w.KVLen()) * float64(m.D)
+	score := func(b, p int) float64 {
+		passes := float64(w.SeqLen) / float64(p)
+		return passes * (float64(w.Batch)/float64(b)*weightElems + kvElems)
+	}
+
+	ds := Divisors(m.D, c.D)
+	ss := Divisors(m.S, c.S)
+	m0s := Divisors(w.KVLen(), c.M0)
+	bs := Divisors(w.Batch, 0)
+	ps := Divisors(w.SeqLen, 0)
+	// Outer loops shrink the weight slices / KV tile only when no (B, P)
+	// pair fits at the current staging sizes.
+	for di := len(ds) - 1; di >= 0; di-- {
+		for si := len(ss) - 1; si >= 0; si-- {
+			for mi := len(m0s) - 1; mi >= 0; mi-- {
+				c.D, c.S, c.M0 = ds[di], ss[si], m0s[mi]
+				bestScore := 0.0
+				found := false
+				var best Config
+				for _, b := range bs {
+					for _, p := range ps {
+						c.B, c.P = b, p
+						if !Feasible(c, w, spec) {
+							continue
+						}
+						if s := score(b, p); !found || s < bestScore {
+							bestScore, best, found = s, c, true
+						}
+					}
+				}
+				if found {
+					return best, nil
+				}
+			}
+		}
+	}
+	return Config{}, fmt.Errorf("tiling: no feasible heuristic tile for %s on %s (seq %d)", w.Model.Name, spec.Name, w.SeqLen)
+}
+
+func largestLE(sorted []int, max int) int {
+	best := sorted[0]
+	for _, v := range sorted {
+		if v <= max {
+			best = v
+		}
+	}
+	return best
+}
+
+// largestSuchThat returns the largest value in the sorted slice satisfying
+// ok, falling back to the smallest value when none does.
+func largestSuchThat(sorted []int, ok func(int) bool) int {
+	best := sorted[0]
+	for _, v := range sorted {
+		if ok(v) {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,172 @@
+// Package tiling models TransFusion's outer tiling: the partitioning of
+// work between off-chip memory and the on-chip buffer. It provides the
+// closed-form per-layer buffer requirements of Table 2 of the paper, the
+// feasibility check TileSeek uses to prune its search space (§5.2), and the
+// divisor enumeration that defines the search space over [B, D, M1, P, S].
+package tiling
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/model"
+)
+
+// Workload fixes the full problem extents an outer tile is drawn from.
+type Workload struct {
+	// Model is the Transformer configuration.
+	Model model.Config
+	// SeqLen is the total sequence length (queries and keys/values).
+	SeqLen int
+	// Batch is the total batch size.
+	Batch int
+	// Causal selects decoder-style masked attention: each query attends
+	// only to itself and earlier positions, halving the effective key/value
+	// work on average. The paper evaluates the bidirectional formulation;
+	// this is the decoder extension (§3.2).
+	Causal bool
+	// KVSeqLen, when non-zero, decouples the key/value sequence length from
+	// the query length — the cross-attention case, where queries come from
+	// the decoder stream and keys/values from the encoder memory. Zero
+	// means self-attention (KV length = SeqLen).
+	KVSeqLen int
+}
+
+// KVLen returns the key/value sequence length (SeqLen for self-attention).
+func (w Workload) KVLen() int {
+	if w.KVSeqLen > 0 {
+		return w.KVSeqLen
+	}
+	return w.SeqLen
+}
+
+// AvgVisibleKV returns the average number of key/value positions each query
+// attends to: the full sequence bidirectionally, roughly half of it under
+// causal masking (queries in the tile starting at position q see q+1 ..
+// q+P positions; averaged over all tiles this is (SeqLen + P) / 2).
+func (w Workload) AvgVisibleKV(tileP int) int {
+	if !w.Causal {
+		return w.KVLen()
+	}
+	v := (w.KVLen() + tileP) / 2
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Validate checks the workload.
+func (w Workload) Validate() error {
+	if err := w.Model.Validate(); err != nil {
+		return err
+	}
+	if w.SeqLen <= 0 {
+		return fmt.Errorf("tiling: non-positive sequence length %d", w.SeqLen)
+	}
+	if w.Batch <= 0 {
+		return fmt.Errorf("tiling: non-positive batch %d", w.Batch)
+	}
+	if w.KVSeqLen < 0 {
+		return fmt.Errorf("tiling: negative KV sequence length %d", w.KVSeqLen)
+	}
+	if w.Causal && w.KVSeqLen != 0 && w.KVSeqLen != w.SeqLen {
+		return fmt.Errorf("tiling: causal masking requires KV length == query length")
+	}
+	return nil
+}
+
+// Config is one outer-tiling configuration over the paper's search
+// dimensions [B, D, M1, P, S]. Extents are per-tile sizes; the hierarchy is:
+// the on-chip buffer stages a (B, P) query tile, an (M1 x M0) key/value
+// chunk, a D-wide slice of the projection weights and an S-wide slice of
+// the FFN weights at a time.
+type Config struct {
+	// B is the batch extent per tile.
+	B int
+	// D is the hidden-dimension slice staged for the QKV projection.
+	D int
+	// P is the query-sequence tile length.
+	P int
+	// M1 is the number of inner key/value tiles staged per chunk.
+	M1 int
+	// M0 is the inner key/value tile length.
+	M0 int
+	// S is the FFN hidden slice staged at a time.
+	S int
+}
+
+// Validate checks the tile against its workload.
+func (c Config) Validate(w Workload) error {
+	m := w.Model
+	switch {
+	case c.B <= 0 || c.D <= 0 || c.P <= 0 || c.M1 <= 0 || c.M0 <= 0 || c.S <= 0:
+		return fmt.Errorf("tiling: non-positive tile extent in %+v", c)
+	case c.B > w.Batch:
+		return fmt.Errorf("tiling: tile B=%d exceeds batch %d", c.B, w.Batch)
+	case c.D > m.D:
+		return fmt.Errorf("tiling: tile D=%d exceeds model D=%d", c.D, m.D)
+	case c.P > w.SeqLen:
+		return fmt.Errorf("tiling: tile P=%d exceeds sequence %d", c.P, w.SeqLen)
+	case c.M1*c.M0 > w.KVLen():
+		return fmt.Errorf("tiling: KV chunk M1*M0=%d exceeds KV sequence %d", c.M1*c.M0, w.KVLen())
+	case c.S > m.S:
+		return fmt.Errorf("tiling: tile S=%d exceeds model S=%d", c.S, m.S)
+	case w.KVLen()%(c.M1*c.M0) != 0:
+		return fmt.Errorf("tiling: KV chunk %d does not divide KV sequence %d", c.M1*c.M0, w.KVLen())
+	case w.SeqLen%c.P != 0:
+		return fmt.Errorf("tiling: query tile %d does not divide sequence %d", c.P, w.SeqLen)
+	case w.Batch%c.B != 0:
+		return fmt.Errorf("tiling: tile batch %d does not divide batch %d", c.B, w.Batch)
+	default:
+		return nil
+	}
+}
+
+// QTiles is the number of query tiles per batch slice.
+func (c Config) QTiles(w Workload) int64 { return int64(w.SeqLen / c.P) }
+
+// KVChunks is the number of staged key/value chunks the MHA loop streams
+// through per query tile.
+func (c Config) KVChunks(w Workload) int64 { return int64(w.KVLen() / (c.M1 * c.M0)) }
+
+// BatchTiles is the number of batch slices.
+func (c Config) BatchTiles(w Workload) int64 { return int64(w.Batch / c.B) }
+
+// PPrime returns P', the intra-tile sequence length processed per PE row —
+// the query rows resident in one pipeline epoch (§5.2).
+func (c Config) PPrime(spec arch.Spec) int {
+	if c.P < spec.PE2D.Rows {
+		return c.P
+	}
+	return spec.PE2D.Rows
+}
+
+// String renders the tile compactly for logs and search traces.
+func (c Config) String() string {
+	return fmt.Sprintf("tile{B:%d D:%d P:%d M1:%d M0:%d S:%d}", c.B, c.D, c.P, c.M1, c.M0, c.S)
+}
+
+// Divisors returns the sorted divisors of n, optionally capped to those <=
+// max (max <= 0 means uncapped).
+func Divisors(n, max int) []int {
+	if n <= 0 {
+		return nil
+	}
+	var out []int
+	for d := 1; d*d <= n; d++ {
+		if n%d != 0 {
+			continue
+		}
+		out = append(out, d)
+		if other := n / d; other != d {
+			out = append(out, other)
+		}
+	}
+	sort.Ints(out)
+	if max > 0 {
+		i := sort.SearchInts(out, max+1)
+		out = out[:i]
+	}
+	return out
+}

@@ -1,0 +1,318 @@
+package tiling
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/model"
+)
+
+func testWorkload() Workload {
+	return Workload{Model: model.BERT(), SeqLen: 4096, Batch: 64}
+}
+
+func smallTile() Config {
+	return Config{B: 1, D: 768, P: 256, M1: 4, M0: 64, S: 256}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	w := testWorkload()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := w
+	bad.SeqLen = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero seq accepted")
+	}
+	bad = w
+	bad.Batch = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative batch accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	w := testWorkload()
+	if err := smallTile().Validate(w); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero B", func(c *Config) { c.B = 0 }},
+		{"B over batch", func(c *Config) { c.B = 128 }},
+		{"D over model", func(c *Config) { c.D = 1024 }},
+		{"P over seq", func(c *Config) { c.P = 8192 }},
+		{"KV chunk over seq", func(c *Config) { c.M1 = 4096; c.M0 = 4096 }},
+		{"S over model", func(c *Config) { c.S = 4096 }},
+		{"KV chunk not dividing", func(c *Config) { c.M0 = 96 }},
+		{"P not dividing", func(c *Config) { c.P = 640 }},
+		{"B not dividing", func(c *Config) { c.B = 48 }},
+	}
+	for _, tc := range cases {
+		c := smallTile()
+		tc.mutate(&c)
+		if err := c.Validate(w); err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, c)
+		}
+	}
+}
+
+func TestTileCounts(t *testing.T) {
+	w := testWorkload()
+	c := smallTile()
+	if got := c.QTiles(w); got != 16 {
+		t.Fatalf("QTiles = %d, want 16", got)
+	}
+	if got := c.KVChunks(w); got != 16 {
+		t.Fatalf("KVChunks = %d, want 16", got)
+	}
+	if got := c.BatchTiles(w); got != 64 {
+		t.Fatalf("BatchTiles = %d, want 64", got)
+	}
+}
+
+func TestPPrime(t *testing.T) {
+	c := smallTile()
+	if got := c.PPrime(arch.Cloud()); got != 256 {
+		t.Fatalf("cloud PPrime = %d, want min(P=256, rows=256) = 256", got)
+	}
+	if got := c.PPrime(arch.Edge()); got != 16 {
+		t.Fatalf("edge PPrime = %d, want 16", got)
+	}
+	tiny := c
+	tiny.P = 8
+	if got := tiny.PPrime(arch.Edge()); got != 8 {
+		t.Fatalf("tiny PPrime = %d, want 8", got)
+	}
+}
+
+// Table 2 formulas, audited term by term against the paper.
+func TestTable2Formulas(t *testing.T) {
+	c := Config{B: 2, D: 8, P: 4, M1: 3, M0: 5, S: 7}
+	h, e, f, pp := 2, 3, 3, 2
+
+	wantQKV := int64(2*8*(4*4+3*3*5) + 3*8*2*3 + 2*2*2*4)
+	if got := QKVBufferReq(c, h, e); got != wantQKV {
+		t.Fatalf("QKV = %d, want %d", got, wantQKV)
+	}
+
+	wantMHA := int64(2*2*3*(4+2*3*5) + 2*2*4*(2+2*3) + 4*5*2 + 18*2)
+	if got := MHABufferReq(c, h, e, f, pp); got != wantMHA {
+		t.Fatalf("MHA = %d, want %d", got, wantMHA)
+	}
+
+	wantLN := int64(3*2*2*3*4 + 4*2*3*2)
+	if got := LayerNormBufferReq(c, h, f, pp); got != wantLN {
+		t.Fatalf("LayerNorm = %d, want %d", got, wantLN)
+	}
+
+	wantFFN := int64(2*3*(2*2*4+7) + 7*(4+2) + 2*7*2)
+	if got := FFNBufferReq(c, h, f, pp); got != wantFFN {
+		t.Fatalf("FFN = %d, want %d", got, wantFFN)
+	}
+}
+
+func TestBufferReqIsMaxOfStages(t *testing.T) {
+	w := testWorkload()
+	c := smallTile()
+	spec := arch.Cloud()
+	pp := c.PPrime(spec)
+	m := w.Model
+	stages := []int64{
+		QKVBufferReq(c, m.H, m.E),
+		MHABufferReq(c, m.H, m.E, m.F, pp),
+		LayerNormBufferReq(c, m.H, m.F, pp),
+		FFNBufferReq(c, m.H, m.F, pp),
+	}
+	max := stages[0]
+	for _, s := range stages[1:] {
+		if s > max {
+			max = s
+		}
+	}
+	if got := BufferReq(c, w, spec); got != max {
+		t.Fatalf("BufferReq = %d, want max of stages %d", got, max)
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	w := testWorkload()
+	spec := arch.Cloud()
+	if !Feasible(smallTile(), w, spec) {
+		t.Fatal("small tile infeasible on cloud")
+	}
+	// A giant tile must be infeasible on the 5 MB edge buffer.
+	big := Config{B: 64, D: 768, P: 4096, M1: 64, M0: 64, S: 3072}
+	if Feasible(big, w, arch.Edge()) {
+		t.Fatal("giant tile feasible on edge")
+	}
+	// Invalid tiles are infeasible regardless of size.
+	invalid := smallTile()
+	invalid.P = 640
+	if Feasible(invalid, w, spec) {
+		t.Fatal("invalid tile reported feasible")
+	}
+}
+
+func TestDivisors(t *testing.T) {
+	got := Divisors(12, 0)
+	want := []int{1, 2, 3, 4, 6, 12}
+	if len(got) != len(want) {
+		t.Fatalf("Divisors(12) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Divisors(12) = %v", got)
+		}
+	}
+	capped := Divisors(12, 4)
+	if len(capped) != 4 || capped[len(capped)-1] != 4 {
+		t.Fatalf("Divisors(12, 4) = %v", capped)
+	}
+	if Divisors(0, 0) != nil {
+		t.Fatal("Divisors(0) != nil")
+	}
+	if got := Divisors(1<<20, 0); len(got) != 21 {
+		t.Fatalf("Divisors(2^20) = %d entries, want 21", len(got))
+	}
+}
+
+// Property: every buffer requirement is monotone in every tile extent —
+// growing a tile never shrinks its footprint (the pruning soundness TileSeek
+// relies on).
+func TestQuickBufferReqMonotone(t *testing.T) {
+	w := testWorkload()
+	spec := arch.Cloud()
+	f := func(bR, pR, m1R, m0R, sR uint8) bool {
+		c := Config{
+			B:  int(bR%4) + 1,
+			D:  768,
+			P:  []int{128, 256, 512}[pR%3],
+			M1: int(m1R%4) + 1,
+			M0: []int{32, 64}[m0R%2],
+			S:  int(sR%8)*128 + 128,
+		}
+		base := BufferReq(c, w, spec)
+		grownB := c
+		grownB.B *= 2
+		grownP := c
+		grownP.P *= 2
+		grownS := c
+		grownS.S += 128
+		grownM := c
+		grownM.M1 *= 2
+		return BufferReq(grownB, w, spec) >= base &&
+			BufferReq(grownP, w, spec) >= base &&
+			BufferReq(grownS, w, spec) >= base &&
+			BufferReq(grownM, w, spec) >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: divisors divide and are sorted.
+func TestQuickDivisors(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := int(nRaw%5000) + 1
+		ds := Divisors(n, 0)
+		for i, d := range ds {
+			if n%d != 0 {
+				return false
+			}
+			if i > 0 && ds[i-1] >= d {
+				return false
+			}
+		}
+		return ds[0] == 1 && ds[len(ds)-1] == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadKVLen(t *testing.T) {
+	w := testWorkload()
+	if w.KVLen() != w.SeqLen {
+		t.Fatalf("self-attention KVLen = %d", w.KVLen())
+	}
+	w.KVSeqLen = 8192
+	if w.KVLen() != 8192 {
+		t.Fatalf("cross-attention KVLen = %d", w.KVLen())
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w.KVSeqLen = -1
+	if err := w.Validate(); err == nil {
+		t.Fatal("negative KVSeqLen accepted")
+	}
+	w = testWorkload()
+	w.Causal = true
+	w.KVSeqLen = 8192
+	if err := w.Validate(); err == nil {
+		t.Fatal("causal cross-attention accepted")
+	}
+}
+
+func TestAvgVisibleKV(t *testing.T) {
+	w := testWorkload() // seq 4096
+	if got := w.AvgVisibleKV(256); got != 4096 {
+		t.Fatalf("bidirectional AvgVisibleKV = %d", got)
+	}
+	w.Causal = true
+	if got := w.AvgVisibleKV(256); got != (4096+256)/2 {
+		t.Fatalf("causal AvgVisibleKV = %d, want %d", got, (4096+256)/2)
+	}
+	w2 := Workload{Model: model.BERT(), SeqLen: 1, Batch: 1, Causal: true}
+	if got := w2.AvgVisibleKV(1); got < 1 {
+		t.Fatalf("AvgVisibleKV clamped to %d", got)
+	}
+}
+
+func TestConfigValidateCrossAttention(t *testing.T) {
+	w := testWorkload()
+	w.KVSeqLen = 1024
+	// KV chunk validated against the KV length, not the query length.
+	c := smallTile() // M1*M0 = 256 divides 1024
+	if err := c.Validate(w); err != nil {
+		t.Fatal(err)
+	}
+	c.M0 = 96 // 96*4 does not divide 1024
+	if err := c.Validate(w); err == nil {
+		t.Fatal("non-dividing KV chunk accepted for cross-attention")
+	}
+	good := smallTile()
+	if got := good.KVChunks(w); got != 1024/256 {
+		t.Fatalf("cross KVChunks = %d", got)
+	}
+}
+
+func TestHeuristicTileShrinksForTinyBuffer(t *testing.T) {
+	// A buffer big enough for something but forcing deep shrink loops.
+	spec := arch.Edge()
+	spec.BufferBytes = 256 << 10 // 256 KiB
+	w := Workload{Model: model.Llama3(), SeqLen: 65536, Batch: 64}
+	c, err := HeuristicTile(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Feasible(c, w, spec) {
+		t.Fatalf("shrunk tile %v infeasible", c)
+	}
+	// An impossible buffer must error, not loop forever.
+	spec.BufferBytes = 64
+	if _, err := HeuristicTile(w, spec); err == nil {
+		t.Fatal("impossible buffer produced a tile")
+	}
+}
+
+func TestHeuristicTileRejectsBadWorkload(t *testing.T) {
+	if _, err := HeuristicTile(Workload{Model: model.BERT(), SeqLen: 0, Batch: 1}, arch.Cloud()); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
