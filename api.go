@@ -1,9 +1,11 @@
 package transfusion
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/fusedmindlab/transfusion/internal/arch"
 	"github.com/fusedmindlab/transfusion/internal/cascade"
@@ -11,11 +13,22 @@ import (
 	"github.com/fusedmindlab/transfusion/internal/einsum"
 	"github.com/fusedmindlab/transfusion/internal/eval"
 	"github.com/fusedmindlab/transfusion/internal/experiments"
+	"github.com/fusedmindlab/transfusion/internal/faults"
 	"github.com/fusedmindlab/transfusion/internal/model"
 	"github.com/fusedmindlab/transfusion/internal/pipeline"
 	"github.com/fusedmindlab/transfusion/internal/report"
 	"github.com/fusedmindlab/transfusion/internal/tensor"
 	"github.com/fusedmindlab/transfusion/internal/tiling"
+)
+
+// Sanity caps on RunSpec extents: large enough for any workload the model
+// covers (the paper evaluates up to 1M tokens), small enough to reject
+// nonsense before it allocates or loops for hours.
+const (
+	// MaxSeqLen bounds RunSpec.SeqLen.
+	MaxSeqLen = 1 << 24
+	// MaxBatch bounds RunSpec.Batch.
+	MaxBatch = 1 << 16
 )
 
 // RunSpec selects one evaluation.
@@ -45,6 +58,12 @@ type RunSpec struct {
 	ArchFile string
 	// CustomModel, when non-nil, replaces the zoo model named by Model.
 	CustomModel *CustomModel
+	// SearchTimeout, when positive, soft-bounds TileSeek's wall-clock time
+	// (only meaningful for the "transfusion" system). When it expires the
+	// evaluation falls back to the heuristic tile and the result reports
+	// Degraded with a DegradedReason instead of failing. Cancellation of
+	// the caller's context is unaffected: it still returns ErrCanceled.
+	SearchTimeout time.Duration
 }
 
 // CustomModel describes a Transformer outside the five-entry zoo by its
@@ -97,6 +116,13 @@ type RunResult struct {
 	// TileSearchEvals counts TileSeek objective evaluations (zero for the
 	// baselines' static heuristic).
 	TileSearchEvals int
+	// Degraded reports that the tile search did not complete cleanly and the
+	// evaluation fell back to the static heuristic tile (see
+	// DegradedReason). The result is still valid, but may be pessimistic
+	// relative to a completed search.
+	Degraded bool
+	// DegradedReason says why, when Degraded is set.
+	DegradedReason string
 }
 
 // ArchNames lists the architecture presets.
@@ -127,7 +153,31 @@ func SystemNames() []string {
 	return out
 }
 
+// validate checks the spec's numeric constraints up front, before any
+// resolution work, so adversarial or fat-fingered inputs fail fast with an
+// error matching ErrInvalidSpec instead of surfacing from deep inside the
+// tiling or search machinery.
+func (s RunSpec) validate() error {
+	switch {
+	case s.SeqLen <= 0:
+		return faults.Invalidf("transfusion: non-positive sequence length %d", s.SeqLen)
+	case s.SeqLen > MaxSeqLen:
+		return faults.Invalidf("transfusion: sequence length %d exceeds maximum %d", s.SeqLen, MaxSeqLen)
+	case s.Batch < 0:
+		return faults.Invalidf("transfusion: negative batch %d (0 selects the default of %d)", s.Batch, model.EvalBatch)
+	case s.Batch > MaxBatch:
+		return faults.Invalidf("transfusion: batch %d exceeds maximum %d", s.Batch, MaxBatch)
+	case s.SearchBudget < 0:
+		return faults.Invalidf("transfusion: negative search budget %d (0 selects the default)", s.SearchBudget)
+	default:
+		return nil
+	}
+}
+
 func (s RunSpec) resolve() (arch.Spec, model.Config, pipeline.System, pipeline.Options, int, error) {
+	if err := s.validate(); err != nil {
+		return arch.Spec{}, model.Config{}, pipeline.System{}, pipeline.Options{}, 0, err
+	}
 	var spec arch.Spec
 	var err error
 	if s.ArchFile != "" {
@@ -151,10 +201,6 @@ func (s RunSpec) resolve() (arch.Spec, model.Config, pipeline.System, pipeline.O
 	if err != nil {
 		return arch.Spec{}, model.Config{}, pipeline.System{}, pipeline.Options{}, 0, err
 	}
-	if s.SeqLen <= 0 {
-		return arch.Spec{}, model.Config{}, pipeline.System{}, pipeline.Options{}, 0,
-			fmt.Errorf("transfusion: non-positive sequence length %d", s.SeqLen)
-	}
 	batch := s.Batch
 	if batch == 0 {
 		batch = model.EvalBatch
@@ -162,6 +208,9 @@ func (s RunSpec) resolve() (arch.Spec, model.Config, pipeline.System, pipeline.O
 	opts := pipeline.DefaultOptions()
 	if s.SearchBudget > 0 {
 		opts.TileSeekIterations = s.SearchBudget
+	}
+	if s.SearchTimeout > 0 {
+		opts.TileSeekTimeout = s.SearchTimeout
 	}
 	return spec, m, sys, opts, batch, nil
 }
@@ -189,29 +238,47 @@ func toRunResult(r pipeline.Result, batch int) RunResult {
 		Tile:            r.Tile.String(),
 		DRAMBytes:       r.Traffic.DRAMBytes,
 		TileSearchEvals: r.TileSearchEvals,
+		Degraded:        r.Degraded,
+		DegradedReason:  r.DegradedReason,
 	}
 }
 
 // Run evaluates one system on one workload/architecture.
 func Run(s RunSpec) (RunResult, error) {
+	return RunContext(context.Background(), s)
+}
+
+// RunContext is Run under a context. Cancelling ctx aborts the tile search
+// within one rollout and the schedule search within one candidate, returning
+// an error matching ErrCanceled. RunContext never panics: an internal defect
+// surfaces as a *InternalError carrying the stack trace.
+func RunContext(ctx context.Context, s RunSpec) (res RunResult, err error) {
+	defer faults.Recover(&err)
 	spec, m, sys, opts, batch, err := s.resolve()
 	if err != nil {
 		return RunResult{}, err
 	}
 	w := pipeline.Workload{Model: m, SeqLen: s.SeqLen, Batch: batch, Causal: s.Causal}
-	res, err := pipeline.Evaluate(w, spec, sys, opts)
+	r, err := pipeline.EvaluateContext(ctx, w, spec, sys, opts)
 	if err != nil {
 		return RunResult{}, err
 	}
-	return toRunResult(res, batch), nil
+	return toRunResult(r, batch), nil
 }
 
 // Compare evaluates all five systems on one workload/architecture, in the
 // paper's comparison order (Unfused first — the common baseline).
 func Compare(archName, modelName string, seqLen int) ([]RunResult, error) {
-	out := make([]RunResult, 0, 5)
+	return CompareContext(context.Background(), archName, modelName, seqLen)
+}
+
+// CompareContext is Compare under a context; cancellation aborts the
+// in-flight evaluation and returns an error matching ErrCanceled.
+func CompareContext(ctx context.Context, archName, modelName string, seqLen int) (out []RunResult, err error) {
+	defer faults.Recover(&err)
+	out = make([]RunResult, 0, 5)
 	for _, name := range SystemNames() {
-		r, err := Run(RunSpec{Arch: archName, Model: modelName, SeqLen: seqLen, System: name})
+		r, err := RunContext(ctx, RunSpec{Arch: archName, Model: modelName, SeqLen: seqLen, System: name})
 		if err != nil {
 			return nil, err
 		}
@@ -244,15 +311,14 @@ func ExperimentDescription(id string) (string, error) {
 // figures involving TransFusion get slower but slightly better-tiled as it
 // grows.
 func RunExperiment(id string, searchBudget int) (string, error) {
-	e, err := experiments.ByID(id)
-	if err != nil {
-		return "", err
-	}
-	opts := pipeline.DefaultOptions()
-	if searchBudget > 0 {
-		opts.TileSeekIterations = searchBudget
-	}
-	table, err := e.Run(experiments.NewRunner(opts))
+	return RunExperimentContext(context.Background(), id, searchBudget)
+}
+
+// RunExperimentContext is RunExperiment under a context; cancellation aborts
+// the in-flight evaluation and returns an error matching ErrCanceled.
+func RunExperimentContext(ctx context.Context, id string, searchBudget int) (out string, err error) {
+	defer faults.Recover(&err)
+	table, err := runExperimentTable(ctx, id, searchBudget)
 	if err != nil {
 		return "", err
 	}
@@ -262,19 +328,32 @@ func RunExperiment(id string, searchBudget int) (string, error) {
 // RunExperimentCSV regenerates one paper artifact as CSV (header row plus
 // one record per table row), for downstream plotting.
 func RunExperimentCSV(id string, searchBudget int) (string, error) {
-	e, err := experiments.ByID(id)
+	return RunExperimentCSVContext(context.Background(), id, searchBudget)
+}
+
+// RunExperimentCSVContext is RunExperimentCSV under a context.
+func RunExperimentCSVContext(ctx context.Context, id string, searchBudget int) (out string, err error) {
+	defer faults.Recover(&err)
+	table, err := runExperimentTable(ctx, id, searchBudget)
 	if err != nil {
 		return "", err
+	}
+	return table.CSV(), nil
+}
+
+func runExperimentTable(ctx context.Context, id string, searchBudget int) (*report.Table, error) {
+	if searchBudget < 0 {
+		return nil, faults.Invalidf("transfusion: negative search budget %d", searchBudget)
+	}
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
 	}
 	opts := pipeline.DefaultOptions()
 	if searchBudget > 0 {
 		opts.TileSeekIterations = searchBudget
 	}
-	table, err := e.Run(experiments.NewRunner(opts))
-	if err != nil {
-		return "", err
-	}
-	return table.CSV(), nil
+	return e.Run(experiments.NewRunnerContext(ctx, opts))
 }
 
 // VerifyCascades executes the functional layer end to end: one full
@@ -282,7 +361,8 @@ func RunExperimentCSV(id string, searchBudget int) (string, error) {
 // through the Einsum-cascade interpreter on deterministic random tensors
 // and compared against naive reference implementations. It returns the
 // maximum absolute deviation (which should be ~1e-12).
-func VerifyCascades(seed uint64) (float64, error) {
+func VerifyCascades(seed uint64) (diff float64, err error) {
+	defer faults.Recover(&err)
 	const d, h, e, p, s, m0 = 8, 2, 4, 6, 10, 3
 	input := tensor.Rand(seed+100, tensor.Dim{Name: "d", Size: d}, tensor.Dim{Name: "p", Size: p})
 	w := cascade.RandLayerWeights(seed, d, h, e, e, s)
@@ -308,10 +388,11 @@ func VerifyCascades(seed uint64) (float64, error) {
 // output AV[h,f,p]; exposed so examples can drive the functional layer
 // directly. q is [h,e,p]; k and v are [h,e,m] / [h,f,m]; m0 is the inner
 // tile length and must divide m.
-func RunStreamingAttention(q, k, v *tensor.Tensor, m0 int) (*tensor.Tensor, error) {
+func RunStreamingAttention(q, k, v *tensor.Tensor, m0 int) (out *tensor.Tensor, err error) {
+	defer faults.Recover(&err)
 	m := k.MustSize("m")
 	if m0 <= 0 || m%m0 != 0 {
-		return nil, fmt.Errorf("transfusion: m0=%d does not divide m=%d", m0, m)
+		return nil, faults.Invalidf("transfusion: m0=%d does not divide m=%d", m0, m)
 	}
 	env := eval.Env{
 		"Q":  q,
@@ -322,11 +403,11 @@ func RunStreamingAttention(q, k, v *tensor.Tensor, m0 int) (*tensor.Tensor, erro
 		"h": q.MustSize("h"), "e": q.MustSize("e"), "f": v.MustSize("f"),
 		"p": q.MustSize("p"), "m1": m / m0, "m0": m0,
 	}
-	out, err := cascade.Attention().Run(env, dims)
+	res, err := cascade.Attention().Run(env, dims)
 	if err != nil {
 		return nil, err
 	}
-	return out["AV"], nil
+	return res["AV"], nil
 }
 
 // ReferenceAttention computes naive full-softmax attention for comparison
@@ -337,19 +418,23 @@ func ReferenceAttention(q, k, v *tensor.Tensor) *tensor.Tensor {
 
 // RandTensor builds a deterministic pseudo-random tensor; dims alternate
 // name/size pairs, e.g. RandTensor(1, "h", 2, "e", 4, "p", 8).
-func RandTensor(seed uint64, dims ...interface{}) (*tensor.Tensor, error) {
+func RandTensor(seed uint64, dims ...interface{}) (out *tensor.Tensor, err error) {
+	defer faults.Recover(&err)
 	if len(dims)%2 != 0 {
-		return nil, fmt.Errorf("transfusion: RandTensor needs name/size pairs")
+		return nil, faults.Invalidf("transfusion: RandTensor needs name/size pairs")
 	}
 	td := make([]tensor.Dim, 0, len(dims)/2)
 	for i := 0; i < len(dims); i += 2 {
 		name, ok := dims[i].(string)
 		if !ok {
-			return nil, fmt.Errorf("transfusion: dim name %v is not a string", dims[i])
+			return nil, faults.Invalidf("transfusion: dim name %v is not a string", dims[i])
 		}
 		size, ok := dims[i+1].(int)
 		if !ok {
-			return nil, fmt.Errorf("transfusion: dim size %v is not an int", dims[i+1])
+			return nil, faults.Invalidf("transfusion: dim size %v is not an int", dims[i+1])
+		}
+		if size <= 0 {
+			return nil, faults.Invalidf("transfusion: non-positive size %d for dim %q", size, name)
 		}
 		td = append(td, tensor.Dim{Name: name, Size: size})
 	}
@@ -376,7 +461,11 @@ func renameDim(t *tensor.Tensor, from, to string) *tensor.Tensor {
 // ("qproj", "kvproj", "mha", "ln", "ffn") and renders it as an ASCII Gantt
 // chart over the given number of explicit epochs, plus the schedule
 // statistics. It is the introspection behind `transfusion -trace`.
-func ScheduleTrace(archName, modelName string, seqLen int, layer string, epochs, width int) (string, error) {
+func ScheduleTrace(archName, modelName string, seqLen int, layer string, epochs, width int) (out string, err error) {
+	defer faults.Recover(&err)
+	if seqLen <= 0 || seqLen > MaxSeqLen {
+		return "", faults.Invalidf("transfusion: sequence length %d out of range (1..%d)", seqLen, MaxSeqLen)
+	}
 	spec, err := arch.ByName(archName)
 	if err != nil {
 		return "", err
@@ -396,7 +485,7 @@ func ScheduleTrace(archName, modelName string, seqLen int, layer string, epochs,
 	}
 	prob, ok := probs[layer]
 	if !ok {
-		return "", fmt.Errorf("transfusion: unknown sub-layer %q (have qproj, kvproj, mha, ln, ffn)", layer)
+		return "", faults.Invalidf("transfusion: unknown sub-layer %q (have qproj, kvproj, mha, ln, ffn)", layer)
 	}
 	plan, err := dpipe.Plan(prob, spec, dpipe.DefaultOptions())
 	if err != nil {
@@ -423,13 +512,14 @@ func ScheduleTrace(archName, modelName string, seqLen int, layer string, epochs,
 // RunCausalAttention executes the masked (decoder-style) streaming
 // attention cascade: each query at global position qStart+i attends only to
 // keys at positions <= qStart+i. Shapes follow RunStreamingAttention.
-func RunCausalAttention(q, k, v *tensor.Tensor, m0, qStart int) (*tensor.Tensor, error) {
+func RunCausalAttention(q, k, v *tensor.Tensor, m0, qStart int) (av *tensor.Tensor, err error) {
+	defer faults.Recover(&err)
 	m := k.MustSize("m")
 	if m0 <= 0 || m%m0 != 0 {
-		return nil, fmt.Errorf("transfusion: m0=%d does not divide m=%d", m0, m)
+		return nil, faults.Invalidf("transfusion: m0=%d does not divide m=%d", m0, m)
 	}
 	if qStart < 0 {
-		return nil, fmt.Errorf("transfusion: negative qStart %d", qStart)
+		return nil, faults.Invalidf("transfusion: negative qStart %d", qStart)
 	}
 	m1 := m / m0
 	p := q.MustSize("p")
@@ -482,6 +572,15 @@ type StackResult struct {
 
 // RunEncoderDecoder evaluates a full encoder-decoder Transformer stack.
 func RunEncoderDecoder(s StackSpec) (StackResult, error) {
+	return RunEncoderDecoderContext(context.Background(), s)
+}
+
+// RunEncoderDecoderContext is RunEncoderDecoder under a context.
+func RunEncoderDecoderContext(ctx context.Context, s StackSpec) (sr StackResult, err error) {
+	defer faults.Recover(&err)
+	if s.DecSeq <= 0 || s.DecSeq > MaxSeqLen {
+		return StackResult{}, faults.Invalidf("transfusion: decoder sequence length %d out of range (1..%d)", s.DecSeq, MaxSeqLen)
+	}
 	spec, m, sys, opts, batch, err := RunSpec{
 		Arch: s.Arch, Model: s.Model, System: s.System,
 		SeqLen: s.EncSeq, Batch: s.Batch, SearchBudget: s.SearchBudget,
@@ -490,7 +589,7 @@ func RunEncoderDecoder(s StackSpec) (StackResult, error) {
 		return StackResult{}, err
 	}
 	w := pipeline.Workload{Model: m, Batch: batch}
-	res, err := pipeline.EvaluateEncoderDecoder(w, s.EncSeq, s.DecSeq, spec, sys, opts)
+	res, err := pipeline.EvaluateEncoderDecoderContext(ctx, w, s.EncSeq, s.DecSeq, spec, sys, opts)
 	if err != nil {
 		return StackResult{}, err
 	}
@@ -514,7 +613,8 @@ func RunEncoderDecoder(s StackSpec) (StackResult, error) {
 // instance count, compute cycles, DRAM bytes, rooflined time, and whether
 // it is compute- or memory-bound — the roofline analysis behind
 // `transfusion -explain`.
-func Explain(s RunSpec) (string, error) {
+func Explain(s RunSpec) (out string, err error) {
+	defer faults.Recover(&err)
 	spec, m, sys, opts, batch, err := s.resolve()
 	if err != nil {
 		return "", err

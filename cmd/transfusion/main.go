@@ -10,16 +10,24 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"github.com/fusedmindlab/transfusion"
 )
 
 func main() {
+	// Ctrl-C / SIGTERM cancels the in-flight search and evaluation cleanly
+	// (the library aborts within one rollout / schedule candidate).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	archName := flag.String("arch", "cloud", "architecture preset: "+strings.Join(transfusion.ArchNames(), ", "))
 	modelName := flag.String("model", "llama3", "workload model: "+strings.Join(transfusion.ModelNames(), ", "))
 	seq := flag.Int("seq", 65536, "sequence length (powers of two are safe)")
@@ -33,11 +41,13 @@ func main() {
 	explain := flag.Bool("explain", false, "print the per-phase roofline anatomy")
 	archFile := flag.String("arch-file", "", "load the architecture from a JSON file instead of a preset")
 	sweep := flag.Bool("sweep", false, "sweep the 1K-1M sequence range for the chosen system, CSV to stdout")
+	searchTimeout := flag.Duration("search-timeout", 0, "soft TileSeek wall-clock bound; on expiry fall back to the heuristic tile and report degraded (0 = none)")
 	flag.Parse()
 
 	base := transfusion.RunSpec{
 		Arch: *archName, Model: *modelName, SeqLen: *seq, System: *system,
 		Batch: *batch, SearchBudget: *budget, Causal: *causal, ArchFile: *archFile,
+		SearchTimeout: *searchTimeout,
 	}
 
 	if *sweep {
@@ -45,7 +55,7 @@ func main() {
 		for _, n := range []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20} {
 			spec := base
 			spec.SeqLen = n
-			r, err := transfusion.Run(spec)
+			r, err := transfusion.RunContext(ctx, spec)
 			if err != nil {
 				fatal(err)
 			}
@@ -74,22 +84,26 @@ func main() {
 	}
 
 	if *compare {
-		results, err := transfusion.Compare(*archName, *modelName, *seq)
+		results, err := transfusion.CompareContext(ctx, *archName, *modelName, *seq)
 		if err != nil {
 			fatal(err)
 		}
 		unfused := results[0]
-		fmt.Printf("%-18s %-12s %-12s %-9s %-8s %-8s %s\n",
-			"system", "cycles", "seconds", "speedup", "2D util", "1D util", "energy (pJ)")
+		fmt.Printf("%-18s %-12s %-12s %-9s %-8s %-8s %-12s %s\n",
+			"system", "cycles", "seconds", "speedup", "2D util", "1D util", "energy (pJ)", "degraded")
 		for _, r := range results {
-			fmt.Printf("%-18s %-12.4g %-12.4g %-9.2f %-8.0f %-8.0f %.4g\n",
+			degraded := "-"
+			if r.Degraded {
+				degraded = "yes"
+			}
+			fmt.Printf("%-18s %-12.4g %-12.4g %-9.2f %-8.0f %-8.0f %-12.4g %s\n",
 				r.System, r.Cycles, r.Seconds, unfused.Cycles/r.Cycles,
-				r.Utilization2D*100, r.Utilization1D*100, r.EnergyPJ.Total())
+				r.Utilization2D*100, r.Utilization1D*100, r.EnergyPJ.Total(), degraded)
 		}
 		return
 	}
 
-	res, err := transfusion.Run(base)
+	res, err := transfusion.RunContext(ctx, base)
 	if err != nil {
 		fatal(err)
 	}
@@ -108,6 +122,9 @@ func main() {
 	if res.TileSearchEvals > 0 {
 		fmt.Printf("tile search   %d objective evaluations\n", res.TileSearchEvals)
 	}
+	if res.Degraded {
+		fmt.Printf("degraded      %s\n", res.DegradedReason)
+	}
 	fmt.Printf("DRAM traffic  %.4g bytes\n", res.DRAMBytes)
 	e := res.EnergyPJ
 	fmt.Printf("energy        %.4g pJ  (DRAM %.0f%%, buffer %.0f%%, RF %.0f%%, PE %.0f%%)\n",
@@ -119,6 +136,8 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "transfusion:", err)
+	// Library errors already carry the "transfusion: " package prefix;
+	// avoid printing it twice.
+	fmt.Fprintln(os.Stderr, "transfusion:", strings.TrimPrefix(err.Error(), "transfusion: "))
 	os.Exit(1)
 }

@@ -1,0 +1,35 @@
+package transfusion
+
+import (
+	"github.com/fusedmindlab/transfusion/internal/faults"
+)
+
+// Typed error taxonomy. Every error returned from the public API classifies
+// into one of these categories, matchable with errors.Is / errors.As:
+//
+//	ErrInvalidSpec     malformed input: unknown preset, bad architecture
+//	                   JSON, non-positive extents, unparseable einsum spec;
+//	ErrInfeasible      well-formed input with no solution — e.g. no outer
+//	                   tiling fits the on-chip buffer; a normal search
+//	                   outcome that TransFusion degrades around where it
+//	                   can (see RunResult.Degraded);
+//	ErrBudgetExhausted an explicit enumeration or evaluation budget ran out
+//	                   before a search completed;
+//	ErrCanceled        the context passed to a *Context entry point was
+//	                   canceled or its deadline passed (the error also
+//	                   matches context.Canceled / context.DeadlineExceeded
+//	                   as appropriate);
+//	*InternalError     an internal invariant broke. Every public entry point
+//	                   runs behind a recover() boundary, so a bug below the
+//	                   API surfaces as a typed error carrying the panic value
+//	                   and stack instead of crashing the caller.
+var (
+	ErrInvalidSpec     = faults.ErrInvalidSpec
+	ErrInfeasible      = faults.ErrInfeasible
+	ErrBudgetExhausted = faults.ErrBudgetExhausted
+	ErrCanceled        = faults.ErrCanceled
+)
+
+// InternalError is a recovered panic from below the public API; match with
+// errors.As. Its Stack field carries the goroutine stack at recovery.
+type InternalError = faults.InternalError

@@ -10,7 +10,9 @@
 // register file ≈ PE op), which these constants preserve.
 package arch
 
-import "fmt"
+import (
+	"github.com/fusedmindlab/transfusion/internal/faults"
+)
 
 // Array2D is the 2D processing-element array.
 type Array2D struct {
@@ -66,23 +68,24 @@ type Spec struct {
 	Energy EnergyTable
 }
 
-// Validate checks that every parameter is physically meaningful.
+// Validate checks that every parameter is physically meaningful. Violations
+// return errors matching faults.ErrInvalidSpec.
 func (s Spec) Validate() error {
 	switch {
 	case s.Name == "":
-		return fmt.Errorf("arch: empty name")
+		return faults.Invalidf("arch: empty name")
 	case s.PE2D.Rows <= 0 || s.PE2D.Cols <= 0:
-		return fmt.Errorf("arch %s: non-positive 2D PE array %dx%d", s.Name, s.PE2D.Rows, s.PE2D.Cols)
+		return faults.Invalidf("arch %s: non-positive 2D PE array %dx%d", s.Name, s.PE2D.Rows, s.PE2D.Cols)
 	case s.PE1DLanes <= 0:
-		return fmt.Errorf("arch %s: non-positive 1D PE lanes %d", s.Name, s.PE1DLanes)
+		return faults.Invalidf("arch %s: non-positive 1D PE lanes %d", s.Name, s.PE1DLanes)
 	case s.BufferBytes <= 0:
-		return fmt.Errorf("arch %s: non-positive buffer size %d", s.Name, s.BufferBytes)
+		return faults.Invalidf("arch %s: non-positive buffer size %d", s.Name, s.BufferBytes)
 	case s.DRAMBandwidth <= 0:
-		return fmt.Errorf("arch %s: non-positive DRAM bandwidth %f", s.Name, s.DRAMBandwidth)
+		return faults.Invalidf("arch %s: non-positive DRAM bandwidth %f", s.Name, s.DRAMBandwidth)
 	case s.ClockHz <= 0:
-		return fmt.Errorf("arch %s: non-positive clock %f", s.Name, s.ClockHz)
+		return faults.Invalidf("arch %s: non-positive clock %f", s.Name, s.ClockHz)
 	case s.BytesPerElement <= 0:
-		return fmt.Errorf("arch %s: non-positive element width %d", s.Name, s.BytesPerElement)
+		return faults.Invalidf("arch %s: non-positive element width %d", s.Name, s.BytesPerElement)
 	default:
 		return nil
 	}
@@ -168,5 +171,5 @@ func ByName(name string) (Spec, error) {
 	for n := range p {
 		names = append(names, n)
 	}
-	return Spec{}, fmt.Errorf("arch: unknown preset %q (have %v)", name, names)
+	return Spec{}, faults.Invalidf("arch: unknown preset %q (have %v)", name, names)
 }

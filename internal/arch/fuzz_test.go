@@ -1,0 +1,66 @@
+package arch
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/internal/faults"
+)
+
+// FuzzLoadJSON asserts the JSON loader never panics and that every rejected
+// description carries the ErrInvalidSpec classification, while every
+// accepted description passes Validate.
+func FuzzLoadJSON(f *testing.F) {
+	f.Add([]byte(`{"name":"npu","pe2dRows":64,"pe2dCols":64,"pe1dLanes":512,` +
+		`"bufferBytes":8388608,"dramBandwidthGBs":100,"clockGHz":1.0}`))
+	f.Add([]byte(`{"name":"bad","pe2dRows":-1}`))
+	f.Add([]byte(`{"name":"zero","pe2dRows":0,"pe2dCols":64}`))
+	f.Add([]byte(`{"name":"neg-energy","pe2dRows":4,"pe2dCols":4,"pe1dLanes":4,` +
+		`"bufferBytes":1024,"dramBandwidthGBs":1,"clockGHz":1,"energy":{"macOp":-3}}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"huge","bufferBytes":-9223372036854775808}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := FromJSON(data)
+		if err != nil {
+			if !errors.Is(err, faults.ErrInvalidSpec) {
+				t.Fatalf("rejection %v does not match ErrInvalidSpec", err)
+			}
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("accepted spec fails Validate: %v", verr)
+		}
+		if s.BufferElements() <= 0 {
+			t.Fatalf("accepted spec has non-positive buffer elements: %+v", s)
+		}
+	})
+}
+
+func TestFromJSONRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"non-positive PE rows", `{"name":"x","pe2dRows":0,"pe2dCols":4,"pe1dLanes":4,"bufferBytes":1024,"dramBandwidthGBs":1,"clockGHz":1}`},
+		{"negative PE cols", `{"name":"x","pe2dRows":4,"pe2dCols":-4,"pe1dLanes":4,"bufferBytes":1024,"dramBandwidthGBs":1,"clockGHz":1}`},
+		{"non-positive lanes", `{"name":"x","pe2dRows":4,"pe2dCols":4,"pe1dLanes":0,"bufferBytes":1024,"dramBandwidthGBs":1,"clockGHz":1}`},
+		{"non-positive buffer", `{"name":"x","pe2dRows":4,"pe2dCols":4,"pe1dLanes":4,"bufferBytes":0,"dramBandwidthGBs":1,"clockGHz":1}`},
+		{"negative bandwidth", `{"name":"x","pe2dRows":4,"pe2dCols":4,"pe1dLanes":4,"bufferBytes":1024,"dramBandwidthGBs":-1,"clockGHz":1}`},
+		{"non-positive clock", `{"name":"x","pe2dRows":4,"pe2dCols":4,"pe1dLanes":4,"bufferBytes":1024,"dramBandwidthGBs":1,"clockGHz":0}`},
+		{"negative element width", `{"name":"x","pe2dRows":4,"pe2dCols":4,"pe1dLanes":4,"bufferBytes":1024,"dramBandwidthGBs":1,"clockGHz":1,"bytesPerElement":-2}`},
+		{"missing name", `{"pe2dRows":4,"pe2dCols":4,"pe1dLanes":4,"bufferBytes":1024,"dramBandwidthGBs":1,"clockGHz":1}`},
+		{"negative energy", `{"name":"x","pe2dRows":4,"pe2dCols":4,"pe1dLanes":4,"bufferBytes":1024,"dramBandwidthGBs":1,"clockGHz":1,"energy":{"dramPerByte":-1}}`},
+		{"malformed JSON", `{"name":`},
+	}
+	for _, c := range cases {
+		_, err := FromJSON([]byte(c.json))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !errors.Is(err, faults.ErrInvalidSpec) {
+			t.Errorf("%s: error %v does not match ErrInvalidSpec", c.name, err)
+		}
+	}
+}

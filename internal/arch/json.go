@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"github.com/fusedmindlab/transfusion/internal/faults"
 )
 
 // JSON configuration loading: downstream users describe their own
@@ -49,7 +51,10 @@ type jsonSpec struct {
 func FromJSON(data []byte) (Spec, error) {
 	var js jsonSpec
 	if err := json.Unmarshal(data, &js); err != nil {
-		return Spec{}, fmt.Errorf("arch: parse JSON: %w", err)
+		return Spec{}, fmt.Errorf("arch: parse JSON: %v: %w", err, faults.ErrInvalidSpec)
+	}
+	if js.Name == "" {
+		return Spec{}, faults.Invalidf("arch: JSON description missing \"name\"")
 	}
 	s := Spec{
 		Name:            js.Name,
@@ -80,6 +85,9 @@ func FromJSON(data []byte) (Spec, error) {
 		if e.VectorOp != nil {
 			s.Energy.VectorOp = *e.VectorOp
 		}
+	}
+	if t := s.Energy; t.DRAMPerByte < 0 || t.BufferPerByte < 0 || t.RegPerByte < 0 || t.MACOp < 0 || t.VectorOp < 0 {
+		return Spec{}, faults.Invalidf("arch %s: negative energy table entry", s.Name)
 	}
 	if err := s.Validate(); err != nil {
 		return Spec{}, err

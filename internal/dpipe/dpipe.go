@@ -22,12 +22,14 @@
 package dpipe
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"github.com/fusedmindlab/transfusion/internal/arch"
 	"github.com/fusedmindlab/transfusion/internal/einsum"
+	"github.com/fusedmindlab/transfusion/internal/faults"
 	"github.com/fusedmindlab/transfusion/internal/graph"
 	"github.com/fusedmindlab/transfusion/internal/perf"
 )
@@ -144,24 +146,43 @@ type Options struct {
 	// ExplicitEpochs is the number of epochs scheduled exactly before
 	// steady-state extrapolation (>= 2 for a meaningful delta).
 	ExplicitEpochs int
+	// MaxEnumeration caps the candidate subsets *examined* during
+	// bipartition enumeration (the scan is exponential in DAG size before
+	// validity filtering). Exceeding the cap aborts the plan with an error
+	// matching faults.ErrBudgetExhausted instead of scanning unbounded.
+	// Zero takes the default; negative means unlimited.
+	MaxEnumeration int
 }
 
 // DefaultOptions are the bounds used throughout the evaluation.
 func DefaultOptions() Options {
-	return Options{MaxBipartitions: 64, MaxOrdersPerPartition: 12, ExplicitEpochs: 12}
+	return Options{MaxBipartitions: 64, MaxOrdersPerPartition: 12, ExplicitEpochs: 12, MaxEnumeration: 1 << 20}
 }
 
 // Plan searches bipartitions and orderings and returns the best pipelined
 // schedule for the problem on the given architecture.
 func Plan(p *Problem, spec arch.Spec, opts Options) (Result, error) {
+	return PlanContext(context.Background(), p, spec, opts)
+}
+
+// PlanContext is Plan under a context: cancellation is honoured between
+// enumeration strides and between candidate schedule evaluations, returning
+// an error matching faults.ErrCanceled; the enumeration budget
+// (Options.MaxEnumeration) returns faults.ErrBudgetExhausted.
+func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
 	if opts.MaxBipartitions <= 0 || opts.MaxOrdersPerPartition <= 0 {
+		maxEnum := opts.MaxEnumeration
 		opts = DefaultOptions()
+		opts.MaxEnumeration = maxEnum
 	}
 	if opts.ExplicitEpochs < 2 {
 		opts.ExplicitEpochs = 2
+	}
+	if opts.MaxEnumeration == 0 {
+		opts.MaxEnumeration = DefaultOptions().MaxEnumeration
 	}
 
 	// Candidate orderings: the canonical topological order always
@@ -187,15 +208,18 @@ func Plan(p *Problem, spec arch.Spec, opts Options) (Result, error) {
 	}
 	addOrder(canonical, graph.Bipartition{})
 
-	parts, err := p.Deps.Bipartitions()
+	parts, err := p.Deps.BipartitionsBounded(ctx, opts.MaxEnumeration)
 	if err != nil {
-		return Result{}, err
+		return Result{}, fmt.Errorf("dpipe: problem %s: %w", p.Name, err)
 	}
 	if len(parts) > opts.MaxBipartitions {
 		parts = parts[:opts.MaxBipartitions]
 	}
 	const rootID = "\x00ROOT"
 	for _, part := range parts {
+		if ctx.Err() != nil {
+			return Result{}, faults.Canceled(ctx)
+		}
 		// The overlap DAG of Figure 7(d): in the pipelined execution the
 		// first subgraph of epoch k runs concurrently with the second
 		// subgraph of epoch k-1, so the cross edges S1 -> S2 (which connect
@@ -235,6 +259,11 @@ func Plan(p *Problem, spec arch.Spec, opts Options) (Result, error) {
 
 	best := Result{TotalCycles: math.Inf(1)}
 	for _, c := range candidates {
+		// Cancellation is checked per candidate schedule: a canceled plan
+		// returns promptly instead of finishing the DP sweep.
+		if ctx.Err() != nil {
+			return Result{}, faults.Canceled(ctx)
+		}
 		res := evaluate(p, spec, c.order, c.part.First, opts.ExplicitEpochs, nil)
 		if res.TotalCycles < best.TotalCycles {
 			res.Order = c.order
@@ -257,6 +286,10 @@ func Sequential(p *Problem, spec arch.Spec, assign map[string]perf.ArrayKind) (R
 	if assign == nil {
 		assign = ClassAssignment(p)
 	}
+	order, err := p.Deps.TopoSort()
+	if err != nil {
+		return Result{}, fmt.Errorf("dpipe: problem %s: %w", p.Name, err)
+	}
 	var perEpoch float64
 	busy := map[perf.ArrayKind]float64{}
 	for name, op := range p.Ops {
@@ -269,7 +302,7 @@ func Sequential(p *Problem, spec arch.Spec, assign map[string]perf.ArrayKind) (R
 		TotalCycles: perEpoch * e,
 		Busy1D:      busy[perf.PE1D] * e,
 		Busy2D:      busy[perf.PE2D] * e,
-		Order:       mustCanonical(p),
+		Order:       order,
 		Assignment:  assign,
 	}, nil
 }
@@ -285,7 +318,10 @@ func StaticPipelined(p *Problem, spec arch.Spec, assign map[string]perf.ArrayKin
 	if assign == nil {
 		assign = ClassAssignment(p)
 	}
-	order := mustCanonical(p)
+	order, err := p.Deps.TopoSort()
+	if err != nil {
+		return Result{}, fmt.Errorf("dpipe: problem %s: %w", p.Name, err)
+	}
 	res := evaluate(p, spec, order, nil, 12, assign)
 	res.Order = order
 	return res, nil
@@ -343,15 +379,6 @@ func FuseMaxAssignment(p *Problem, spec arch.Spec) map[string]perf.ArrayKind {
 		}
 	}
 	return assign
-}
-
-func mustCanonical(p *Problem) []string {
-	order, err := p.Deps.TopoSort()
-	if err != nil {
-		// Validate has already established acyclicity for all callers.
-		panic(err)
-	}
-	return order
 }
 
 // evaluate runs the Eq. 43–46 DP over explicitEpochs epochs and

@@ -1,0 +1,59 @@
+package dpipe
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/faults"
+)
+
+func TestPlanContextCanceledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := PlanContext(ctx, mhaProblem(t, 8), arch.Cloud(), DefaultOptions())
+	if !errors.Is(err, faults.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, does not also match context.Canceled", err)
+	}
+}
+
+func TestPlanEnumerationBudgetExhausted(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxEnumeration = 1
+	_, err := PlanContext(context.Background(), mhaProblem(t, 8), arch.Cloud(), opts)
+	if !errors.Is(err, faults.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestPlanUnlimitedEnumeration(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxEnumeration = -1 // explicit "no budget"
+	res, err := PlanContext(context.Background(), mhaProblem(t, 8), arch.Cloud(), opts)
+	if err != nil {
+		t.Fatalf("PlanContext: %v", err)
+	}
+	if res.TotalCycles <= 0 {
+		t.Fatalf("plan has no makespan: %v", res.TotalCycles)
+	}
+}
+
+func TestPlanMatchesPlanContext(t *testing.T) {
+	p := mhaProblem(t, 8)
+	a, err := Plan(p, arch.Cloud(), DefaultOptions())
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	b, err := PlanContext(context.Background(), p, arch.Cloud(), DefaultOptions())
+	if err != nil {
+		t.Fatalf("PlanContext: %v", err)
+	}
+	if a.TotalCycles != b.TotalCycles || a.Candidates != b.Candidates {
+		t.Fatalf("Plan and PlanContext disagree: %v/%d vs %v/%d",
+			a.TotalCycles, a.Candidates, b.TotalCycles, b.Candidates)
+	}
+}

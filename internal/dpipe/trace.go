@@ -42,7 +42,11 @@ func TraceSchedule(p *Problem, spec arch.Spec, order []string, first map[string]
 		epochs = 1
 	}
 	if order == nil {
-		order = mustCanonical(p)
+		canon, err := p.Deps.TopoSort()
+		if err != nil {
+			return nil, fmt.Errorf("dpipe: trace: problem %s: %w", p.Name, err)
+		}
+		order = canon
 	}
 	seq := buildSequence(order, first, epochs)
 

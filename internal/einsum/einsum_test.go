@@ -1,10 +1,13 @@
 package einsum
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"github.com/fusedmindlab/transfusion/internal/faults"
 )
 
 func env(pairs ...interface{}) map[string]int {
@@ -173,13 +176,23 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
-func TestMustParsePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustParse on bad spec did not panic")
+func TestParseErrorsAreTyped(t *testing.T) {
+	for _, spec := range []string{
+		"garbage",
+		"C = A[i,i] * B[i] -> [i]", // repeated label within one operand
+		"C = A[m] * B[m] -> [m,m]", // duplicate output index
+		"C = A[m] * B[m] -> [m,q]", // free output index
+		" [x] = A[x] -> [x]",       // empty output name
+	} {
+		_, err := Parse(spec)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+			continue
 		}
-	}()
-	MustParse("garbage")
+		if !errors.Is(err, faults.ErrInvalidSpec) {
+			t.Errorf("Parse(%q) error %v does not match faults.ErrInvalidSpec", spec, err)
+		}
+	}
 }
 
 func TestCombineHelpers(t *testing.T) {

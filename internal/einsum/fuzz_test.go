@@ -1,0 +1,47 @@
+package einsum
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/internal/faults"
+)
+
+// FuzzParse asserts Parse never panics on arbitrary input, classifies every
+// rejection as ErrInvalidSpec, and that every accepted spec yields an Einsum
+// that validates and can be costed without panicking.
+func FuzzParse(f *testing.F) {
+	f.Add("C = A[m,k] * B[k,n] -> [m,n]")
+	f.Add("OUT = A[h,e,p] * B[h,e,m1,m0] -> [h,m1,m0,p]")
+	f.Add("C = A[i,i] -> [i]")
+	f.Add("C = A[m] -> [m,m]")
+	f.Add("garbage")
+	f.Add("= [] -> []")
+	f.Add("C = A[] -> []")
+	f.Add("C = [m] -> [m]")
+	f.Add("C = A[m] * -> [m]")
+	f.Add("x=y[,]->[,]")
+	f.Fuzz(func(t *testing.T, spec string) {
+		e, err := Parse(spec)
+		if err != nil {
+			if !errors.Is(err, faults.ErrInvalidSpec) {
+				t.Fatalf("Parse(%q) rejection %v does not match ErrInvalidSpec", spec, err)
+			}
+			return
+		}
+		// An accepted Einsum must be self-consistent: build a size
+		// environment covering every index and exercise the paths the
+		// pipeline uses (Validate, Class, ComputeLoad, String).
+		env := make(map[string]int)
+		for _, idx := range e.AllIndices() {
+			env[idx] = 2
+		}
+		if verr := e.Validate(env); verr != nil {
+			t.Fatalf("Parse(%q) accepted but Validate failed: %v", spec, verr)
+		}
+		_ = e.Class()
+		_ = e.ComputeLoad(env)
+		_ = e.OutputSize(env)
+		_ = e.String()
+	})
+}

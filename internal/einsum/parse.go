@@ -3,6 +3,8 @@ package einsum
 import (
 	"fmt"
 	"strings"
+
+	"github.com/fusedmindlab/transfusion/internal/faults"
 )
 
 // Parse builds a classic (product/sum) Einsum from a compact spec of the form
@@ -13,49 +15,88 @@ import (
 // the output index list after '->'. Whitespace is insignificant. Parse covers
 // only the contraction form; map/reduce Einsums with custom semantics are
 // built with the Map and Reduction constructors.
+//
+// Parse rejects structurally invalid specs — duplicate output indices, free
+// output indices not carried by any operand, duplicate labels within one
+// operand — with errors matching faults.ErrInvalidSpec, so a parsed Einsum
+// can always be evaluated or costed without panicking downstream.
 func Parse(spec string) (*Einsum, error) {
 	eq := strings.SplitN(spec, "=", 2)
 	if len(eq) != 2 {
-		return nil, fmt.Errorf("einsum: parse %q: missing '='", spec)
+		return nil, faults.Invalidf("einsum: parse %q: missing '='", spec)
 	}
 	name := strings.TrimSpace(eq[0])
-	if name == "" {
-		return nil, fmt.Errorf("einsum: parse %q: empty output name", spec)
+	if !validToken(name) {
+		return nil, faults.Invalidf("einsum: parse %q: invalid output name %q", spec, name)
 	}
 	body := strings.SplitN(eq[1], "->", 2)
 	if len(body) != 2 {
-		return nil, fmt.Errorf("einsum: parse %q: missing '->'", spec)
+		return nil, faults.Invalidf("einsum: parse %q: missing '->'", spec)
 	}
 	outIdx, err := parseIndexList(strings.TrimSpace(body[1]))
 	if err != nil {
-		return nil, fmt.Errorf("einsum: parse %q: output indices: %w", spec, err)
+		return nil, faults.Invalidf("einsum: parse %q: output indices: %v", spec, err)
+	}
+	if dup := firstDuplicate(outIdx); dup != "" {
+		return nil, faults.Invalidf("einsum: parse %q: duplicate output index %q", spec, dup)
 	}
 	var inputs []Arg
 	for _, part := range strings.Split(body[0], "*") {
 		part = strings.TrimSpace(part)
 		open := strings.Index(part, "[")
 		if open <= 0 || !strings.HasSuffix(part, "]") {
-			return nil, fmt.Errorf("einsum: parse %q: malformed operand %q", spec, part)
+			return nil, faults.Invalidf("einsum: parse %q: malformed operand %q", spec, part)
 		}
 		idx, err := parseIndexList(part[open:])
 		if err != nil {
-			return nil, fmt.Errorf("einsum: parse %q: operand %q: %w", spec, part, err)
+			return nil, faults.Invalidf("einsum: parse %q: operand %q: %v", spec, part, err)
 		}
-		inputs = append(inputs, Arg{Tensor: strings.TrimSpace(part[:open]), Idx: idx})
+		if dup := firstDuplicate(idx); dup != "" {
+			return nil, faults.Invalidf("einsum: parse %q: operand %q repeats index %q", spec, part, dup)
+		}
+		tensor := strings.TrimSpace(part[:open])
+		if !validToken(tensor) {
+			return nil, faults.Invalidf("einsum: parse %q: operand %q has no valid tensor name", spec, part)
+		}
+		inputs = append(inputs, Arg{Tensor: tensor, Idx: idx})
 	}
 	if len(inputs) == 0 {
-		return nil, fmt.Errorf("einsum: parse %q: no operands", spec)
+		return nil, faults.Invalidf("einsum: parse %q: no operands", spec)
+	}
+	inSet := make(map[string]bool)
+	for _, in := range inputs {
+		for _, i := range in.Idx {
+			inSet[i] = true
+		}
+	}
+	for _, i := range outIdx {
+		if !inSet[i] {
+			return nil, faults.Invalidf("einsum: parse %q: output index %q not present in any operand", spec, i)
+		}
 	}
 	return New(name, outIdx, inputs...), nil
 }
 
-// MustParse is Parse that panics on error; for tests and static definitions.
-func MustParse(spec string) *Einsum {
-	e, err := Parse(spec)
-	if err != nil {
-		panic(err)
+// validToken reports whether s can serve as a tensor name or index label:
+// non-empty, and free of the spec's structural characters (brackets,
+// separators, operators) and of whitespace.
+func validToken(s string) bool {
+	if s == "" {
+		return false
 	}
-	return e
+	return !strings.ContainsAny(s, "[]*,=<> \t\r\n")
+}
+
+// firstDuplicate returns the first label appearing more than once, or "".
+func firstDuplicate(labels []string) string {
+	seen := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		if seen[l] {
+			return l
+		}
+		seen[l] = true
+	}
+	return ""
 }
 
 func parseIndexList(s string) ([]string, error) {
@@ -70,8 +111,8 @@ func parseIndexList(s string) ([]string, error) {
 	idx := make([]string, 0, len(parts))
 	for _, p := range parts {
 		p = strings.TrimSpace(p)
-		if p == "" {
-			return nil, fmt.Errorf("empty index label in %q", s)
+		if !validToken(p) {
+			return nil, fmt.Errorf("invalid index label %q in %q", p, s)
 		}
 		idx = append(idx, p)
 	}

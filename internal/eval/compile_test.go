@@ -27,7 +27,7 @@ func applyBoth(t *testing.T, e *einsum.Einsum, env Env, sizes map[string]int) (*
 func TestFastMatmul(t *testing.T) {
 	a := tensor.Rand(1, tensor.Dim{Name: "m", Size: 5}, tensor.Dim{Name: "k", Size: 7})
 	b := tensor.Rand(2, tensor.Dim{Name: "k", Size: 7}, tensor.Dim{Name: "n", Size: 3})
-	e := einsum.MustParse("C = A[m,k] * B[k,n] -> [m,n]")
+	e := mustParse("C = A[m,k] * B[k,n] -> [m,n]")
 	ref, fast := applyBoth(t, e, Env{"A": a, "B": b}, map[string]int{"m": 5, "k": 7, "n": 3})
 	if d := tensor.MaxAbsDiff(ref, fast); d > 1e-12 {
 		t.Fatalf("compiled matmul deviates by %v", d)
@@ -85,7 +85,7 @@ func TestFastDiagonalAddressing(t *testing.T) {
 
 func TestCompileErrors(t *testing.T) {
 	a := tensor.Rand(1, tensor.Dim{Name: "m", Size: 2}, tensor.Dim{Name: "k", Size: 3})
-	e := einsum.MustParse("C = A[m,k] * B[k,n] -> [m,n]")
+	e := mustParse("C = A[m,k] * B[k,n] -> [m,n]")
 	if _, err := Compile(e, Env{"A": a}, map[string]int{"m": 2, "k": 3, "n": 2}); err == nil {
 		t.Fatal("missing tensor accepted")
 	}
@@ -102,7 +102,7 @@ func TestCompileErrors(t *testing.T) {
 // Property: compiled and reference paths agree on random contraction
 // shapes and random broadcast patterns.
 func TestQuickFastEquivalence(t *testing.T) {
-	e := einsum.MustParse("C = A[m,k] * B[k,n] -> [m,n]")
+	e := mustParse("C = A[m,k] * B[k,n] -> [m,n]")
 	f := func(seed uint64, mr, kr, nr uint8) bool {
 		m, k, n := int(mr%5)+1, int(kr%5)+1, int(nr%5)+1
 		a := tensor.Rand(seed|1, tensor.Dim{Name: "m", Size: m}, tensor.Dim{Name: "k", Size: k})
@@ -123,7 +123,7 @@ func TestQuickFastEquivalence(t *testing.T) {
 func BenchmarkApplyReference(b *testing.B) {
 	a := tensor.Rand(1, tensor.Dim{Name: "m", Size: 64}, tensor.Dim{Name: "k", Size: 64})
 	bb := tensor.Rand(2, tensor.Dim{Name: "k", Size: 64}, tensor.Dim{Name: "n", Size: 64})
-	e := einsum.MustParse("C = A[m,k] * B[k,n] -> [m,n]")
+	e := mustParse("C = A[m,k] * B[k,n] -> [m,n]")
 	sizes := map[string]int{"m": 64, "k": 64, "n": 64}
 	env := Env{"A": a, "B": bb}
 	b.ResetTimer()
@@ -137,7 +137,7 @@ func BenchmarkApplyReference(b *testing.B) {
 func BenchmarkApplyCompiled(b *testing.B) {
 	a := tensor.Rand(1, tensor.Dim{Name: "m", Size: 64}, tensor.Dim{Name: "k", Size: 64})
 	bb := tensor.Rand(2, tensor.Dim{Name: "k", Size: 64}, tensor.Dim{Name: "n", Size: 64})
-	e := einsum.MustParse("C = A[m,k] * B[k,n] -> [m,n]")
+	e := mustParse("C = A[m,k] * B[k,n] -> [m,n]")
 	sizes := map[string]int{"m": 64, "k": 64, "n": 64}
 	env := Env{"A": a, "B": bb}
 	b.ResetTimer()

@@ -54,6 +54,15 @@ func Apply(e *einsum.Einsum, env Env, dimSizes map[string]int) (*tensor.Tensor, 
 		if t.Rank() != len(arg.Idx) {
 			return nil, fmt.Errorf("eval: einsum %s: operand %s has rank %d but %d index labels", e.Name, arg.Tensor, t.Rank(), len(arg.Idx))
 		}
+		// Every operand dimension must match the environment's extent for
+		// its label; a mismatch would otherwise surface as an out-of-range
+		// panic deep inside the loop nest.
+		for pos, d := range t.Dims() {
+			if want := dimSizes[arg.Idx[pos]]; d.Size != want {
+				return nil, fmt.Errorf("eval: einsum %s: operand %s dim %d (%s) has size %d, want %d",
+					e.Name, arg.Tensor, pos, arg.Idx[pos], d.Size, want)
+			}
+		}
 		inputs[i] = t
 	}
 
@@ -102,29 +111,20 @@ func Apply(e *einsum.Einsum, env Env, dimSizes map[string]int) (*tensor.Tensor, 
 	return out, nil
 }
 
-// MustApply is Apply that panics on error; for tests and examples.
-func MustApply(e *einsum.Einsum, env Env, dimSizes map[string]int) *tensor.Tensor {
-	t, err := Apply(e, env, dimSizes)
-	if err != nil {
-		panic(err)
-	}
-	return t
-}
-
 // atLabels reads t at the coordinate determined by mapping t's dimensions
 // through the operand's index labels. Labels address t positionally: label
 // i names t's dimension i in the Einsum's index space, so an operand can
 // bind a tensor whose stored dimension names differ from the cascade's
-// labels (e.g. a weight tensor reused across layers).
+// labels (e.g. a weight tensor reused across layers). Every label is
+// resolvable by construction: an operand's labels all appear in the output
+// or reduction index sets, both fully bound in coord when the loop nest
+// reaches its innermost level; an unresolved label reads the origin rather
+// than crashing the interpreter.
 func atLabels(t *tensor.Tensor, labels []string, coord map[string]int) float64 {
 	dims := t.Dims()
 	local := make(map[string]int, len(dims))
 	for i, d := range dims {
-		v, ok := coord[labels[i]]
-		if !ok {
-			panic(fmt.Sprintf("eval: label %q unresolved", labels[i]))
-		}
-		local[d.Name] = v
+		local[d.Name] = coord[labels[i]]
 	}
 	return t.At(local)
 }

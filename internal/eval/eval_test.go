@@ -19,13 +19,13 @@ func TestMatmul(t *testing.T) {
 	for i, v := range []float64{7, 8, 9, 10, 11, 12} {
 		b.SetFlat(i, v)
 	}
-	e := einsum.MustParse("C = A[m,k] * B[k,n] -> [m,n]")
+	e := mustParse("C = A[m,k] * B[k,n] -> [m,n]")
 	env := Env{"A": a, "B": b}
 	sizes, err := env.Sizes()
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := MustApply(e, env, sizes)
+	c := mustApply(e, env, sizes)
 	want := [][]float64{{58, 64}, {139, 154}}
 	for m := 0; m < 2; m++ {
 		for n := 0; n < 2; n++ {
@@ -42,7 +42,7 @@ func TestMaxReduce(t *testing.T) {
 		x.SetFlat(i, v)
 	}
 	e := einsum.Reduction("M", []string{"p"}, einsum.ReduceMax, einsum.In("X", "p", "m"))
-	got := MustApply(e, Env{"X": x}, map[string]int{"p": 2, "m": 3})
+	got := mustApply(e, Env{"X": x}, map[string]int{"p": 2, "m": 3})
 	if got.At(map[string]int{"p": 0}) != 5 || got.At(map[string]int{"p": 1}) != -1 {
 		t.Fatalf("max reduce = %v, %v", got.At(map[string]int{"p": 0}), got.At(map[string]int{"p": 1}))
 	}
@@ -54,7 +54,7 @@ func TestBroadcastSubtract(t *testing.T) {
 	mu.SetFlat(0, 1)
 	mu.SetFlat(1, 2)
 	e := einsum.Map("D", []string{"h", "p"}, einsum.Sub2, einsum.In("X", "h", "p"), einsum.In("MU", "p"))
-	got := MustApply(e, Env{"X": x, "MU": mu}, map[string]int{"h": 2, "p": 2})
+	got := mustApply(e, Env{"X": x, "MU": mu}, map[string]int{"h": 2, "p": 2})
 	if got.At(map[string]int{"h": 1, "p": 0}) != 9 || got.At(map[string]int{"h": 0, "p": 1}) != 8 {
 		t.Fatalf("broadcast subtract wrong: %v", got.Data())
 	}
@@ -67,7 +67,7 @@ func TestExpSubMap(t *testing.T) {
 	m := tensor.Scalar(0)
 	m.SetFlat(0, 5)
 	e := einsum.Map("S", []string{"p"}, einsum.ExpSub, einsum.In("X", "p"), einsum.In("M"))
-	got := MustApply(e, Env{"X": x, "M": m}, map[string]int{"p": 2})
+	got := mustApply(e, Env{"X": x, "M": m}, map[string]int{"p": 2})
 	if math.Abs(got.AtFlat(0)-math.Exp(-2)) > 1e-12 || math.Abs(got.AtFlat(1)-1) > 1e-12 {
 		t.Fatalf("ExpSub = %v", got.Data())
 	}
@@ -79,7 +79,7 @@ func TestLabelRemapping(t *testing.T) {
 	w := tensor.Rand(3, tensor.Dim{Name: "d", Size: 4}, tensor.Dim{Name: "s", Size: 2})
 	x := tensor.Rand(4, tensor.Dim{Name: "f", Size: 4})
 	e := einsum.New("Y", []string{"s"}, einsum.In("X", "f"), einsum.In("W", "f", "s"))
-	got := MustApply(e, Env{"X": x, "W": w}, map[string]int{"f": 4, "s": 2})
+	got := mustApply(e, Env{"X": x, "W": w}, map[string]int{"f": 4, "s": 2})
 	for s := 0; s < 2; s++ {
 		want := 0.0
 		for f := 0; f < 4; f++ {
@@ -93,7 +93,7 @@ func TestLabelRemapping(t *testing.T) {
 
 func TestApplyErrors(t *testing.T) {
 	a := tensor.New(tensor.Dim{Name: "m", Size: 2}, tensor.Dim{Name: "k", Size: 3})
-	e := einsum.MustParse("C = A[m,k] * B[k,n] -> [m,n]")
+	e := mustParse("C = A[m,k] * B[k,n] -> [m,n]")
 	// Missing tensor B.
 	if _, err := Apply(e, Env{"A": a}, map[string]int{"m": 2, "k": 3, "n": 2}); err == nil {
 		t.Fatal("Apply with missing input succeeded")
@@ -126,7 +126,7 @@ func TestScalarOutput(t *testing.T) {
 		x.SetFlat(i, float64(i+1))
 	}
 	e := einsum.Reduction("T", nil, einsum.ReduceSum, einsum.In("X", "p"))
-	got := MustApply(e, Env{"X": x}, map[string]int{"p": 4})
+	got := mustApply(e, Env{"X": x}, map[string]int{"p": 4})
 	if got.Rank() != 0 || got.AtFlat(0) != 10 {
 		t.Fatalf("scalar sum = %v", got.AtFlat(0))
 	}
@@ -135,13 +135,13 @@ func TestScalarOutput(t *testing.T) {
 // Property: einsum matmul matches a hand-rolled triple loop for random
 // shapes and values.
 func TestQuickMatmulMatchesNaive(t *testing.T) {
-	e := einsum.MustParse("C = A[m,k] * B[k,n] -> [m,n]")
+	e := mustParse("C = A[m,k] * B[k,n] -> [m,n]")
 	f := func(seed uint64, mr, kr, nr uint8) bool {
 		m, k, n := int(mr%5)+1, int(kr%5)+1, int(nr%5)+1
 		a := tensor.Rand(seed|1, tensor.Dim{Name: "m", Size: m}, tensor.Dim{Name: "k", Size: k})
 		b := tensor.Rand(seed|2, tensor.Dim{Name: "k", Size: k}, tensor.Dim{Name: "n", Size: n})
 		sizes := map[string]int{"m": m, "k": k, "n": n}
-		c := MustApply(e, Env{"A": a, "B": b}, sizes)
+		c := mustApply(e, Env{"A": a, "B": b}, sizes)
 		for mi := 0; mi < m; mi++ {
 			for ni := 0; ni < n; ni++ {
 				want := 0.0
@@ -167,9 +167,9 @@ func TestQuickSumLinearity(t *testing.T) {
 		scale := float64(scaleRaw%7) + 1
 		x := tensor.Rand(seed|1, tensor.Dim{Name: "p", Size: 3}, tensor.Dim{Name: "m", Size: 4})
 		sizes := map[string]int{"p": 3, "m": 4}
-		s1 := MustApply(e, Env{"X": x}, sizes)
+		s1 := mustApply(e, Env{"X": x}, sizes)
 		xs := x.Clone().Apply(func(v float64) float64 { return v * scale })
-		s2 := MustApply(e, Env{"X": xs}, sizes)
+		s2 := mustApply(e, Env{"X": xs}, sizes)
 		for p := 0; p < 3; p++ {
 			a := s1.At(map[string]int{"p": p}) * scale
 			b := s2.At(map[string]int{"p": p})
@@ -182,4 +182,22 @@ func TestQuickSumLinearity(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// mustParse and mustApply are test conveniences standing in for the removed
+// library panic helpers: static specs in this file are known-good.
+func mustParse(spec string) *einsum.Einsum {
+	e, err := einsum.Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func mustApply(e *einsum.Einsum, env Env, dimSizes map[string]int) *tensor.Tensor {
+	t, err := Apply(e, env, dimSizes)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }

@@ -7,9 +7,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/faults"
 	"github.com/fusedmindlab/transfusion/internal/model"
 	"github.com/fusedmindlab/transfusion/internal/pipeline"
 	"github.com/fusedmindlab/transfusion/internal/report"
@@ -19,12 +21,24 @@ import (
 // Runner evaluates systems with caching.
 type Runner struct {
 	Opts  pipeline.Options
+	ctx   context.Context
 	cache map[string]pipeline.Result
 }
 
 // NewRunner creates a Runner with the given evaluation options.
 func NewRunner(opts pipeline.Options) *Runner {
-	return &Runner{Opts: opts, cache: make(map[string]pipeline.Result)}
+	return NewRunnerContext(context.Background(), opts)
+}
+
+// NewRunnerContext creates a Runner whose evaluations run under ctx:
+// cancelling it aborts the in-flight evaluation (within one search rollout /
+// schedule candidate) and fails the experiment with an error matching
+// faults.ErrCanceled.
+func NewRunnerContext(ctx context.Context, opts pipeline.Options) *Runner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Runner{Opts: opts, ctx: ctx, cache: make(map[string]pipeline.Result)}
 }
 
 // Eval evaluates (and caches) one system on one workload/architecture.
@@ -33,8 +47,12 @@ func (r *Runner) Eval(spec arch.Spec, m model.Config, seq int, sys pipeline.Syst
 	if res, ok := r.cache[key]; ok {
 		return res, nil
 	}
+	ctx := r.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	w := pipeline.Workload{Model: m, SeqLen: seq, Batch: model.EvalBatch}
-	res, err := pipeline.Evaluate(w, spec, sys, r.Opts)
+	res, err := pipeline.EvaluateContext(ctx, w, spec, sys, r.Opts)
 	if err != nil {
 		return pipeline.Result{}, fmt.Errorf("experiments: %s: %w", key, err)
 	}
@@ -85,7 +103,7 @@ func ByID(id string) (Experiment, error) {
 			return e, nil
 		}
 	}
-	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+	return Experiment{}, faults.Invalidf("experiments: unknown experiment %q", id)
 }
 
 // scalingSeqs is the 1K–1M sweep of the scaling figures.

@@ -1,0 +1,113 @@
+// Package faults defines TransFusion's typed error taxonomy and the panic
+// containment boundary used at the public API surface. Every open-ended
+// search in the repository (TileSeek's MCTS rollouts, DPipe's bipartition and
+// topological-order enumeration) classifies its failures against these
+// sentinels so callers can react programmatically with errors.Is/errors.As:
+//
+//	ErrInvalidSpec     the caller's input is malformed (bad arch JSON,
+//	                   non-positive extents, unparseable einsum, ...);
+//	ErrInfeasible      the input is well-formed but no solution exists
+//	                   (no tile fits the buffer) — a normal search outcome,
+//	                   not a crash;
+//	ErrBudgetExhausted an explicit enumeration/evaluation budget ran out
+//	                   before the search completed;
+//	ErrCanceled        the caller's context was canceled or timed out;
+//	*InternalError     an internal invariant broke (a recovered panic),
+//	                   carrying the panic value and stack.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// Sentinel errors; match with errors.Is. Wrapped values produced by the
+// helper constructors carry a descriptive message in front of the sentinel.
+var (
+	// ErrInvalidSpec marks malformed caller input.
+	ErrInvalidSpec = errors.New("invalid spec")
+	// ErrInfeasible marks a well-formed problem with no solution (e.g. no
+	// tiling fits the on-chip buffer).
+	ErrInfeasible = errors.New("infeasible")
+	// ErrBudgetExhausted marks a search that hit its enumeration or
+	// evaluation budget before completing.
+	ErrBudgetExhausted = errors.New("budget exhausted")
+	// ErrCanceled marks work abandoned because the caller's context was
+	// canceled (or its deadline passed).
+	ErrCanceled = errors.New("canceled")
+)
+
+// Invalidf builds an error matching ErrInvalidSpec with a formatted message.
+func Invalidf(format string, args ...interface{}) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrInvalidSpec)
+}
+
+// Infeasiblef builds an error matching ErrInfeasible with a formatted
+// message.
+func Infeasiblef(format string, args ...interface{}) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrInfeasible)
+}
+
+// Budgetf builds an error matching ErrBudgetExhausted with a formatted
+// message.
+func Budgetf(format string, args ...interface{}) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrBudgetExhausted)
+}
+
+// canceledError pairs ErrCanceled with the underlying context cause so both
+// errors.Is(err, faults.ErrCanceled) and errors.Is(err, context.Canceled)
+// (or context.DeadlineExceeded, or a custom cancel cause) hold.
+type canceledError struct{ cause error }
+
+func (c *canceledError) Error() string   { return "canceled: " + c.cause.Error() }
+func (c *canceledError) Unwrap() []error { return []error{ErrCanceled, c.cause} }
+
+// Canceled converts a context's cancellation state into a typed error. The
+// context should already be done; if it is not, the error still matches
+// ErrCanceled with context.Canceled as the recorded cause.
+func Canceled(ctx context.Context) error {
+	cause := context.Cause(ctx)
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return &canceledError{cause: cause}
+}
+
+// InternalError is a recovered panic: an internal invariant broke somewhere
+// below the public API. It carries the panic value and the goroutine stack
+// at the recovery point, and matches errors.As(&target) for *InternalError.
+type InternalError struct {
+	// Panic is the recovered panic value.
+	Panic interface{}
+	// Stack is the formatted goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error summarises the panic; the stack is available via the Stack field.
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("internal error: %v", e.Panic)
+}
+
+// Unwrap exposes a wrapped error when the panic value itself was an error.
+func (e *InternalError) Unwrap() error {
+	if err, ok := e.Panic.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Recover is the panic containment boundary: deferred at a public entry
+// point, it converts any panic below into a *InternalError stored in *errp
+// (without clobbering an already-set error with nil). Usage:
+//
+//	func Run(...) (res Result, err error) {
+//	    defer faults.Recover(&err)
+//	    ...
+//	}
+func Recover(errp *error) {
+	if r := recover(); r != nil {
+		*errp = &InternalError{Panic: r, Stack: debug.Stack()}
+	}
+}

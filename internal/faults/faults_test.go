@@ -1,0 +1,85 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestConstructorsMatchSentinels(t *testing.T) {
+	cases := []struct {
+		err      error
+		sentinel error
+	}{
+		{Invalidf("bad dim %d", -1), ErrInvalidSpec},
+		{Infeasiblef("no tile fits"), ErrInfeasible},
+		{Budgetf("out of rollouts"), ErrBudgetExhausted},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.sentinel) {
+			t.Errorf("%v does not match %v", c.err, c.sentinel)
+		}
+	}
+	if !strings.Contains(Invalidf("bad dim %d", -1).Error(), "bad dim -1") {
+		t.Errorf("Invalidf lost its message: %v", Invalidf("bad dim %d", -1))
+	}
+}
+
+func TestCanceledMatchesBothSentinelAndCause(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Canceled(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("Canceled() does not match ErrCanceled: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Canceled() does not match context.Canceled: %v", err)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	<-dctx.Done()
+	derr := Canceled(dctx)
+	if !errors.Is(derr, ErrCanceled) || !errors.Is(derr, context.DeadlineExceeded) {
+		t.Errorf("deadline Canceled() = %v, want ErrCanceled and DeadlineExceeded", derr)
+	}
+}
+
+func TestRecoverConvertsPanic(t *testing.T) {
+	run := func() (err error) {
+		defer Recover(&err)
+		panic("boom")
+	}
+	err := run()
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("recovered error %v is not *InternalError", err)
+	}
+	if ie.Panic != "boom" {
+		t.Errorf("panic value = %v, want boom", ie.Panic)
+	}
+	if len(ie.Stack) == 0 {
+		t.Error("InternalError has no stack")
+	}
+
+	// A panic whose value is an error remains matchable through Unwrap.
+	sentinel := errors.New("inner")
+	run2 := func() (err error) {
+		defer Recover(&err)
+		panic(sentinel)
+	}
+	if err := run2(); !errors.Is(err, sentinel) {
+		t.Errorf("error-valued panic %v does not unwrap to sentinel", err)
+	}
+
+	// No panic leaves the returned error untouched.
+	run3 := func() (err error) {
+		defer Recover(&err)
+		return errors.New("plain")
+	}
+	if err := run3(); err == nil || err.Error() != "plain" {
+		t.Errorf("Recover clobbered a plain error: %v", err)
+	}
+}

@@ -1,8 +1,11 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 	"sort"
+
+	"github.com/fusedmindlab/transfusion/internal/faults"
 )
 
 // Bipartition is a split of a DAG's nodes into two subgraphs: First runs as
@@ -96,6 +99,21 @@ func (g *DAG) ValidBipartition(b Bipartition) bool {
 // constraints, in a deterministic order. It returns an error for graphs
 // larger than the enumeration guard.
 func (g *DAG) Bipartitions() ([]Bipartition, error) {
+	return g.BipartitionsBounded(context.Background(), 0)
+}
+
+// ctxCheckStride is how many candidate subsets are examined between context
+// cancellation checks during bipartition enumeration.
+const ctxCheckStride = 1 << 10
+
+// BipartitionsBounded enumerates valid bipartitions like Bipartitions, but
+// under an explicit budget and a context. maxSubsets caps the number of
+// candidate subsets *examined* (not returned); exceeding it aborts with an
+// error matching faults.ErrBudgetExhausted rather than scanning the full
+// 2^n space. maxSubsets <= 0 means unbounded up to the node-count guard.
+// Cancellation is checked every ctxCheckStride subsets and aborts with an
+// error matching faults.ErrCanceled.
+func (g *DAG) BipartitionsBounded(ctx context.Context, maxSubsets int) ([]Bipartition, error) {
 	nodes := g.Nodes()
 	n := len(nodes)
 	if n > maxBipartitionNodes {
@@ -105,9 +123,18 @@ func (g *DAG) Bipartitions() ([]Bipartition, error) {
 		return nil, nil
 	}
 	var out []Bipartition
+	examined := 0
 	// Enumerate subsets as bitmasks over the sorted node list; bit i set
 	// means nodes[i] is in the first subgraph. Skip the empty and full sets.
 	for mask := uint32(1); mask < (uint32(1)<<n)-1; mask++ {
+		if examined%ctxCheckStride == 0 && ctx.Err() != nil {
+			return nil, faults.Canceled(ctx)
+		}
+		examined++
+		if maxSubsets > 0 && examined > maxSubsets {
+			return nil, faults.Budgetf("graph: bipartition enumeration exceeded budget of %d subsets (%d-node DAG has %d)",
+				maxSubsets, n, (uint64(1)<<n)-2)
+		}
 		first := make(map[string]bool)
 		second := make(map[string]bool)
 		for i, node := range nodes {

@@ -1,0 +1,49 @@
+package graph
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/internal/faults"
+)
+
+func diamondDAG() *DAG {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "c")
+	g.AddEdge("b", "d")
+	g.AddEdge("c", "d")
+	return g
+}
+
+func TestBipartitionsBoundedMatchesUnbounded(t *testing.T) {
+	g := diamondDAG()
+	want, err := g.Bipartitions()
+	if err != nil {
+		t.Fatalf("Bipartitions: %v", err)
+	}
+	got, err := g.BipartitionsBounded(context.Background(), 1<<20)
+	if err != nil {
+		t.Fatalf("BipartitionsBounded: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("bounded enumeration returned %d bipartitions, unbounded %d", len(got), len(want))
+	}
+}
+
+func TestBipartitionsBoundedBudgetExhausted(t *testing.T) {
+	_, err := diamondDAG().BipartitionsBounded(context.Background(), 1)
+	if !errors.Is(err, faults.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestBipartitionsBoundedCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := diamondDAG().BipartitionsBounded(ctx, 0)
+	if !errors.Is(err, faults.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}

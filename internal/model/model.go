@@ -4,7 +4,11 @@
 // use.
 package model
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/fusedmindlab/transfusion/internal/faults"
+)
 
 // Config describes one Transformer model's architecture hyper-parameters in
 // the paper's dimension vocabulary.
@@ -31,13 +35,13 @@ type Config struct {
 func (c Config) Validate() error {
 	switch {
 	case c.Name == "":
-		return fmt.Errorf("model: empty name")
+		return faults.Invalidf("model: empty name")
 	case c.D <= 0 || c.H <= 0 || c.E <= 0 || c.F <= 0 || c.S <= 0 || c.Layers <= 0:
-		return fmt.Errorf("model %s: non-positive dimension in %+v", c.Name, c)
+		return faults.Invalidf("model %s: non-positive dimension in %+v", c.Name, c)
 	case c.D != c.H*c.E:
-		return fmt.Errorf("model %s: D=%d != H*E=%d", c.Name, c.D, c.H*c.E)
+		return faults.Invalidf("model %s: D=%d != H*E=%d", c.Name, c.D, c.H*c.E)
 	case c.E != c.F:
-		return fmt.Errorf("model %s: E=%d != F=%d (the evaluation assumes E == F)", c.Name, c.E, c.F)
+		return faults.Invalidf("model %s: E=%d != F=%d (the evaluation assumes E == F)", c.Name, c.E, c.F)
 	default:
 		return nil
 	}
@@ -83,7 +87,7 @@ func ByName(name string) (Config, error) {
 			return c, nil
 		}
 	}
-	return Config{}, fmt.Errorf("model: unknown model %q", name)
+	return Config{}, faults.Invalidf("model: unknown model %q", name)
 }
 
 // EvalBatch is the fixed batch size of every experiment (§6.1, following
@@ -123,7 +127,7 @@ func Custom(name string, heads, headDim, ffnHidden, layers int, activation strin
 // model-size sweeps (D scales with the head count).
 func (c Config) Scale(k int) (Config, error) {
 	if k <= 0 {
-		return Config{}, fmt.Errorf("model: non-positive scale %d", k)
+		return Config{}, faults.Invalidf("model: non-positive scale %d", k)
 	}
 	s := c
 	s.Name = fmt.Sprintf("%s-x%d", c.Name, k)

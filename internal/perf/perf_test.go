@@ -10,7 +10,7 @@ import (
 
 func gemmOp(m, k, n int) OpSpec {
 	return OpSpec{
-		E:      einsum.MustParse("C = A[m,k] * B[k,n] -> [m,n]"),
+		E:      mustParse("C = A[m,k] * B[k,n] -> [m,n]"),
 		Dims:   map[string]int{"m": m, "k": k, "n": n},
 		RowIdx: []string{"m"},
 		ColIdx: []string{"n"},
@@ -270,4 +270,14 @@ func TestArrayKindString(t *testing.T) {
 	if PE2D.String() != "2D" || PE1D.String() != "1D" {
 		t.Fatal("ArrayKind names wrong")
 	}
+}
+
+// mustParse stands in for the removed library panic helper; static specs in
+// this file are known-good.
+func mustParse(spec string) *einsum.Einsum {
+	e, err := einsum.Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return e
 }

@@ -1,11 +1,16 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
+	"time"
 
 	"github.com/fusedmindlab/transfusion/internal/arch"
 	"github.com/fusedmindlab/transfusion/internal/cascade"
 	"github.com/fusedmindlab/transfusion/internal/dpipe"
+	"github.com/fusedmindlab/transfusion/internal/faults"
 	"github.com/fusedmindlab/transfusion/internal/perf"
 	"github.com/fusedmindlab/transfusion/internal/tileseek"
 	"github.com/fusedmindlab/transfusion/internal/tiling"
@@ -47,6 +52,16 @@ type Options struct {
 	TileSeekSeed uint64
 	// TileSeekObjective selects the search's reward signal.
 	TileSeekObjective Objective
+	// TileSeekTimeout, when positive, soft-bounds the tile search's
+	// wall-clock time. If the timeout expires while the caller's own context
+	// is still live, the evaluation degrades to the heuristic tile instead
+	// of failing; cancellation of the caller's context always propagates as
+	// an error matching faults.ErrCanceled.
+	TileSeekTimeout time.Duration
+	// TileSeekSpace, when non-nil, replaces the default search space. Used
+	// by tests and external tools to constrain or stress the search (e.g. a
+	// deliberately infeasible space exercises the degradation path).
+	TileSeekSpace *tileseek.Space
 	// DPipe bounds the per-layer schedule search.
 	DPipe dpipe.Options
 }
@@ -79,6 +94,18 @@ func (o Options) withDefaults() Options {
 // the outer tile with TileSeek (TransFusion) or the static heuristic
 // (baselines).
 func Evaluate(w Workload, spec arch.Spec, sys System, opts Options) (Result, error) {
+	return EvaluateContext(context.Background(), w, spec, sys, opts)
+}
+
+// EvaluateContext is Evaluate under a context. Cancelling ctx aborts the
+// tile search within one rollout and the schedule search within one
+// candidate, returning an error matching faults.ErrCanceled. When the tile
+// search fails for a reason other than the caller's cancellation — its soft
+// timeout expires, its enumeration budget is exhausted, or it finds no
+// feasible configuration — the evaluation degrades to the static heuristic
+// tile and records Degraded / DegradedReason in the Result rather than
+// failing.
+func EvaluateContext(ctx context.Context, w Workload, spec arch.Spec, sys System, opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	if err := sys.Validate(); err != nil {
 		return Result{}, err
@@ -89,21 +116,27 @@ func Evaluate(w Workload, spec arch.Spec, sys System, opts Options) (Result, err
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
 	}
+	if ctx.Err() != nil {
+		return Result{}, faults.Canceled(ctx)
+	}
 
 	if !sys.UseTileSeek {
 		tile, err := tiling.HeuristicTile(w, spec)
 		if err != nil {
 			return Result{}, err
 		}
-		return EvaluateWithTile(w, spec, sys, tile, opts)
+		return evaluateWithTile(ctx, w, spec, sys, tile, opts)
 	}
 
 	space := tileseek.DefaultSpace(w, spec)
+	if opts.TileSeekSpace != nil {
+		space = *opts.TileSeekSpace
+	}
 	// The search reward follows opts.TileSeekObjective; the default EDP
 	// breaks latency ties on compute-bound workloads in favour of less
 	// traffic, matching the paper's energy/latency reward options.
 	objective := func(c tiling.Config) (float64, bool) {
-		r, err := EvaluateWithTile(w, spec, sys, c, opts)
+		r, err := evaluateWithTile(ctx, w, spec, sys, c, opts)
 		if err != nil {
 			return 0, false
 		}
@@ -116,30 +149,79 @@ func Evaluate(w Workload, spec arch.Spec, sys System, opts Options) (Result, err
 			return r.TotalCycles * r.Energy.Total(), true
 		}
 	}
+
 	// The search is seeded with the baseline heuristic: TileSeek must never
-	// do worse than the static rule it replaces.
-	best, err := tiling.HeuristicTile(w, spec)
-	if err != nil {
-		return Result{}, err
-	}
-	bestCost, ok := objective(best)
-	if !ok {
-		return Result{}, fmt.Errorf("pipeline: heuristic tile %v not evaluable", best)
-	}
-	evals := 1
-	search, err := tileseek.Search(space, objective, opts.TileSeekIterations, opts.TileSeekSeed)
-	if err == nil {
-		evals += search.Evaluated
-		if search.BestCost < bestCost {
-			best, bestCost = search.Best, search.BestCost
+	// do worse than the static rule it replaces. A heuristic failure is not
+	// yet fatal — the search itself may still find a feasible tile.
+	best, herr := tiling.HeuristicTile(w, spec)
+	bestCost := math.Inf(1)
+	found := false
+	evals := 0
+	if herr == nil {
+		if cost, ok := objective(best); ok {
+			bestCost, found = cost, true
+			evals = 1
+		} else {
+			herr = fmt.Errorf("pipeline: heuristic tile %v not evaluable", best)
 		}
 	}
-	res, err := EvaluateWithTile(w, spec, sys, best, opts)
+
+	searchCtx := ctx
+	if opts.TileSeekTimeout > 0 {
+		var cancel context.CancelFunc
+		searchCtx, cancel = context.WithTimeout(ctx, opts.TileSeekTimeout)
+		defer cancel()
+	}
+	search, serr := tileseek.SearchContext(searchCtx, space, objective, opts.TileSeekIterations, opts.TileSeekSeed)
+	if ctx.Err() != nil {
+		// The caller's own context died (possibly surfacing through serr);
+		// cancellation always wins over degradation.
+		return Result{}, faults.Canceled(ctx)
+	}
+	evals += search.Evaluated
+	if search.Found && search.BestCost < bestCost {
+		best, bestCost = search.Best, search.BestCost
+		found = true
+	}
+	if !found {
+		if serr == nil {
+			serr = faults.Infeasiblef("pipeline: tile search found no feasible tile")
+		}
+		if herr != nil {
+			return Result{}, fmt.Errorf("pipeline: tile search failed (%v) and heuristic fallback failed: %w", serr, herr)
+		}
+		// The heuristic tile exists but was not evaluable as a seed and the
+		// search found nothing: nothing left to run.
+		return Result{}, fmt.Errorf("pipeline: no runnable tile: %w", serr)
+	}
+
+	res, err := evaluateWithTile(ctx, w, spec, sys, best, opts)
 	if err != nil {
 		return Result{}, err
 	}
 	res.TileSearchEvals = evals
+	if serr != nil {
+		// The search did not complete cleanly (soft timeout, enumeration
+		// budget, or an infeasible space); we are running on the heuristic
+		// seed (or a partial search best). Graceful degradation, not failure.
+		res.Degraded = true
+		res.DegradedReason = degradeReason(serr)
+	}
 	return res, nil
+}
+
+// degradeReason classifies a tile-search failure for Result.DegradedReason.
+func degradeReason(err error) string {
+	switch {
+	case errors.Is(err, faults.ErrCanceled):
+		return "tile search timed out; using heuristic tile"
+	case errors.Is(err, faults.ErrBudgetExhausted):
+		return "tile search budget exhausted; using heuristic tile"
+	case errors.Is(err, faults.ErrInfeasible):
+		return "tile search found no feasible configuration; using heuristic tile"
+	default:
+		return "tile search failed (" + err.Error() + "); using heuristic tile"
+	}
 }
 
 // layerProblem bundles a schedulable sub-layer with the metadata the
@@ -162,12 +244,25 @@ type layerProblem struct {
 
 // EvaluateWithTile models the system under an explicit outer tile.
 func EvaluateWithTile(w Workload, spec arch.Spec, sys System, tile tiling.Config, opts Options) (Result, error) {
+	return EvaluateWithTileContext(context.Background(), w, spec, sys, tile, opts)
+}
+
+// EvaluateWithTileContext is EvaluateWithTile under a context; cancellation
+// aborts the per-sub-layer schedule search within one candidate.
+func EvaluateWithTileContext(ctx context.Context, w Workload, spec arch.Spec, sys System, tile tiling.Config, opts Options) (Result, error) {
+	return evaluateWithTile(ctx, w, spec, sys, tile, opts)
+}
+
+func evaluateWithTile(ctx context.Context, w Workload, spec arch.Spec, sys System, tile tiling.Config, opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	if err := tile.Validate(w); err != nil {
 		return Result{}, err
 	}
 	if !tiling.Feasible(tile, w, spec) {
-		return Result{}, fmt.Errorf("pipeline: tile %v infeasible on %s", tile, spec.Name)
+		return Result{}, faults.Infeasiblef("pipeline: tile %v infeasible on %s", tile, spec.Name)
+	}
+	if ctx.Err() != nil {
+		return Result{}, faults.Canceled(ctx)
 	}
 
 	m := w.Model
@@ -198,7 +293,7 @@ func EvaluateWithTile(w Workload, spec arch.Spec, sys System, tile tiling.Config
 		case SchedStatic:
 			res, err = dpipe.StaticPipelined(lp.prob, spec, dpipe.FuseMaxAssignment(lp.prob, spec))
 		default:
-			res, err = dpipe.Plan(lp.prob, spec, opts.DPipe)
+			res, err = dpipe.PlanContext(ctx, lp.prob, spec, opts.DPipe)
 		}
 		if err != nil {
 			return Result{}, fmt.Errorf("pipeline: scheduling %s: %w", name, err)

@@ -91,6 +91,14 @@ type Result struct {
 	// TileSearchEvals counts objective evaluations spent by TileSeek (zero
 	// for heuristic tiling).
 	TileSearchEvals int
+	// Degraded reports that the tile search did not complete cleanly (soft
+	// timeout, enumeration budget, or no feasible configuration) and the
+	// evaluation fell back to the static heuristic tile. The result is still
+	// valid — it models the system under the fallback tile — but may be
+	// pessimistic relative to a completed search.
+	Degraded bool
+	// DegradedReason says why, when Degraded is set.
+	DegradedReason string
 }
 
 // Utilization1D is the 1D array's busy fraction of total latency.

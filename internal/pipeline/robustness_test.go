@@ -1,0 +1,144 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/faults"
+	"github.com/fusedmindlab/transfusion/internal/tileseek"
+	"github.com/fusedmindlab/transfusion/internal/tiling"
+)
+
+func TestEvaluateContextCanceledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := EvaluateContext(ctx, bertWorkload(1024), arch.Cloud(), TransFusion(), fastOpts())
+	if !errors.Is(err, faults.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, does not also match context.Canceled", err)
+	}
+}
+
+func TestEvaluateContextCanceledMidSearch(t *testing.T) {
+	// Cancel while the tile search is running: the evaluation must abort
+	// within one rollout and report cancellation, never a partial result.
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := fastOpts()
+	opts.TileSeekIterations = 1 << 20 // would run for a very long time
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+		close(done)
+	}()
+	_, err := EvaluateContext(ctx, bertWorkload(4096), arch.Cloud(), TransFusion(), opts)
+	<-done
+	if !errors.Is(err, faults.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// infeasibleSpace builds a search space whose only candidate is the full,
+// untiled problem — guaranteed to blow any realistic buffer, so the search
+// can never find a feasible configuration.
+func infeasibleSpace(w Workload, spec arch.Spec) *tileseek.Space {
+	m := w.Model
+	return &tileseek.Space{
+		Workload: w,
+		Spec:     spec,
+		Bs:       []int{w.Batch},
+		Ds:       []int{m.D},
+		Ps:       []int{w.SeqLen},
+		M0s:      []int{w.KVLen()},
+		M1s:      []int{1},
+		Ss:       []int{m.S},
+	}
+}
+
+func TestEvaluateDegradesToHeuristicOnInfeasibleSearch(t *testing.T) {
+	w := bertWorkload(4096)
+	spec := arch.Cloud()
+	opts := fastOpts()
+	opts.TileSeekSpace = infeasibleSpace(w, spec)
+
+	// Sanity: the forced space really is infeasible while the heuristic
+	// still finds a tile.
+	full := tiling.Config{B: w.Batch, D: w.Model.D, P: w.SeqLen, M1: 1, M0: w.KVLen(), S: w.Model.S}
+	if tiling.Feasible(full, w, spec) {
+		t.Fatal("full-problem tile unexpectedly fits the buffer; test premise broken")
+	}
+	heur, err := tiling.HeuristicTile(w, spec)
+	if err != nil {
+		t.Fatalf("heuristic tile: %v", err)
+	}
+
+	res, err := EvaluateContext(context.Background(), w, spec, TransFusion(), opts)
+	if err != nil {
+		t.Fatalf("EvaluateContext: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("Degraded = false, want true after infeasible search")
+	}
+	if res.DegradedReason == "" {
+		t.Fatal("DegradedReason empty")
+	}
+	if res.Tile != heur {
+		t.Fatalf("fallback tile %v, want heuristic tile %v", res.Tile, heur)
+	}
+	if res.TotalCycles <= 0 {
+		t.Fatalf("degraded result has no latency: %v", res.TotalCycles)
+	}
+}
+
+func TestEvaluateDegradesOnSearchTimeout(t *testing.T) {
+	// An already-expired soft timeout cancels the search's child context
+	// while the caller's context stays live: the evaluation must degrade to
+	// the heuristic tile, not fail.
+	opts := fastOpts()
+	opts.TileSeekIterations = 1 << 20
+	opts.TileSeekTimeout = time.Nanosecond
+	res, err := EvaluateContext(context.Background(), bertWorkload(4096), arch.Cloud(), TransFusion(), opts)
+	if err != nil {
+		t.Fatalf("EvaluateContext: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("Degraded = false, want true after search timeout")
+	}
+	if res.DegradedReason == "" {
+		t.Fatal("DegradedReason empty")
+	}
+}
+
+func TestEvaluateNotDegradedOnCleanSearch(t *testing.T) {
+	res, err := EvaluateContext(context.Background(), bertWorkload(1024), arch.Cloud(), TransFusion(), fastOpts())
+	if err != nil {
+		t.Fatalf("EvaluateContext: %v", err)
+	}
+	if res.Degraded || res.DegradedReason != "" {
+		t.Fatalf("clean run marked degraded: %v / %q", res.Degraded, res.DegradedReason)
+	}
+}
+
+func TestEvaluateCrossContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := bertWorkload(1024)
+	w.KVSeqLen = 2048
+	_, err := EvaluateCrossContext(ctx, w, arch.Cloud(), FuseMax(), fastOpts())
+	if !errors.Is(err, faults.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestEvaluateRejectsInvalidWorkload(t *testing.T) {
+	w := bertWorkload(0)
+	_, err := Evaluate(w, arch.Cloud(), TransFusion(), fastOpts())
+	if !errors.Is(err, faults.ErrInvalidSpec) {
+		t.Fatalf("err = %v, want ErrInvalidSpec", err)
+	}
+}

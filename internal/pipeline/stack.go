@@ -1,10 +1,12 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/fusedmindlab/transfusion/internal/arch"
 	"github.com/fusedmindlab/transfusion/internal/dpipe"
+	"github.com/fusedmindlab/transfusion/internal/faults"
 	"github.com/fusedmindlab/transfusion/internal/perf"
 	"github.com/fusedmindlab/transfusion/internal/tiling"
 )
@@ -42,8 +44,14 @@ type StackResult struct {
 // encoder and decoder depth, per the model configuration) with encSeq
 // source tokens and decSeq target tokens.
 func EvaluateEncoderDecoder(w Workload, encSeq, decSeq int, spec arch.Spec, sys System, opts Options) (StackResult, error) {
+	return EvaluateEncoderDecoderContext(context.Background(), w, encSeq, decSeq, spec, sys, opts)
+}
+
+// EvaluateEncoderDecoderContext is EvaluateEncoderDecoder under a context;
+// cancellation aborts between and within the three constituent evaluations.
+func EvaluateEncoderDecoderContext(ctx context.Context, w Workload, encSeq, decSeq int, spec arch.Spec, sys System, opts Options) (StackResult, error) {
 	if encSeq <= 0 || decSeq <= 0 {
-		return StackResult{}, fmt.Errorf("pipeline: non-positive stack lengths enc=%d dec=%d", encSeq, decSeq)
+		return StackResult{}, faults.Invalidf("pipeline: non-positive stack lengths enc=%d dec=%d", encSeq, decSeq)
 	}
 	var out StackResult
 	var err error
@@ -52,7 +60,7 @@ func EvaluateEncoderDecoder(w Workload, encSeq, decSeq int, spec arch.Spec, sys 
 	encW.SeqLen = encSeq
 	encW.Causal = false
 	encW.KVSeqLen = 0
-	out.Encoder, err = Evaluate(encW, spec, sys, opts)
+	out.Encoder, err = EvaluateContext(ctx, encW, spec, sys, opts)
 	if err != nil {
 		return StackResult{}, fmt.Errorf("pipeline: encoder stack: %w", err)
 	}
@@ -61,7 +69,7 @@ func EvaluateEncoderDecoder(w Workload, encSeq, decSeq int, spec arch.Spec, sys 
 	selfW.SeqLen = decSeq
 	selfW.Causal = true
 	selfW.KVSeqLen = 0
-	out.DecoderSelf, err = Evaluate(selfW, spec, sys, opts)
+	out.DecoderSelf, err = EvaluateContext(ctx, selfW, spec, sys, opts)
 	if err != nil {
 		return StackResult{}, fmt.Errorf("pipeline: decoder self-attention stack: %w", err)
 	}
@@ -70,7 +78,7 @@ func EvaluateEncoderDecoder(w Workload, encSeq, decSeq int, spec arch.Spec, sys 
 	crossW.SeqLen = decSeq
 	crossW.Causal = false
 	crossW.KVSeqLen = encSeq
-	out.DecoderCross, err = EvaluateCross(crossW, spec, sys, opts)
+	out.DecoderCross, err = EvaluateCrossContext(ctx, crossW, spec, sys, opts)
 	if err != nil {
 		return StackResult{}, fmt.Errorf("pipeline: decoder cross-attention stage: %w", err)
 	}
@@ -89,6 +97,12 @@ func EvaluateEncoderDecoder(w Workload, encSeq, decSeq int, spec arch.Spec, sys 
 // and the Add & LayerNorm — no FFN (it belongs to the self-attention
 // evaluation). The workload's KVSeqLen must carry the encoder length.
 func EvaluateCross(w Workload, spec arch.Spec, sys System, opts Options) (Result, error) {
+	return EvaluateCrossContext(context.Background(), w, spec, sys, opts)
+}
+
+// EvaluateCrossContext is EvaluateCross under a context; cancellation aborts
+// the per-sub-layer schedule search within one candidate.
+func EvaluateCrossContext(ctx context.Context, w Workload, spec arch.Spec, sys System, opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	if err := sys.Validate(); err != nil {
 		return Result{}, err
@@ -97,7 +111,10 @@ func EvaluateCross(w Workload, spec arch.Spec, sys System, opts Options) (Result
 		return Result{}, err
 	}
 	if w.KVSeqLen == 0 {
-		return Result{}, fmt.Errorf("pipeline: EvaluateCross requires KVSeqLen")
+		return Result{}, faults.Invalidf("pipeline: EvaluateCross requires KVSeqLen")
+	}
+	if ctx.Err() != nil {
+		return Result{}, faults.Canceled(ctx)
 	}
 	tile, err := tiling.HeuristicTile(w, spec)
 	if err != nil {
@@ -126,7 +143,7 @@ func EvaluateCross(w Workload, spec arch.Spec, sys System, opts Options) (Result
 		case SchedStatic:
 			res, err = dpipe.StaticPipelined(lp.prob, spec, dpipe.FuseMaxAssignment(lp.prob, spec))
 		default:
-			res, err = dpipe.Plan(lp.prob, spec, opts.DPipe)
+			res, err = dpipe.PlanContext(ctx, lp.prob, spec, opts.DPipe)
 		}
 		return res, lp, err
 	}

@@ -28,6 +28,7 @@ package pipeline
 import (
 	"fmt"
 
+	"github.com/fusedmindlab/transfusion/internal/faults"
 	"github.com/fusedmindlab/transfusion/internal/tiling"
 )
 
@@ -151,7 +152,7 @@ func SystemByName(name string) (System, error) {
 			return s, nil
 		}
 	}
-	return System{}, fmt.Errorf("pipeline: unknown system %q", name)
+	return System{}, faults.Invalidf("pipeline: unknown system %q", name)
 }
 
 // Workload re-exports the tiling workload for the public API's convenience.

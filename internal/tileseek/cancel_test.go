@@ -1,0 +1,76 @@
+package tileseek
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/faults"
+	"github.com/fusedmindlab/transfusion/internal/model"
+	"github.com/fusedmindlab/transfusion/internal/tiling"
+)
+
+func cancelTestSpace() Space {
+	w := tiling.Workload{Model: model.BERT(), SeqLen: 1024, Batch: 64}
+	return DefaultSpace(w, arch.Cloud())
+}
+
+func TestSearchContextCanceledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	objective := func(c tiling.Config) (float64, bool) { calls++; return 1, true }
+	_, err := SearchContext(ctx, cancelTestSpace(), objective, 1000, 1)
+	if !errors.Is(err, faults.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, does not also match context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatalf("objective called %d times under a pre-canceled context", calls)
+	}
+}
+
+func TestSearchContextStopsWithinOneRollout(t *testing.T) {
+	// Cancel from inside the first objective evaluation: the search must
+	// notice at the next rollout boundary, i.e. at most one more evaluation.
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	objective := func(c tiling.Config) (float64, bool) {
+		calls++
+		cancel()
+		return 1, true
+	}
+	res, err := SearchContext(ctx, cancelTestSpace(), objective, 1<<20, 1)
+	if !errors.Is(err, faults.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if calls > 2 {
+		t.Fatalf("search ran %d objective evaluations after cancellation; want <= 2", calls)
+	}
+	// The partial result reflects what was accumulated before the cancel.
+	if res.Evaluated != calls {
+		t.Fatalf("partial result reports %d evaluations, objective ran %d", res.Evaluated, calls)
+	}
+}
+
+func TestSearchReportsInfeasibleSpace(t *testing.T) {
+	w := tiling.Workload{Model: model.BERT(), SeqLen: 4096, Batch: 64}
+	space := Space{
+		Workload: w,
+		Spec:     arch.Cloud(),
+		Bs:       []int{w.Batch},
+		Ds:       []int{w.Model.D},
+		Ps:       []int{w.SeqLen},
+		M0s:      []int{w.SeqLen},
+		M1s:      []int{1},
+		Ss:       []int{w.Model.S},
+	}
+	objective := func(c tiling.Config) (float64, bool) { return 1, true }
+	_, err := Search(space, objective, 16, 1)
+	if !errors.Is(err, faults.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}

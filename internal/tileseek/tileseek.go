@@ -13,10 +13,12 @@
 package tileseek
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/faults"
 	"github.com/fusedmindlab/transfusion/internal/tiling"
 )
 
@@ -179,6 +181,17 @@ func (n *node) ucb(total int) float64 {
 // Search runs MCTS for the given number of iterations and returns the best
 // feasible configuration. Deterministic for a fixed seed.
 func Search(space Space, objective Objective, iterations int, seed uint64) (Result, error) {
+	return SearchContext(context.Background(), space, objective, iterations, seed)
+}
+
+// SearchContext is Search under a context. Cancellation is checked before
+// every rollout: a canceled search stops within one rollout and returns the
+// partial Result accumulated so far (Found reports whether it holds a usable
+// best) together with an error matching faults.ErrCanceled. A search that
+// completes its budget without finding any feasible configuration returns an
+// error matching faults.ErrInfeasible — an expected outcome callers degrade
+// around, not a crash.
+func SearchContext(ctx context.Context, space Space, objective Objective, iterations int, seed uint64) (Result, error) {
 	if err := space.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -193,6 +206,9 @@ func Search(space Space, objective Objective, iterations int, seed uint64) (Resu
 
 	root := &node{}
 	for it := 0; it < iterations; it++ {
+		if ctx.Err() != nil {
+			return res, faults.Canceled(ctx)
+		}
 		// Selection: descend by UCB1 until a node with unexpanded children
 		// or a leaf. Subtrees whose minimal completion already exceeds the
 		// buffer are marked dead at expansion time and never selected.
@@ -283,7 +299,7 @@ func Search(space Space, objective Objective, iterations int, seed uint64) (Resu
 		}
 	}
 	if !res.Found {
-		return res, fmt.Errorf("tileseek: no feasible configuration found in %d iterations", iterations)
+		return res, faults.Infeasiblef("tileseek: no feasible configuration found in %d iterations", iterations)
 	}
 	return res, nil
 }

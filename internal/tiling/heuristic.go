@@ -1,9 +1,8 @@
 package tiling
 
 import (
-	"fmt"
-
 	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/faults"
 )
 
 // HeuristicTile is the static outer-tiling rule the baseline systems use
@@ -81,7 +80,7 @@ func HeuristicTile(w Workload, spec arch.Spec) (Config, error) {
 			}
 		}
 	}
-	return Config{}, fmt.Errorf("tiling: no feasible heuristic tile for %s on %s (seq %d)", w.Model.Name, spec.Name, w.SeqLen)
+	return Config{}, faults.Infeasiblef("tiling: no feasible heuristic tile for %s on %s (seq %d)", w.Model.Name, spec.Name, w.SeqLen)
 }
 
 func largestLE(sorted []int, max int) int {

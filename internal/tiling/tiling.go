@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/faults"
 	"github.com/fusedmindlab/transfusion/internal/model"
 )
 
@@ -62,16 +63,16 @@ func (w Workload) Validate() error {
 		return err
 	}
 	if w.SeqLen <= 0 {
-		return fmt.Errorf("tiling: non-positive sequence length %d", w.SeqLen)
+		return faults.Invalidf("tiling: non-positive sequence length %d", w.SeqLen)
 	}
 	if w.Batch <= 0 {
-		return fmt.Errorf("tiling: non-positive batch %d", w.Batch)
+		return faults.Invalidf("tiling: non-positive batch %d", w.Batch)
 	}
 	if w.KVSeqLen < 0 {
-		return fmt.Errorf("tiling: negative KV sequence length %d", w.KVSeqLen)
+		return faults.Invalidf("tiling: negative KV sequence length %d", w.KVSeqLen)
 	}
 	if w.Causal && w.KVSeqLen != 0 && w.KVSeqLen != w.SeqLen {
-		return fmt.Errorf("tiling: causal masking requires KV length == query length")
+		return faults.Invalidf("tiling: causal masking requires KV length == query length")
 	}
 	return nil
 }
@@ -101,23 +102,23 @@ func (c Config) Validate(w Workload) error {
 	m := w.Model
 	switch {
 	case c.B <= 0 || c.D <= 0 || c.P <= 0 || c.M1 <= 0 || c.M0 <= 0 || c.S <= 0:
-		return fmt.Errorf("tiling: non-positive tile extent in %+v", c)
+		return faults.Invalidf("tiling: non-positive tile extent in %+v", c)
 	case c.B > w.Batch:
-		return fmt.Errorf("tiling: tile B=%d exceeds batch %d", c.B, w.Batch)
+		return faults.Invalidf("tiling: tile B=%d exceeds batch %d", c.B, w.Batch)
 	case c.D > m.D:
-		return fmt.Errorf("tiling: tile D=%d exceeds model D=%d", c.D, m.D)
+		return faults.Invalidf("tiling: tile D=%d exceeds model D=%d", c.D, m.D)
 	case c.P > w.SeqLen:
-		return fmt.Errorf("tiling: tile P=%d exceeds sequence %d", c.P, w.SeqLen)
+		return faults.Invalidf("tiling: tile P=%d exceeds sequence %d", c.P, w.SeqLen)
 	case c.M1*c.M0 > w.KVLen():
-		return fmt.Errorf("tiling: KV chunk M1*M0=%d exceeds KV sequence %d", c.M1*c.M0, w.KVLen())
+		return faults.Invalidf("tiling: KV chunk M1*M0=%d exceeds KV sequence %d", c.M1*c.M0, w.KVLen())
 	case c.S > m.S:
-		return fmt.Errorf("tiling: tile S=%d exceeds model S=%d", c.S, m.S)
+		return faults.Invalidf("tiling: tile S=%d exceeds model S=%d", c.S, m.S)
 	case w.KVLen()%(c.M1*c.M0) != 0:
-		return fmt.Errorf("tiling: KV chunk %d does not divide KV sequence %d", c.M1*c.M0, w.KVLen())
+		return faults.Invalidf("tiling: KV chunk %d does not divide KV sequence %d", c.M1*c.M0, w.KVLen())
 	case w.SeqLen%c.P != 0:
-		return fmt.Errorf("tiling: query tile %d does not divide sequence %d", c.P, w.SeqLen)
+		return faults.Invalidf("tiling: query tile %d does not divide sequence %d", c.P, w.SeqLen)
 	case w.Batch%c.B != 0:
-		return fmt.Errorf("tiling: tile batch %d does not divide batch %d", c.B, w.Batch)
+		return faults.Invalidf("tiling: tile batch %d does not divide batch %d", c.B, w.Batch)
 	default:
 		return nil
 	}
