@@ -64,6 +64,11 @@ type RunSpec struct {
 	// Degraded with a DegradedReason instead of failing. Cancellation of
 	// the caller's context is unaffected: it still returns ErrCanceled.
 	SearchTimeout time.Duration
+	// Progress, when set, receives typed progress events (RolloutDoneEvent,
+	// PhaseStartEvent/PhaseEndEvent, EnumerationProgressEvent,
+	// DegradedEvent) synchronously from the evaluating goroutine. It must be
+	// fast and must not block; leave nil for zero overhead.
+	Progress ProgressFunc
 }
 
 // CustomModel describes a Transformer outside the five-entry zoo by its
@@ -212,6 +217,7 @@ func (s RunSpec) resolve() (arch.Spec, model.Config, pipeline.System, pipeline.O
 	if s.SearchTimeout > 0 {
 		opts.TileSeekTimeout = s.SearchTimeout
 	}
+	opts.Progress = s.Progress
 	return spec, m, sys, opts, batch, nil
 }
 

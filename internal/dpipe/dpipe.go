@@ -24,13 +24,16 @@ package dpipe
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
+	"time"
 
 	"github.com/fusedmindlab/transfusion/internal/arch"
 	"github.com/fusedmindlab/transfusion/internal/einsum"
 	"github.com/fusedmindlab/transfusion/internal/faults"
 	"github.com/fusedmindlab/transfusion/internal/graph"
+	"github.com/fusedmindlab/transfusion/internal/obs"
 	"github.com/fusedmindlab/transfusion/internal/perf"
 )
 
@@ -152,6 +155,10 @@ type Options struct {
 	// matching faults.ErrBudgetExhausted instead of scanning unbounded.
 	// Zero takes the default; negative means unlimited.
 	MaxEnumeration int
+	// Progress, when non-nil, receives an obs.EnumerationProgress event
+	// after the bipartition/ordering enumeration of each plan. Leave nil to
+	// pay nothing.
+	Progress obs.ProgressFunc
 }
 
 // DefaultOptions are the bounds used throughout the evaluation.
@@ -169,20 +176,33 @@ func Plan(p *Problem, spec arch.Spec, opts Options) (Result, error) {
 // enumeration strides and between candidate schedule evaluations, returning
 // an error matching faults.ErrCanceled; the enumeration budget
 // (Options.MaxEnumeration) returns faults.ErrBudgetExhausted.
+//
+// Observability: a logger attached to ctx (obs.WithLogger) gets a debug line
+// per plan; a registry attached to ctx (obs.WithMetrics) accumulates
+// dpipe.plans, dpipe.enumerated, dpipe.bipartitions, dpipe.candidates,
+// dpipe.dp_cells, and the dpipe.plan_ms histogram.
 func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
 	if opts.MaxBipartitions <= 0 || opts.MaxOrdersPerPartition <= 0 {
-		maxEnum := opts.MaxEnumeration
+		maxEnum, progress := opts.MaxEnumeration, opts.Progress
 		opts = DefaultOptions()
 		opts.MaxEnumeration = maxEnum
+		opts.Progress = progress
 	}
 	if opts.ExplicitEpochs < 2 {
 		opts.ExplicitEpochs = 2
 	}
 	if opts.MaxEnumeration == 0 {
 		opts.MaxEnumeration = DefaultOptions().MaxEnumeration
+	}
+
+	reg := obs.MetricsFrom(ctx)
+	var planStart time.Time
+	if reg != nil {
+		reg.Counter("dpipe.plans").Inc()
+		planStart = time.Now()
 	}
 
 	// Candidate orderings: the canonical topological order always
@@ -208,7 +228,12 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 	}
 	addOrder(canonical, graph.Bipartition{})
 
-	parts, err := p.Deps.BipartitionsBounded(ctx, opts.MaxEnumeration)
+	parts, examined, err := p.Deps.BipartitionsBounded(ctx, opts.MaxEnumeration)
+	if reg != nil {
+		// Account the scan even when it aborted on budget/cancellation.
+		reg.Counter("dpipe.enumerated").Add(int64(examined))
+		reg.Counter("dpipe.bipartitions").Add(int64(len(parts)))
+	}
 	if err != nil {
 		return Result{}, fmt.Errorf("dpipe: problem %s: %w", p.Name, err)
 	}
@@ -257,6 +282,17 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 		}
 	}
 
+	if opts.Progress != nil {
+		opts.Progress(obs.EnumerationProgress{
+			Problem:      p.Name,
+			Examined:     examined,
+			Budget:       opts.MaxEnumeration,
+			Bipartitions: len(parts),
+			Candidates:   len(candidates),
+		})
+	}
+
+	cells := reg.Counter("dpipe.dp_cells") // nil-safe on a nil registry
 	best := Result{TotalCycles: math.Inf(1)}
 	for _, c := range candidates {
 		// Cancellation is checked per candidate schedule: a canceled plan
@@ -264,7 +300,7 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 		if ctx.Err() != nil {
 			return Result{}, faults.Canceled(ctx)
 		}
-		res := evaluate(p, spec, c.order, c.part.First, opts.ExplicitEpochs, nil)
+		res := evaluate(p, spec, c.order, c.part.First, opts.ExplicitEpochs, nil, cells)
 		if res.TotalCycles < best.TotalCycles {
 			res.Order = c.order
 			res.Bipartition = c.part
@@ -272,6 +308,20 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 		}
 	}
 	best.Candidates = len(candidates)
+	if reg != nil {
+		reg.Counter("dpipe.candidates").Add(int64(len(candidates)))
+		reg.Histogram("dpipe.plan_ms", nil).Observe(float64(time.Since(planStart).Microseconds()) / 1e3)
+	}
+	// Enabled-guarded so the disabled path never builds the attr slice:
+	// PlanContext runs once per objective evaluation and sub-layer.
+	if lg := obs.LoggerFrom(ctx); lg.Enabled(ctx, slog.LevelDebug) {
+		lg.Debug("dpipe: plan complete",
+			"problem", p.Name,
+			"candidates", len(candidates),
+			"bipartitions", len(parts),
+			"enumerated", examined,
+			"cycles", best.TotalCycles)
+	}
 	return best, nil
 }
 
@@ -322,7 +372,7 @@ func StaticPipelined(p *Problem, spec arch.Spec, assign map[string]perf.ArrayKin
 	if err != nil {
 		return Result{}, fmt.Errorf("dpipe: problem %s: %w", p.Name, err)
 	}
-	res := evaluate(p, spec, order, nil, 12, assign)
+	res := evaluate(p, spec, order, nil, 12, assign, nil)
 	res.Order = order
 	return res, nil
 }
@@ -387,7 +437,8 @@ func FuseMaxAssignment(p *Problem, spec arch.Spec) map[string]perf.ArrayKind {
 // epoch k-1 with the first subgraph of epoch k (Figure 7(d)); a nil first
 // yields plain epoch-major sequencing. When fixedAssign is non-nil each op
 // is pinned to its assigned array; otherwise the DP chooses per Eq. 45.
-func evaluate(p *Problem, spec arch.Spec, order []string, first map[string]bool, explicitEpochs int, fixedAssign map[string]perf.ArrayKind) Result {
+// cells, when non-nil, counts DP instance placements.
+func evaluate(p *Problem, spec arch.Spec, order []string, first map[string]bool, explicitEpochs int, fixedAssign map[string]perf.ArrayKind, cells *obs.Counter) Result {
 	k := explicitEpochs
 	if int64(k) > p.Epochs {
 		k = int(p.Epochs)
@@ -396,7 +447,7 @@ func evaluate(p *Problem, spec arch.Spec, order []string, first map[string]bool,
 		k = 1
 	}
 
-	mkAll, busyAll, assign := schedule(p, spec, buildSequence(order, first, k), fixedAssign)
+	mkAll, busyAll, assign := schedule(p, spec, buildSequence(order, first, k), fixedAssign, cells)
 	if int64(k) >= p.Epochs {
 		return Result{
 			TotalCycles: mkAll,
@@ -413,7 +464,7 @@ func evaluate(p *Problem, spec arch.Spec, order []string, first map[string]bool,
 	if base < 1 {
 		base = 1
 	}
-	mkBase, busyBase, _ := schedule(p, spec, buildSequence(order, first, base), fixedAssign)
+	mkBase, busyBase, _ := schedule(p, spec, buildSequence(order, first, base), fixedAssign, cells)
 	span := float64(k - base)
 	deltaMk := (mkAll - mkBase) / span
 	delta1 := (busyAll[perf.PE1D] - busyBase[perf.PE1D]) / span
@@ -472,7 +523,10 @@ type instance struct {
 // Eq. 44 adds the op latency per array, Eq. 45 selects the earliest
 // completion, and Eq. 46 commits the chosen array's timeline. Returns the
 // makespan, per-array busy cycles, and the last epoch's array assignment.
-func schedule(p *Problem, spec arch.Spec, seq []instance, fixedAssign map[string]perf.ArrayKind) (float64, map[perf.ArrayKind]float64, map[string]perf.ArrayKind) {
+// cells is credited with one increment per instance placed (nil-safe, a
+// single amortised Add so the inner loop stays allocation-free).
+func schedule(p *Problem, spec arch.Spec, seq []instance, fixedAssign map[string]perf.ArrayKind, cells *obs.Counter) (float64, map[perf.ArrayKind]float64, map[string]perf.ArrayKind) {
+	cells.Add(int64(len(seq)))
 	timeline := map[perf.ArrayKind]float64{perf.PE2D: 0, perf.PE1D: 0}
 	busy := map[perf.ArrayKind]float64{perf.PE2D: 0, perf.PE1D: 0}
 	endT := make(map[instance]float64, len(seq))

@@ -1,0 +1,36 @@
+package dpipe
+
+import (
+	"github.com/fusedmindlab/transfusion/internal/obs"
+	"github.com/fusedmindlab/transfusion/internal/perf"
+)
+
+// Chrome trace lane ids: one thread per PE array within a trace's process.
+const (
+	tid2D = 0
+	tid1D = 1
+)
+
+// ChromeTraceEvents converts the materialised schedule into Chrome
+// trace_event entries under the given pid: one process per trace, one
+// thread per PE array, one complete event per scheduled op instance. One
+// modelled cycle maps to one microsecond of trace time, so Perfetto's
+// time axis reads directly in cycles.
+func (t *Trace) ChromeTraceEvents(pid int) []obs.TraceEvent {
+	events := make([]obs.TraceEvent, 0, len(t.Entries)+3)
+	events = append(events,
+		obs.ProcessName(pid, t.Problem),
+		obs.ThreadName(pid, tid2D, "2D PE array"),
+		obs.ThreadName(pid, tid1D, "1D PE array"),
+	)
+	for _, e := range t.Entries {
+		tid := tid2D
+		if e.Array == perf.PE1D {
+			tid = tid1D
+		}
+		ev := obs.Complete(e.Op, e.Start, e.End-e.Start, pid, tid)
+		ev.Args = map[string]interface{}{"epoch": e.Epoch, "array": e.Array.String()}
+		events = append(events, ev)
+	}
+	return events
+}

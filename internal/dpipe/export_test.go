@@ -1,0 +1,125 @@
+package dpipe
+
+import (
+	"encoding/json"
+	"sort"
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/obs"
+)
+
+// PlanContext reports the enumeration it performed through the progress
+// hook: a nonzero examined count bounded by the budget, and the candidate
+// tally matching the returned plan.
+func TestPlanEmitsEnumerationProgress(t *testing.T) {
+	p := mhaProblem(t, 8)
+	opts := DefaultOptions()
+	var events []obs.EnumerationProgress
+	opts.Progress = func(ev obs.Event) {
+		ep, ok := ev.(obs.EnumerationProgress)
+		if !ok {
+			t.Fatalf("unexpected event %T", ev)
+		}
+		events = append(events, ep)
+	}
+	plan, err := Plan(p, arch.Edge(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d enumeration events, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Problem != p.Name {
+		t.Fatalf("event problem = %q, want %q", ev.Problem, p.Name)
+	}
+	if ev.Examined <= 0 || ev.Examined > ev.Budget {
+		t.Fatalf("examined = %d, budget = %d", ev.Examined, ev.Budget)
+	}
+	if ev.Bipartitions <= 0 {
+		t.Fatalf("bipartitions = %d", ev.Bipartitions)
+	}
+	if ev.Candidates != plan.Candidates {
+		t.Fatalf("event candidates = %d, plan reports %d", ev.Candidates, plan.Candidates)
+	}
+}
+
+// Trace entries come out deterministically ordered: by start cycle, then op
+// name, then epoch — so diffs, goldens, and exports are stable across runs.
+func TestTraceEntriesDeterministicallyOrdered(t *testing.T) {
+	p := mhaProblem(t, 8)
+	spec := arch.Edge()
+	plan, err := Plan(p, spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := TraceSchedule(p, spec, plan.Order, plan.Bipartition.First, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(tr.Entries, func(i, j int) bool {
+		a, b := tr.Entries[i], tr.Entries[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		return a.Epoch < b.Epoch
+	}) {
+		t.Fatalf("trace entries unordered: %+v", tr.Entries)
+	}
+	// Two builds of the same schedule must agree entry-for-entry.
+	tr2, err := TraceSchedule(p, spec, plan.Order, plan.Bipartition.First, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) != len(tr2.Entries) {
+		t.Fatalf("entry counts differ: %d vs %d", len(tr.Entries), len(tr2.Entries))
+	}
+	for i := range tr.Entries {
+		if tr.Entries[i] != tr2.Entries[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, tr.Entries[i], tr2.Entries[i])
+		}
+	}
+}
+
+func TestChromeTraceEventsFromTrace(t *testing.T) {
+	p := twoStageProblem(3)
+	tr, err := TraceSchedule(p, arch.Cloud(), nil, nil, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tr.ChromeTraceEvents(7)
+	// Leading metadata: process name plus the two PE-array lanes.
+	if len(events) != len(tr.Entries)+3 {
+		t.Fatalf("events = %d, want %d", len(events), len(tr.Entries)+3)
+	}
+	if events[0].Phase != "M" || events[0].Name != "process_name" || events[0].Pid != 7 {
+		t.Fatalf("process metadata malformed: %+v", events[0])
+	}
+	for _, ev := range events[3:] {
+		if ev.Phase != "X" {
+			t.Fatalf("schedule event phase = %q", ev.Phase)
+		}
+		if ev.Pid != 7 || (ev.Tid != tid2D && ev.Tid != tid1D) {
+			t.Fatalf("event lane malformed: %+v", ev)
+		}
+		if ev.Dur < 0 || ev.Ts < 0 {
+			t.Fatalf("negative time: %+v", ev)
+		}
+		if _, ok := ev.Args["epoch"]; !ok {
+			t.Fatalf("event missing epoch arg: %+v", ev)
+		}
+	}
+	// The whole thing must round-trip through the JSON array format.
+	data, err := json.Marshal(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]interface{}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+}

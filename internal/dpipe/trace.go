@@ -106,6 +106,19 @@ func TraceSchedule(p *Problem, spec arch.Spec, order []string, first map[string]
 			tr.Makespan = bestEnd
 		}
 	}
+	// Deterministic entry order regardless of how the candidate sequence
+	// interleaved the instances: sort by start time, breaking ties by op
+	// name then epoch, so traces diff cleanly and exports are reproducible.
+	sort.Slice(tr.Entries, func(i, j int) bool {
+		a, b := tr.Entries[i], tr.Entries[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		return a.Epoch < b.Epoch
+	})
 	return tr, nil
 }
 

@@ -32,7 +32,7 @@ func AblationTileSeek(r *Runner) (*report.Table, error) {
 		}
 		space := tileseek.DefaultSpace(w, spec)
 
-		mcts, err := tileseek.Search(space, objective, budget, 1)
+		mcts, err := tileseek.SearchContext(r.Context(), space, objective, budget, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -94,7 +94,7 @@ func AblationDPipe(r *Runner) (*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			plan, err := dpipe.Plan(prob, spec, r.Opts.DPipe)
+			plan, err := dpipe.PlanContext(r.Context(), prob, spec, r.Opts.DPipe)
 			if err != nil {
 				return nil, err
 			}
@@ -131,7 +131,7 @@ func AblationAttentionPasses(r *Runner) (*report.Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			res, err := dpipe.Plan(prob, spec, r.Opts.DPipe)
+			res, err := dpipe.PlanContext(r.Context(), prob, spec, r.Opts.DPipe)
 			if err != nil {
 				return 0, err
 			}
@@ -157,7 +157,7 @@ func AblationAttentionPasses(r *Runner) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		naiveRes, err := dpipe.Plan(naiveProb, spec, r.Opts.DPipe)
+		naiveRes, err := dpipe.PlanContext(r.Context(), naiveProb, spec, r.Opts.DPipe)
 		if err != nil {
 			return nil, err
 		}

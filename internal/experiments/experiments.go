@@ -13,6 +13,7 @@ import (
 	"github.com/fusedmindlab/transfusion/internal/arch"
 	"github.com/fusedmindlab/transfusion/internal/faults"
 	"github.com/fusedmindlab/transfusion/internal/model"
+	"github.com/fusedmindlab/transfusion/internal/obs"
 	"github.com/fusedmindlab/transfusion/internal/pipeline"
 	"github.com/fusedmindlab/transfusion/internal/report"
 	"github.com/fusedmindlab/transfusion/internal/tiling"
@@ -23,6 +24,9 @@ type Runner struct {
 	Opts  pipeline.Options
 	ctx   context.Context
 	cache map[string]pipeline.Result
+	// notes records degraded evaluations ("key: reason"), in evaluation
+	// order, for surfacing in experiment output.
+	notes []string
 }
 
 // NewRunner creates a Runner with the given evaluation options.
@@ -56,8 +60,30 @@ func (r *Runner) Eval(spec arch.Spec, m model.Config, seq int, sys pipeline.Syst
 	if err != nil {
 		return pipeline.Result{}, fmt.Errorf("experiments: %s: %w", key, err)
 	}
+	if res.Degraded {
+		r.notes = append(r.notes, fmt.Sprintf("%s: degraded: %s", key, res.DegradedReason))
+		obs.MetricsFrom(ctx).Counter("experiments.degraded").Inc()
+	}
 	r.cache[key] = res
 	return res, nil
+}
+
+// Notes returns the observations collected across this Runner's evaluations
+// (currently one line per degraded result, in evaluation order). Cached hits
+// do not re-report.
+func (r *Runner) Notes() []string {
+	return append([]string(nil), r.notes...)
+}
+
+// Context returns the Runner's evaluation context (never nil), so
+// experiments that drive the schedulers and searches directly — rather than
+// through Eval — honour the same cancellation and report into the same
+// metrics registry.
+func (r *Runner) Context() context.Context {
+	if r.ctx == nil {
+		return context.Background()
+	}
+	return r.ctx
 }
 
 // Experiment is one regenerable paper artifact.

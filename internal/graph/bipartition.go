@@ -99,7 +99,8 @@ func (g *DAG) ValidBipartition(b Bipartition) bool {
 // constraints, in a deterministic order. It returns an error for graphs
 // larger than the enumeration guard.
 func (g *DAG) Bipartitions() ([]Bipartition, error) {
-	return g.BipartitionsBounded(context.Background(), 0)
+	out, _, err := g.BipartitionsBounded(context.Background(), 0)
+	return out, err
 }
 
 // ctxCheckStride is how many candidate subsets are examined between context
@@ -112,15 +113,16 @@ const ctxCheckStride = 1 << 10
 // error matching faults.ErrBudgetExhausted rather than scanning the full
 // 2^n space. maxSubsets <= 0 means unbounded up to the node-count guard.
 // Cancellation is checked every ctxCheckStride subsets and aborts with an
-// error matching faults.ErrCanceled.
-func (g *DAG) BipartitionsBounded(ctx context.Context, maxSubsets int) ([]Bipartition, error) {
+// error matching faults.ErrCanceled. The examined count is returned even on
+// error, so callers can account the enumeration work actually spent.
+func (g *DAG) BipartitionsBounded(ctx context.Context, maxSubsets int) ([]Bipartition, int, error) {
 	nodes := g.Nodes()
 	n := len(nodes)
 	if n > maxBipartitionNodes {
-		return nil, fmt.Errorf("graph: bipartition enumeration limited to %d nodes, got %d", maxBipartitionNodes, n)
+		return nil, 0, fmt.Errorf("graph: bipartition enumeration limited to %d nodes, got %d", maxBipartitionNodes, n)
 	}
 	if n < 2 {
-		return nil, nil
+		return nil, 0, nil
 	}
 	var out []Bipartition
 	examined := 0
@@ -128,11 +130,11 @@ func (g *DAG) BipartitionsBounded(ctx context.Context, maxSubsets int) ([]Bipart
 	// means nodes[i] is in the first subgraph. Skip the empty and full sets.
 	for mask := uint32(1); mask < (uint32(1)<<n)-1; mask++ {
 		if examined%ctxCheckStride == 0 && ctx.Err() != nil {
-			return nil, faults.Canceled(ctx)
+			return nil, examined, faults.Canceled(ctx)
 		}
 		examined++
 		if maxSubsets > 0 && examined > maxSubsets {
-			return nil, faults.Budgetf("graph: bipartition enumeration exceeded budget of %d subsets (%d-node DAG has %d)",
+			return nil, examined, faults.Budgetf("graph: bipartition enumeration exceeded budget of %d subsets (%d-node DAG has %d)",
 				maxSubsets, n, (uint64(1)<<n)-2)
 		}
 		first := make(map[string]bool)
@@ -149,7 +151,7 @@ func (g *DAG) BipartitionsBounded(ctx context.Context, maxSubsets int) ([]Bipart
 			out = append(out, b)
 		}
 	}
-	return out, nil
+	return out, examined, nil
 }
 
 // TopoOrders enumerates topological orderings of the DAG via backtracking,

@@ -23,26 +23,33 @@ func TestBipartitionsBoundedMatchesUnbounded(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Bipartitions: %v", err)
 	}
-	got, err := g.BipartitionsBounded(context.Background(), 1<<20)
+	got, examined, err := g.BipartitionsBounded(context.Background(), 1<<20)
 	if err != nil {
 		t.Fatalf("BipartitionsBounded: %v", err)
 	}
 	if len(got) != len(want) {
 		t.Fatalf("bounded enumeration returned %d bipartitions, unbounded %d", len(got), len(want))
 	}
+	// A 4-node DAG has 2^4-2 = 14 proper subsets to examine.
+	if examined != 14 {
+		t.Fatalf("examined = %d, want 14", examined)
+	}
 }
 
 func TestBipartitionsBoundedBudgetExhausted(t *testing.T) {
-	_, err := diamondDAG().BipartitionsBounded(context.Background(), 1)
+	_, examined, err := diamondDAG().BipartitionsBounded(context.Background(), 1)
 	if !errors.Is(err, faults.ErrBudgetExhausted) {
 		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if examined == 0 {
+		t.Fatalf("examined = 0, want the aborted scan's count")
 	}
 }
 
 func TestBipartitionsBoundedCanceled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := diamondDAG().BipartitionsBounded(ctx, 0)
+	_, _, err := diamondDAG().BipartitionsBounded(ctx, 0)
 	if !errors.Is(err, faults.ErrCanceled) {
 		t.Fatalf("err = %v, want ErrCanceled", err)
 	}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TraceEvent is one entry of the Chrome trace_event format (the JSON-array
+// flavour), as consumed by chrome://tracing and Perfetto. Only the fields
+// the viewers require are modelled: complete events ("X") with microsecond
+// timestamps and durations, and metadata events ("M") naming processes and
+// threads.
+type TraceEvent struct {
+	Name string `json:"name"`
+	// Phase is the event type: "X" complete, "M" metadata.
+	Phase string `json:"ph"`
+	// Ts is the start timestamp and Dur the duration, both in microseconds.
+	// The schedule exporters map one modelled cycle to one microsecond.
+	Ts  float64 `json:"ts"`
+	Dur float64 `json:"dur"`
+	Pid int     `json:"pid"`
+	Tid int     `json:"tid"`
+	// Args carries event-specific key/values shown in the viewer's detail
+	// pane (and the process/thread name for metadata events).
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// Complete builds a complete ("X") event.
+func Complete(name string, ts, dur float64, pid, tid int) TraceEvent {
+	return TraceEvent{Name: name, Phase: "X", Ts: ts, Dur: dur, Pid: pid, Tid: tid}
+}
+
+// ProcessName builds the metadata event labelling a pid in the viewer.
+func ProcessName(pid int, name string) TraceEvent {
+	return TraceEvent{Name: "process_name", Phase: "M", Pid: pid,
+		Args: map[string]interface{}{"name": name}}
+}
+
+// ThreadName builds the metadata event labelling a (pid, tid) lane.
+func ThreadName(pid, tid int, name string) TraceEvent {
+	return TraceEvent{Name: "thread_name", Phase: "M", Pid: pid, Tid: tid,
+		Args: map[string]interface{}{"name": name}}
+}
+
+// WriteChromeTrace writes the events as a Chrome trace_event JSON array —
+// the exact document chrome://tracing's "Load" button and Perfetto's
+// legacy-trace importer accept.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	if events == nil {
+		events = []TraceEvent{} // an empty trace is still an array, not null
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(events)
+}
+
+// MarshalChromeTrace renders the events as a Chrome trace_event JSON array.
+func MarshalChromeTrace(events []TraceEvent) ([]byte, error) {
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	return json.MarshalIndent(events, "", " ")
+}

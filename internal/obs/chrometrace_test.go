@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestChromeTraceFormat(t *testing.T) {
+	events := []TraceEvent{
+		ProcessName(1, "mha"),
+		ThreadName(1, 0, "2D PE array"),
+		Complete("GEMM", 0, 0, 1, 0),
+		Complete("softmax", 10, 5, 1, 1),
+	}
+	data, err := MarshalChromeTrace(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The document must be a plain JSON array — the trace_event "JSON Array
+	// Format" Perfetto and chrome://tracing both accept.
+	var decoded []map[string]interface{}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("trace is not a JSON array: %v\n%s", err, data)
+	}
+	if len(decoded) != 4 {
+		t.Fatalf("decoded %d events, want 4", len(decoded))
+	}
+	meta := decoded[0]
+	if meta["ph"] != "M" || meta["name"] != "process_name" {
+		t.Fatalf("metadata event malformed: %v", meta)
+	}
+	for _, ev := range decoded[2:] {
+		if ev["ph"] != "X" {
+			t.Fatalf("complete event ph = %v", ev["ph"])
+		}
+		for _, key := range []string{"name", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("complete event missing %q: %v", key, ev)
+			}
+		}
+	}
+	// A zero-duration event must still carry an explicit dur field —
+	// Perfetto treats missing dur as an unfinished event.
+	if _, ok := decoded[2]["dur"]; !ok {
+		t.Fatalf("zero dur omitted: %v", decoded[2])
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var again []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &again); err != nil {
+		t.Fatalf("WriteChromeTrace output invalid: %v", err)
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	data, err := MarshalChromeTrace(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[0] != '[' {
+		t.Fatalf("empty trace is not a JSON array: %s", data)
+	}
+	var decoded []TraceEvent
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("empty trace invalid: %v (%s)", err, data)
+	}
+	if len(decoded) != 0 {
+		t.Fatalf("empty trace has %d events", len(decoded))
+	}
+}

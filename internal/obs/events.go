@@ -1,0 +1,91 @@
+package obs
+
+import "time"
+
+// Event is a typed progress notification streamed from the search and
+// evaluation layers to a caller-supplied hook. Events are small value
+// structs; they are only boxed into this interface when a hook is actually
+// installed, so the unset path allocates nothing.
+type Event interface {
+	// Kind returns a stable machine-readable discriminator
+	// ("phase_start", "rollout", ...).
+	Kind() string
+}
+
+// ProgressFunc receives events. Hooks run synchronously on the evaluating
+// goroutine and must be fast; a nil ProgressFunc means "nobody listening".
+//
+// Hot loops must guard emission with an explicit nil check
+// (`if hook != nil { hook(ev) }`) rather than calling Emit, so the event is
+// never constructed or boxed when unset.
+type ProgressFunc func(Event)
+
+// Emit calls the hook if one is set. Convenience for cold paths; hot loops
+// should nil-check inline (see type doc).
+func (f ProgressFunc) Emit(e Event) {
+	if f != nil {
+		f(e)
+	}
+}
+
+// PhaseStart marks entry into a named evaluation phase ("tileseek",
+// "schedule", ...).
+type PhaseStart struct {
+	// Phase names the phase.
+	Phase string
+}
+
+// Kind implements Event.
+func (PhaseStart) Kind() string { return "phase_start" }
+
+// PhaseEnd marks completion of a named phase with its wall-clock duration.
+type PhaseEnd struct {
+	Phase    string
+	Duration time.Duration
+}
+
+// Kind implements Event.
+func (PhaseEnd) Kind() string { return "phase_end" }
+
+// RolloutDone reports one completed TileSeek MCTS rollout.
+type RolloutDone struct {
+	// Iteration is the 1-based rollout index; Budget the total budget.
+	Iteration int
+	Budget    int
+	// BestCost is the best objective value found so far (+Inf before the
+	// first feasible evaluation); Found reports whether any feasible
+	// configuration has been seen.
+	BestCost float64
+	Found    bool
+	// Visits is the root node's visit count (== completed rollouts).
+	Visits int
+}
+
+// Kind implements Event.
+func (RolloutDone) Kind() string { return "rollout" }
+
+// EnumerationProgress reports one completed DPipe bipartition enumeration.
+type EnumerationProgress struct {
+	// Problem names the scheduled sub-layer.
+	Problem string
+	// Examined counts candidate subsets scanned; Budget is the enumeration
+	// cap (0 = unbounded).
+	Examined int
+	Budget   int
+	// Bipartitions is the number of valid bipartitions kept; Candidates the
+	// number of (bipartition, order) schedules that will be evaluated.
+	Bipartitions int
+	Candidates   int
+}
+
+// Kind implements Event.
+func (EnumerationProgress) Kind() string { return "enumeration" }
+
+// Degraded reports that an evaluation fell back to the heuristic tile.
+type Degraded struct {
+	// Reason is the human-readable degradation cause.
+	Reason string
+}
+
+// Kind implements Event.
+func (Degraded) Kind() string { return "degraded" }

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	// Run with -race: concurrent increments on one counter from many
+	// goroutines must be safe and lose nothing.
+	r := NewRegistry()
+	c := r.Counter("hits")
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestRegistryConcurrentLookup(t *testing.T) {
+	// Concurrent first-touch lookups of the same name must converge on one
+	// instrument.
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Counter("shared").Inc()
+			r.Gauge("g").Set(1)
+			r.Histogram("h", nil).Observe(1)
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8 {
+		t.Fatalf("shared counter = %d, want 8", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8 {
+		t.Fatalf("histogram count = %d, want 8", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	h := r.Histogram("z", nil)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("nil histogram quantile not NaN")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot non-empty")
+	}
+}
+
+func TestHistogramQuantileSanity(t *testing.T) {
+	h := NewRegistry().Histogram("lat", nil)
+	// 1..1000: p50 ~ 500, p90 ~ 900, p99 ~ 990. Bucket resolution is
+	// coarse (exponential, factor 4), so only bucket-level checks: the
+	// reported quantile is the containing bucket's upper bound, which must
+	// bracket the true quantile from above and stay within one bucket.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 500500.0; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	p50, p99 := h.Quantile(0.5), h.Quantile(0.99)
+	if !(p50 >= 500 && p50 <= 4*1100) {
+		t.Fatalf("p50 = %v, outside its bucket's range", p50)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 %v < p50 %v", p99, p50)
+	}
+	// A value beyond the last bound lands in the overflow bucket, whose
+	// quantile reports the last finite bound rather than a fabricated
+	// number.
+	h2 := NewRegistry().Histogram("clip", []float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Quantile(0.5); got != 2 {
+		t.Fatalf("overflow quantile = %v, want last bound 2", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(b) != len(want) {
+		t.Fatalf("buckets = %v", b)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestSnapshotJSONAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(3)
+	r.Gauge("b.level").Set(2.5)
+	h := r.Histogram("c.ms", nil)
+	h.Observe(1)
+	h.Observe(10)
+	s := r.Snapshot()
+
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Counters   map[string]int64              `json:"counters"`
+		Gauges     map[string]float64            `json:"gauges"`
+		Histograms map[string]map[string]float64 `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v\n%s", err, data)
+	}
+	if decoded.Counters["a.count"] != 3 {
+		t.Fatalf("counters = %v", decoded.Counters)
+	}
+	if decoded.Gauges["b.level"] != 2.5 {
+		t.Fatalf("gauges = %v", decoded.Gauges)
+	}
+	if decoded.Histograms["c.ms"]["count"] != 2 {
+		t.Fatalf("histograms = %v", decoded.Histograms)
+	}
+
+	var b strings.Builder
+	if err := s.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{"a.count 3", "b.level 2.5", "c.ms"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Deterministic ordering: names sorted.
+	if strings.Index(text, "a.count") > strings.Index(text, "b.level") {
+		t.Fatalf("text exposition unsorted:\n%s", text)
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n").Inc()
+	s := r.Snapshot()
+	r.Counter("n").Add(10)
+	if s.Counters["n"] != 1 {
+		t.Fatalf("snapshot mutated by later increments: %d", s.Counters["n"])
+	}
+}

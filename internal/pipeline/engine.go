@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"github.com/fusedmindlab/transfusion/internal/cascade"
 	"github.com/fusedmindlab/transfusion/internal/dpipe"
 	"github.com/fusedmindlab/transfusion/internal/faults"
+	"github.com/fusedmindlab/transfusion/internal/obs"
 	"github.com/fusedmindlab/transfusion/internal/perf"
 	"github.com/fusedmindlab/transfusion/internal/tileseek"
 	"github.com/fusedmindlab/transfusion/internal/tiling"
@@ -64,6 +66,10 @@ type Options struct {
 	TileSeekSpace *tileseek.Space
 	// DPipe bounds the per-layer schedule search.
 	DPipe dpipe.Options
+	// Progress, when non-nil, receives typed obs events during evaluation:
+	// PhaseStart/PhaseEnd around the tile search, per-rollout RolloutDone,
+	// per-plan EnumerationProgress, and Degraded on heuristic fallback.
+	Progress obs.ProgressFunc
 }
 
 // DefaultOptions is the evaluation configuration used by the experiment
@@ -120,6 +126,13 @@ func EvaluateContext(ctx context.Context, w Workload, spec arch.Spec, sys System
 		return Result{}, faults.Canceled(ctx)
 	}
 
+	reg := obs.MetricsFrom(ctx)
+	reg.Counter("pipeline.evaluations").Inc()
+	lg := obs.LoggerFrom(ctx)
+	if opts.DPipe.Progress == nil {
+		opts.DPipe.Progress = opts.Progress
+	}
+
 	if !sys.UseTileSeek {
 		tile, err := tiling.HeuristicTile(w, spec)
 		if err != nil {
@@ -172,7 +185,18 @@ func EvaluateContext(ctx context.Context, w Workload, spec arch.Spec, sys System
 		searchCtx, cancel = context.WithTimeout(ctx, opts.TileSeekTimeout)
 		defer cancel()
 	}
-	search, serr := tileseek.SearchContext(searchCtx, space, objective, opts.TileSeekIterations, opts.TileSeekSeed)
+	opts.Progress.Emit(obs.PhaseStart{Phase: "tileseek"})
+	searchStart := time.Now()
+	search, serr := tileseek.SearchWithOptions(searchCtx, space, objective, tileseek.Options{
+		Iterations: opts.TileSeekIterations,
+		Seed:       opts.TileSeekSeed,
+		Progress:   opts.Progress,
+	})
+	searchDur := time.Since(searchStart)
+	opts.Progress.Emit(obs.PhaseEnd{Phase: "tileseek", Duration: searchDur})
+	if reg != nil {
+		reg.Histogram("pipeline.tileseek_ms", nil).Observe(float64(searchDur.Microseconds()) / 1e3)
+	}
 	if ctx.Err() != nil {
 		// The caller's own context died (possibly surfacing through serr);
 		// cancellation always wins over degradation.
@@ -206,6 +230,17 @@ func EvaluateContext(ctx context.Context, w Workload, spec arch.Spec, sys System
 		// seed (or a partial search best). Graceful degradation, not failure.
 		res.Degraded = true
 		res.DegradedReason = degradeReason(serr)
+		reg.Counter("pipeline.degradations").Inc()
+		opts.Progress.Emit(obs.Degraded{Reason: res.DegradedReason})
+		lg.Warn("pipeline: degraded evaluation",
+			"system", sys.Name, "arch", spec.Name, "model", w.Model.Name,
+			"seq", w.SeqLen, "reason", res.DegradedReason)
+	}
+	if lg.Enabled(ctx, slog.LevelDebug) {
+		lg.Debug("pipeline: evaluation done",
+			"system", sys.Name, "arch", spec.Name, "model", w.Model.Name,
+			"seq", w.SeqLen, "cycles", res.TotalCycles, "tile", res.Tile.String(),
+			"evals", evals, "search_ms", float64(searchDur.Microseconds())/1e3)
 	}
 	return res, nil
 }
@@ -283,6 +318,11 @@ func evaluateWithTile(ctx context.Context, w Workload, spec arch.Spec, sys Syste
 		res dpipe.Result
 		lp  layerProblem
 	}
+	reg := obs.MetricsFrom(ctx)
+	var schedStart time.Time
+	if reg != nil {
+		schedStart = time.Now()
+	}
 	scheds := make(map[string]schedOut, len(probs))
 	for name, lp := range probs {
 		var res dpipe.Result
@@ -299,6 +339,10 @@ func evaluateWithTile(ctx context.Context, w Workload, spec arch.Spec, sys Syste
 			return Result{}, fmt.Errorf("pipeline: scheduling %s: %w", name, err)
 		}
 		scheds[name] = schedOut{res: res, lp: lp}
+	}
+	if reg != nil {
+		reg.Histogram("pipeline.schedule_ms", nil).
+			Observe(float64(time.Since(schedStart).Microseconds()) / 1e3)
 	}
 
 	// On-chip traffic per problem instance (buffer/RF/op counts). Pipelined

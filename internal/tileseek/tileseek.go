@@ -15,10 +15,12 @@ package tileseek
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 
 	"github.com/fusedmindlab/transfusion/internal/arch"
 	"github.com/fusedmindlab/transfusion/internal/faults"
+	"github.com/fusedmindlab/transfusion/internal/obs"
 	"github.com/fusedmindlab/transfusion/internal/tiling"
 )
 
@@ -178,6 +180,20 @@ func (n *node) ucb(total int) float64 {
 	return n.reward/float64(n.visits) + ucbC*math.Sqrt(math.Log(float64(total))/float64(n.visits))
 }
 
+// Options configures a search beyond the space and objective. The zero
+// value selects a 1-iteration search with the default seed and no
+// observability hooks.
+type Options struct {
+	// Iterations is the rollout budget (<= 0 selects 1).
+	Iterations int
+	// Seed seeds the deterministic PRNG (0 selects the fixed default).
+	Seed uint64
+	// Progress, when non-nil, receives an obs.RolloutDone event after every
+	// rollout. Leave nil to pay nothing: the event is neither constructed
+	// nor boxed when unset.
+	Progress obs.ProgressFunc
+}
+
 // Search runs MCTS for the given number of iterations and returns the best
 // feasible configuration. Deterministic for a fixed seed.
 func Search(space Space, objective Objective, iterations int, seed uint64) (Result, error) {
@@ -192,14 +208,41 @@ func Search(space Space, objective Objective, iterations int, seed uint64) (Resu
 // error matching faults.ErrInfeasible — an expected outcome callers degrade
 // around, not a crash.
 func SearchContext(ctx context.Context, space Space, objective Objective, iterations int, seed uint64) (Result, error) {
+	return SearchWithOptions(ctx, space, objective, Options{Iterations: iterations, Seed: seed})
+}
+
+// SearchWithOptions is SearchContext with explicit Options, the full-fidelity
+// entry point.
+//
+// Observability: a registry attached to ctx (obs.WithMetrics) accumulates
+// tileseek.searches, tileseek.rollouts, tileseek.evaluated and
+// tileseek.pruned; a logger attached to ctx (obs.WithLogger) gets debug
+// lines at search start and end; opts.Progress streams per-rollout events.
+// With none of the three configured the rollout loop allocates nothing it
+// did not already allocate.
+func SearchWithOptions(ctx context.Context, space Space, objective Objective, opts Options) (Result, error) {
 	if err := space.Validate(); err != nil {
 		return Result{}, err
 	}
+	iterations := opts.Iterations
 	if iterations <= 0 {
 		iterations = 1
 	}
 	levels := space.levels()
-	r := newRNG(seed)
+	r := newRNG(opts.Seed)
+
+	// Instruments are hoisted out of the rollout loop; on an unset registry
+	// each is nil and its increments are single predicted branches.
+	reg := obs.MetricsFrom(ctx)
+	rolloutsC := reg.Counter("tileseek.rollouts")
+	evaluatedC := reg.Counter("tileseek.evaluated")
+	prunedC := reg.Counter("tileseek.pruned")
+	reg.Counter("tileseek.searches").Inc()
+	lg := obs.LoggerFrom(ctx)
+	if lg.Enabled(ctx, slog.LevelDebug) {
+		lg.Debug("tileseek: search start",
+			"space", space.Size(), "iterations", iterations, "seed", opts.Seed)
+	}
 	res := Result{BestCost: math.Inf(1)}
 	// scale normalises rewards: the first feasible cost maps to reward 1.
 	scale := math.NaN()
@@ -209,6 +252,7 @@ func SearchContext(ctx context.Context, space Space, objective Objective, iterat
 		if ctx.Err() != nil {
 			return res, faults.Canceled(ctx)
 		}
+		rolloutsC.Inc()
 		// Selection: descend by UCB1 until a node with unexpanded children
 		// or a leaf. Subtrees whose minimal completion already exceeds the
 		// buffer are marked dead at expansion time and never selected.
@@ -228,6 +272,7 @@ func SearchContext(ctx context.Context, space Space, objective Objective, iterat
 				if !space.partialFeasible(append(values, cands[idx])) {
 					child.dead = true
 					res.Pruned++
+					prunedC.Inc()
 				}
 				cur.children = append(cur.children, child)
 				if child.dead {
@@ -278,6 +323,7 @@ func SearchContext(ctx context.Context, space Space, objective Objective, iterat
 			cost, ok := objective(cfg)
 			if ok && cost > 0 {
 				res.Evaluated++
+				evaluatedC.Inc()
 				if math.IsNaN(scale) {
 					scale = cost
 				}
@@ -290,6 +336,7 @@ func SearchContext(ctx context.Context, space Space, objective Objective, iterat
 			}
 		} else {
 			res.Pruned++
+			prunedC.Inc()
 		}
 
 		// Backpropagation.
@@ -297,6 +344,23 @@ func SearchContext(ctx context.Context, space Space, objective Objective, iterat
 			n.visits++
 			n.reward += reward
 		}
+
+		// The nil check must stay inline: constructing the event only inside
+		// the branch keeps the unset path free of interface boxing.
+		if opts.Progress != nil {
+			opts.Progress(obs.RolloutDone{
+				Iteration: it + 1,
+				Budget:    iterations,
+				BestCost:  res.BestCost,
+				Found:     res.Found,
+				Visits:    root.visits,
+			})
+		}
+	}
+	if lg.Enabled(ctx, slog.LevelDebug) {
+		lg.Debug("tileseek: search done",
+			"found", res.Found, "best", res.Best.String(), "cost", res.BestCost,
+			"evaluated", res.Evaluated, "pruned", res.Pruned)
 	}
 	if !res.Found {
 		return res, faults.Infeasiblef("tileseek: no feasible configuration found in %d iterations", iterations)
