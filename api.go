@@ -67,8 +67,15 @@ type RunSpec struct {
 	// Progress, when set, receives typed progress events (RolloutDoneEvent,
 	// PhaseStartEvent/PhaseEndEvent, EnumerationProgressEvent,
 	// DegradedEvent) synchronously from the evaluating goroutine. It must be
-	// fast and must not block; leave nil for zero overhead.
+	// fast and must not block; leave nil for zero overhead. When Parallelism
+	// exceeds 1, events may arrive from multiple goroutines (the engine
+	// serialises the calls for you).
 	Progress ProgressFunc
+	// Parallelism bounds the worker pools used across the evaluation: tile
+	// search speculation, sub-layer scheduling, and DPipe candidate
+	// evaluation. 0 selects GOMAXPROCS; 1 forces the serial path. Results
+	// are bit-identical at every setting.
+	Parallelism int
 }
 
 // CustomModel describes a Transformer outside the five-entry zoo by its
@@ -174,6 +181,8 @@ func (s RunSpec) validate() error {
 		return faults.Invalidf("transfusion: batch %d exceeds maximum %d", s.Batch, MaxBatch)
 	case s.SearchBudget < 0:
 		return faults.Invalidf("transfusion: negative search budget %d (0 selects the default)", s.SearchBudget)
+	case s.Parallelism < 0:
+		return faults.Invalidf("transfusion: negative parallelism %d (0 selects GOMAXPROCS)", s.Parallelism)
 	default:
 		return nil
 	}
@@ -218,6 +227,7 @@ func (s RunSpec) resolve() (arch.Spec, model.Config, pipeline.System, pipeline.O
 		opts.TileSeekTimeout = s.SearchTimeout
 	}
 	opts.Progress = s.Progress
+	opts.Parallelism = s.Parallelism
 	return spec, m, sys, opts, batch, nil
 }
 

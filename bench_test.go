@@ -12,6 +12,8 @@ package transfusion_test
 // cmd/experiments uses the full budget for the recorded numbers.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"github.com/fusedmindlab/transfusion/internal/arch"
@@ -19,6 +21,7 @@ import (
 	"github.com/fusedmindlab/transfusion/internal/experiments"
 	"github.com/fusedmindlab/transfusion/internal/model"
 	"github.com/fusedmindlab/transfusion/internal/pipeline"
+	"github.com/fusedmindlab/transfusion/internal/tileseek"
 	"github.com/fusedmindlab/transfusion/internal/tiling"
 )
 
@@ -159,6 +162,75 @@ func experimentsEval(b *testing.B, archName string) (pipeline.Result, error) {
 	}
 	w := pipeline.Workload{Model: model.Llama3(), SeqLen: model.SeqLength64K, Batch: model.EvalBatch}
 	return pipeline.Evaluate(w, spec, pipeline.TransFusion(), benchOpts())
+}
+
+// Parallel search engine: the speculative tile search and the DPipe
+// candidate pool at increasing worker counts. The searched result is
+// bit-identical at every setting; only the wall-clock changes (see
+// BENCH_parallel.json for recorded serial-vs-parallel numbers).
+
+func BenchmarkSearchParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprint(workers), func(b *testing.B) {
+			benchSearchParallel(b, arch.Cloud(), workers)
+		})
+	}
+}
+
+func BenchmarkSearchParallelEdge(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprint(workers), func(b *testing.B) {
+			benchSearchParallel(b, arch.Edge(), workers)
+		})
+	}
+}
+
+// benchSearchParallel drives SearchWithOptions with the same expensive
+// objective the pipeline uses — a full per-tile evaluation — on the default
+// Llama3-64K workload.
+func benchSearchParallel(b *testing.B, spec arch.Spec, workers int) {
+	b.Helper()
+	w := pipeline.Workload{Model: model.Llama3(), SeqLen: model.SeqLength64K, Batch: model.EvalBatch}
+	space := tileseek.DefaultSpace(w, spec)
+	serial := benchOpts()
+	serial.Parallelism = 1
+	serial.DPipe.Parallelism = 1
+	objective := func(c tiling.Config) (float64, bool) {
+		r, err := pipeline.EvaluateWithTile(w, spec, pipeline.TransFusion(), c, serial)
+		if err != nil {
+			return 0, false
+		}
+		return r.TotalCycles * r.Energy.Total(), true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tileseek.SearchWithOptions(context.Background(), space, objective, tileseek.Options{
+			Iterations: 64, Seed: 1, Parallelism: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Found {
+			b.Fatal("search found no feasible tile")
+		}
+	}
+}
+
+func BenchmarkPlanParallel(b *testing.B) {
+	probs := buildLlamaProblems(b)
+	prob := probs["mha"]
+	spec := cloudSpec()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprint(workers), func(b *testing.B) {
+			opts := dpipe.DefaultOptions()
+			opts.Parallelism = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := dpipe.Plan(prob, spec, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // Sensitivity extensions.

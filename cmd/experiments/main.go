@@ -37,6 +37,7 @@ func main() {
 func run(ctx context.Context) error {
 	exp := flag.String("exp", "", "experiment ID to run (empty = all)")
 	budget := flag.Int("budget", 0, "TileSeek rollout budget (0 = default)")
+	parallelism := flag.Int("parallelism", 0, "worker-pool size for grid cells, tile search, and DPipe (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	format := flag.String("format", "table", "output format: table or csv")
 	logLevel := flag.String("log-level", "warn", "structured log level on stderr: debug, info, warn, error")
@@ -106,7 +107,7 @@ func run(ctx context.Context) error {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		rep, err := transfusion.RunExperimentReportContext(ctx, id, *budget, *format == "csv")
+		rep, err := transfusion.RunExperimentReportContext(ctx, id, *budget, *parallelism, *format == "csv")
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}

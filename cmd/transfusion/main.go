@@ -44,6 +44,7 @@ func run(ctx context.Context) error {
 	system := flag.String("system", "transfusion", "system: "+strings.Join(transfusion.SystemNames(), ", "))
 	batch := flag.Int("batch", 0, "batch size (0 = the paper's default of 64)")
 	budget := flag.Int("budget", 0, "TileSeek rollout budget (0 = default)")
+	parallelism := flag.Int("parallelism", 0, "worker-pool size for tile search, sub-layer scheduling, and DPipe (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
 	compare := flag.Bool("compare", false, "evaluate all five systems and print speedups over Unfused")
 	trace := flag.String("trace", "", "render the DPipe schedule Gantt for a sub-layer (qproj, kvproj, mha, ln, ffn)")
 	causal := flag.Bool("causal", false, "decoder-style causal masking")
@@ -110,7 +111,7 @@ func run(ctx context.Context) error {
 	base := transfusion.RunSpec{
 		Arch: *archName, Model: *modelName, SeqLen: *seq, System: *system,
 		Batch: *batch, SearchBudget: *budget, Causal: *causal, ArchFile: *archFile,
-		SearchTimeout: *searchTimeout,
+		SearchTimeout: *searchTimeout, Parallelism: *parallelism,
 	}
 	if *progress {
 		base.Progress = progressPrinter(os.Stderr)

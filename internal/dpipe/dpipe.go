@@ -26,7 +26,11 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/fusedmindlab/transfusion/internal/arch"
@@ -155,6 +159,12 @@ type Options struct {
 	// matching faults.ErrBudgetExhausted instead of scanning unbounded.
 	// Zero takes the default; negative means unlimited.
 	MaxEnumeration int
+	// Parallelism sets how many goroutines evaluate candidate schedules
+	// concurrently: 0 selects GOMAXPROCS, 1 the serial loop, n > 1 a bounded
+	// worker pool. The winning schedule is identical at every setting: both
+	// paths reduce with the same deterministic (makespan, canonical
+	// candidate key) tie-break.
+	Parallelism int
 	// Progress, when non-nil, receives an obs.EnumerationProgress event
 	// after the bipartition/ordering enumeration of each plan. Leave nil to
 	// pay nothing.
@@ -186,10 +196,11 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 		return Result{}, err
 	}
 	if opts.MaxBipartitions <= 0 || opts.MaxOrdersPerPartition <= 0 {
-		maxEnum, progress := opts.MaxEnumeration, opts.Progress
+		maxEnum, progress, par := opts.MaxEnumeration, opts.Progress, opts.Parallelism
 		opts = DefaultOptions()
 		opts.MaxEnumeration = maxEnum
 		opts.Progress = progress
+		opts.Parallelism = par
 	}
 	if opts.ExplicitEpochs < 2 {
 		opts.ExplicitEpochs = 2
@@ -207,19 +218,27 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 
 	// Candidate orderings: the canonical topological order always
 	// participates; each valid bipartition contributes orderings of its
-	// virtual-root DAG.
+	// virtual-root DAG. Identical (order, firstSet) pairs can emerge from
+	// different bipartition orderings; they would schedule identically, so
+	// duplicates are skipped (and counted) under an unambiguous canonical
+	// key — the same key the reduction below uses as its tie-break, making
+	// the winner independent of evaluation order.
 	type candidate struct {
 		order []string
 		part  graph.Bipartition
+		key   string
 	}
 	var candidates []candidate
 	seen := map[string]bool{}
+	dedupC := reg.Counter("dpipe.dedup_skipped")
 	addOrder := func(order []string, part graph.Bipartition) {
-		key := fmt.Sprint(order, part.FirstSorted())
-		if !seen[key] {
-			seen[key] = true
-			candidates = append(candidates, candidate{order: order, part: part})
+		key := strings.Join(order, "\x1f") + "\x1e" + strings.Join(part.FirstSorted(), "\x1f")
+		if seen[key] {
+			dedupC.Inc()
+			return
 		}
+		seen[key] = true
+		candidates = append(candidates, candidate{order: order, part: part, key: key})
 	}
 
 	canonical, err := p.Deps.TopoSort()
@@ -237,6 +256,13 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 	if err != nil {
 		return Result{}, fmt.Errorf("dpipe: problem %s: %w", p.Name, err)
 	}
+	// Sort bipartitions by canonical key before truncating, so the explored
+	// prefix is a property of the problem, not of enumeration order.
+	partKeys := make([]string, len(parts))
+	for i, part := range parts {
+		partKeys[i] = strings.Join(part.FirstSorted(), "\x1f")
+	}
+	sort.Sort(&keyedParts{keys: partKeys, parts: parts})
 	if len(parts) > opts.MaxBipartitions {
 		parts = parts[:opts.MaxBipartitions]
 	}
@@ -293,18 +319,82 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 	}
 
 	cells := reg.Counter("dpipe.dp_cells") // nil-safe on a nil registry
-	best := Result{TotalCycles: math.Inf(1)}
-	for _, c := range candidates {
-		// Cancellation is checked per candidate schedule: a canceled plan
-		// returns promptly instead of finishing the DP sweep.
+	workers := resolveParallelism(opts.Parallelism)
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	results := make([]Result, len(candidates))
+	if workers > 1 {
+		// Fan the candidate evaluations (pure DP sweeps) across a bounded
+		// pool. Each result lands in its candidate's slot, so the reduction
+		// below sees exactly what the serial loop would.
+		reg.Gauge("dpipe.parallel_workers").Set(float64(workers))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		var panicMu sync.Mutex
+		var panicVal any
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panicMu.Lock()
+						if panicVal == nil {
+							panicVal = r
+						}
+						panicMu.Unlock()
+					}
+				}()
+				for {
+					i := int(next.Add(1)) - 1
+					// Cancellation is checked per candidate schedule, as on
+					// the serial path.
+					if i >= len(candidates) || ctx.Err() != nil {
+						return
+					}
+					c := candidates[i]
+					results[i] = evaluate(p, spec, c.order, c.part.First, opts.ExplicitEpochs, nil, cells)
+				}
+			}()
+		}
+		wg.Wait()
+		if panicVal != nil {
+			panic(panicVal)
+		}
 		if ctx.Err() != nil {
 			return Result{}, faults.Canceled(ctx)
 		}
-		res := evaluate(p, spec, c.order, c.part.First, opts.ExplicitEpochs, nil, cells)
-		if res.TotalCycles < best.TotalCycles {
+	} else {
+		for i, c := range candidates {
+			// Cancellation is checked per candidate schedule: a canceled plan
+			// returns promptly instead of finishing the DP sweep.
+			if ctx.Err() != nil {
+				return Result{}, faults.Canceled(ctx)
+			}
+			results[i] = evaluate(p, spec, c.order, c.part.First, opts.ExplicitEpochs, nil, cells)
+		}
+	}
+
+	// Deterministic reduction: min makespan, ties broken by the canonical
+	// candidate key — the winner is identical at any worker count and any
+	// GOMAXPROCS. Unschedulable candidates (infinite makespan) never win,
+	// matching the serial strict-less-than of old.
+	best := Result{TotalCycles: math.Inf(1)}
+	bestKey := ""
+	found := false
+	for i, c := range candidates {
+		res := results[i]
+		if math.IsInf(res.TotalCycles, 1) {
+			continue
+		}
+		if !found || res.TotalCycles < best.TotalCycles ||
+			(res.TotalCycles == best.TotalCycles && c.key < bestKey) {
 			res.Order = c.order
 			res.Bipartition = c.part
 			best = res
+			bestKey = c.key
+			found = true
 		}
 	}
 	best.Candidates = len(candidates)
@@ -591,6 +681,28 @@ func schedule(p *Problem, spec arch.Spec, seq []instance, fixedAssign map[string
 		}
 	}
 	return makespan, busy, assign
+}
+
+// keyedParts sorts a bipartition slice and its precomputed canonical keys in
+// lockstep.
+type keyedParts struct {
+	keys  []string
+	parts []graph.Bipartition
+}
+
+func (k *keyedParts) Len() int           { return len(k.keys) }
+func (k *keyedParts) Less(i, j int) bool { return k.keys[i] < k.keys[j] }
+func (k *keyedParts) Swap(i, j int) {
+	k.keys[i], k.keys[j] = k.keys[j], k.keys[i]
+	k.parts[i], k.parts[j] = k.parts[j], k.parts[i]
+}
+
+// resolveParallelism maps an Options.Parallelism value to a worker count.
+func resolveParallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
 }
 
 // sortedOpNames returns the problem's op names sorted; used by tests and

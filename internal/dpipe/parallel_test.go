@@ -1,0 +1,66 @@
+package dpipe
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/obs"
+)
+
+// The winning schedule — makespan, order, assignment, bipartition, candidate
+// count — must be identical at every Parallelism setting and GOMAXPROCS
+// value: both paths reduce with the same (makespan, canonical key) tie-break.
+func TestPlanParallelismBitIdentical(t *testing.T) {
+	p := mhaProblem(t, 16)
+	run := func(parallelism int) Result {
+		opts := DefaultOptions()
+		opts.Parallelism = parallelism
+		res, err := PlanContext(context.Background(), p, arch.Cloud(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	if ref.TotalCycles <= 0 || len(ref.Order) == 0 {
+		t.Fatalf("degenerate serial reference %+v", ref)
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, parallelism := range []int{1, 4, 0} { // 0 resolves to GOMAXPROCS
+			if res := run(parallelism); !reflect.DeepEqual(res, ref) {
+				t.Fatalf("GOMAXPROCS=%d parallelism=%d: plan %+v != serial %+v",
+					procs, parallelism, res, ref)
+			}
+		}
+	}
+}
+
+// The candidate dedup must be observable: dpipe.dedup_skipped registers in
+// every snapshot (its expected value is zero — every (order, firstSet) pair
+// the enumerator emits is structurally unique; the counter exists to make a
+// future regression visible), and the parallel path reports its pool size.
+func TestPlanParallelCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx := obs.WithMetrics(context.Background(), reg)
+	opts := DefaultOptions()
+	opts.Parallelism = 4
+	if _, err := PlanContext(ctx, mhaProblem(t, 8), arch.Cloud(), opts); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	skipped, ok := snap.Counters["dpipe.dedup_skipped"]
+	if !ok {
+		t.Fatal("dpipe.dedup_skipped not registered")
+	}
+	if skipped != 0 {
+		t.Fatalf("dedup skipped %d candidates; enumeration emitted duplicates", skipped)
+	}
+	if got := snap.Gauges["dpipe.parallel_workers"]; got != 4 {
+		t.Fatalf("dpipe.parallel_workers = %v, want 4", got)
+	}
+}

@@ -9,6 +9,10 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/fusedmindlab/transfusion/internal/arch"
 	"github.com/fusedmindlab/transfusion/internal/faults"
@@ -19,14 +23,28 @@ import (
 	"github.com/fusedmindlab/transfusion/internal/tiling"
 )
 
-// Runner evaluates systems with caching.
+// Runner evaluates systems with caching. It is safe for concurrent use:
+// concurrent Evals of the same cell coalesce into one evaluation
+// (singleflight), so Prefetch workers and the experiment's own loop never
+// duplicate work.
 type Runner struct {
 	Opts  pipeline.Options
 	ctx   context.Context
+	mu    sync.Mutex
 	cache map[string]pipeline.Result
-	// notes records degraded evaluations ("key: reason"), in evaluation
-	// order, for surfacing in experiment output.
+	// inflight holds cells currently being evaluated; latecomers wait on the
+	// call instead of re-evaluating.
+	inflight map[string]*evalCall
+	// notes records degraded evaluations ("key: reason"), one line per
+	// evaluated (not cache-hit) cell, for surfacing in experiment output.
 	notes []string
+}
+
+// evalCall is one in-flight evaluation joiners can wait on.
+type evalCall struct {
+	done chan struct{}
+	res  pipeline.Result
+	err  error
 }
 
 // NewRunner creates a Runner with the given evaluation options.
@@ -42,37 +60,162 @@ func NewRunnerContext(ctx context.Context, opts pipeline.Options) *Runner {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Runner{Opts: opts, ctx: ctx, cache: make(map[string]pipeline.Result)}
+	return &Runner{Opts: opts, ctx: ctx,
+		cache:    make(map[string]pipeline.Result),
+		inflight: make(map[string]*evalCall)}
 }
 
 // Eval evaluates (and caches) one system on one workload/architecture.
 func (r *Runner) Eval(spec arch.Spec, m model.Config, seq int, sys pipeline.System) (pipeline.Result, error) {
+	return r.eval(spec, m, seq, sys, r.Opts)
+}
+
+func (r *Runner) eval(spec arch.Spec, m model.Config, seq int, sys pipeline.System, opts pipeline.Options) (pipeline.Result, error) {
 	key := fmt.Sprintf("%s|%s|%d|%s", spec.Name, m.Name, seq, sys.Name)
+	r.mu.Lock()
 	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
 		return res, nil
 	}
-	ctx := r.ctx
-	if ctx == nil {
-		ctx = context.Background()
+	if c, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.res, c.err
 	}
+	c := &evalCall{done: make(chan struct{})}
+	r.inflight[key] = c
+	r.mu.Unlock()
+
+	completed := false
+	defer func() {
+		// On a panic inside the evaluation, joiners still get unblocked with
+		// an error while the panic keeps propagating to the API boundary.
+		if !completed {
+			c.err = faults.Invalidf("experiments: %s: evaluation aborted", key)
+		}
+		close(c.done)
+		r.mu.Lock()
+		delete(r.inflight, key)
+		r.mu.Unlock()
+	}()
+
+	ctx := r.Context()
 	w := pipeline.Workload{Model: m, SeqLen: seq, Batch: model.EvalBatch}
-	res, err := pipeline.EvaluateContext(ctx, w, spec, sys, r.Opts)
+	res, err := pipeline.EvaluateContext(ctx, w, spec, sys, opts)
 	if err != nil {
-		return pipeline.Result{}, fmt.Errorf("experiments: %s: %w", key, err)
+		c.err = fmt.Errorf("experiments: %s: %w", key, err)
+		completed = true
+		return pipeline.Result{}, c.err
 	}
+	r.mu.Lock()
+	r.cache[key] = res
 	if res.Degraded {
 		r.notes = append(r.notes, fmt.Sprintf("%s: degraded: %s", key, res.DegradedReason))
+	}
+	r.mu.Unlock()
+	if res.Degraded {
 		obs.MetricsFrom(ctx).Counter("experiments.degraded").Inc()
 	}
-	r.cache[key] = res
+	c.res = res
+	completed = true
 	return res, nil
 }
 
 // Notes returns the observations collected across this Runner's evaluations
-// (currently one line per degraded result, in evaluation order). Cached hits
+// (currently one line per degraded result), sorted so the listing is
+// deterministic regardless of which worker evaluated which cell. Cached hits
 // do not re-report.
 func (r *Runner) Notes() []string {
-	return append([]string(nil), r.notes...)
+	r.mu.Lock()
+	out := append([]string(nil), r.notes...)
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Cell identifies one (architecture, model, sequence, system) grid cell of
+// an experiment.
+type Cell struct {
+	Spec  arch.Spec
+	Model model.Config
+	Seq   int
+	Sys   pipeline.System
+}
+
+// resolveParallelism maps an Options.Parallelism value to a worker count.
+func resolveParallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// Prefetch evaluates independent grid cells concurrently (bounded by
+// Opts.Parallelism; 0 selects GOMAXPROCS) and fills the Runner's cache, so
+// the experiment's own sequential loop then assembles its table from hits.
+// Each cell runs with inner parallelism 1 — the cell pool is the
+// parallelism — and results are bit-identical to lazy serial evaluation.
+// Cancellation of the Runner's context stops the pool between cells; cell
+// errors do not abort the remaining cells (degraded evaluations are not
+// errors at all), and the first error in cell order — the same error the
+// serial loop would have hit first — is returned after the pool drains.
+// With an effective worker count of 1 Prefetch is a no-op: cells evaluate
+// lazily in the experiment loop, exactly as before.
+func (r *Runner) Prefetch(cells []Cell) error {
+	inflightG := obs.MetricsFrom(r.Context()).Gauge("experiments.cells_inflight")
+	workers := resolveParallelism(r.Opts.Parallelism)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		return nil
+	}
+	cellOpts := r.Opts
+	cellOpts.Parallelism = 1
+	cellOpts.DPipe.Parallelism = 1
+	errs := make([]error, len(cells))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicVal any
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = p
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) || r.Context().Err() != nil {
+					return
+				}
+				cell := cells[i]
+				inflightG.Add(1)
+				_, err := r.eval(cell.Spec, cell.Model, cell.Seq, cell.Sys, cellOpts)
+				inflightG.Add(-1)
+				if err != nil {
+					errs[i] = err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Context returns the Runner's evaluation context (never nil), so
@@ -220,6 +363,18 @@ func Fig9b(r *Runner) (*report.Table, error) {
 }
 
 func speedupScaling(r *Runner, m model.Config, specs []arch.Spec, title string) (*report.Table, error) {
+	var cells []Cell
+	for _, spec := range specs {
+		for _, n := range scalingSeqs() {
+			cells = append(cells, Cell{spec, m, n, pipeline.Unfused()})
+			for _, sys := range systemsVsUnfused() {
+				cells = append(cells, Cell{spec, m, n, sys})
+			}
+		}
+	}
+	if err := r.Prefetch(cells); err != nil {
+		return nil, err
+	}
 	t := report.NewTable(title, "Arch", "Seq", "FLAT", "FuseMax", "FuseMax+LF", "TransFusion")
 	for _, spec := range specs {
 		for _, n := range scalingSeqs() {
@@ -242,6 +397,18 @@ func speedupScaling(r *Runner, m model.Config, specs []arch.Spec, title string) 
 }
 
 func speedupModels(r *Runner, specs []arch.Spec, title string) (*report.Table, error) {
+	var cells []Cell
+	for _, spec := range specs {
+		for _, m := range model.All() {
+			cells = append(cells, Cell{spec, m, model.SeqLength64K, pipeline.Unfused()})
+			for _, sys := range systemsVsUnfused() {
+				cells = append(cells, Cell{spec, m, model.SeqLength64K, sys})
+			}
+		}
+	}
+	if err := r.Prefetch(cells); err != nil {
+		return nil, err
+	}
 	t := report.NewTable(title, "Arch", "Model", "FLAT", "FuseMax", "FuseMax+LF", "TransFusion")
 	for _, spec := range specs {
 		for _, m := range model.All() {
@@ -265,6 +432,15 @@ func speedupModels(r *Runner, specs []arch.Spec, title string) (*report.Table, e
 
 // Fig10a: PE utilization for Llama3 on cloud across sequence lengths.
 func Fig10a(r *Runner) (*report.Table, error) {
+	var cells []Cell
+	for _, n := range scalingSeqs() {
+		for _, sys := range []pipeline.System{pipeline.FLAT(), pipeline.FuseMax(), pipeline.FuseMaxLayerFuse(), pipeline.TransFusion()} {
+			cells = append(cells, Cell{arch.Cloud(), model.Llama3(), n, sys})
+		}
+	}
+	if err := r.Prefetch(cells); err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Fig 10a: PE-array utilization, Llama3 on cloud",
 		"Seq", "System", "2D util", "1D util")
 	for _, n := range scalingSeqs() {
@@ -281,6 +457,15 @@ func Fig10a(r *Runner) (*report.Table, error) {
 
 // Fig10b: utilization per model at 64K on cloud.
 func Fig10b(r *Runner) (*report.Table, error) {
+	var cells []Cell
+	for _, m := range model.All() {
+		for _, sys := range []pipeline.System{pipeline.FuseMax(), pipeline.TransFusion()} {
+			cells = append(cells, Cell{arch.Cloud(), m, model.SeqLength64K, sys})
+		}
+	}
+	if err := r.Prefetch(cells); err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Fig 10b: PE-array utilization at 64K on cloud",
 		"Model", "System", "2D util", "1D util")
 	for _, m := range model.All() {
@@ -395,6 +580,20 @@ func Fig13(r *Runner) (*report.Table, error) {
 // 1.6x (cloud) / 2.2x (edge) over FuseMax, 7.0x / 3.2x over FLAT, and
 // 1.3x / 1.8x over FuseMax+LayerFuse.
 func Headline(r *Runner) (*report.Table, error) {
+	var cells []Cell
+	for _, spec := range []arch.Spec{arch.Cloud(), arch.Edge()} {
+		for _, m := range model.All() {
+			for _, n := range scalingSeqs() {
+				cells = append(cells, Cell{spec, m, n, pipeline.TransFusion()})
+				for _, sys := range []pipeline.System{pipeline.FLAT(), pipeline.FuseMax(), pipeline.FuseMaxLayerFuse(), pipeline.Unfused()} {
+					cells = append(cells, Cell{spec, m, n, sys})
+				}
+			}
+		}
+	}
+	if err := r.Prefetch(cells); err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Headline: geomean speedup of TransFusion over each baseline (all models x 1K-1M)",
 		"Arch", "vs FLAT", "vs FuseMax", "vs FuseMax+LF", "vs Unfused")
 	for _, spec := range []arch.Spec{arch.Cloud(), arch.Edge()} {

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/model"
+	"github.com/fusedmindlab/transfusion/internal/obs"
+	"github.com/fusedmindlab/transfusion/internal/pipeline"
+)
+
+// A regenerated artifact must render byte-identically whether its grid cells
+// were evaluated lazily in the table loop (Parallelism 1) or prefetched
+// through the concurrent cell pool.
+func TestExperimentTableParallelismByteIdentical(t *testing.T) {
+	e, err := ByID("fig10b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(parallelism int) string {
+		opts := pipeline.DefaultOptions()
+		opts.TileSeekIterations = 4
+		opts.Parallelism = parallelism
+		tb, err := e.Run(NewRunner(opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.Render()
+	}
+	ref := run(1)
+	if ref == "" {
+		t.Fatal("empty serial reference table")
+	}
+	for _, parallelism := range []int{4, 0} { // 0 resolves to GOMAXPROCS
+		if got := run(parallelism); got != ref {
+			t.Fatalf("parallelism=%d table diverged from serial:\n%s\n-- want --\n%s",
+				parallelism, got, ref)
+		}
+	}
+}
+
+// Concurrent Evals of the same cell must coalesce into one evaluation.
+func TestEvalSingleflight(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := pipeline.DefaultOptions()
+	opts.TileSeekIterations = 4
+	r := NewRunnerContext(obs.WithMetrics(context.Background(), reg), opts)
+
+	var wg sync.WaitGroup
+	results := make([]pipeline.Result, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Eval(arch.Cloud(), model.T5(), 4096, pipeline.FuseMax())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for _, res := range results[1:] {
+		if res.TotalCycles != results[0].TotalCycles {
+			t.Fatal("joined callers saw a different result")
+		}
+	}
+	if got := reg.Snapshot().Counters["pipeline.evaluations"]; got != 1 {
+		t.Fatalf("cell evaluated %d times, want 1", got)
+	}
+	if len(r.cache) != 1 {
+		t.Fatalf("cache size = %d, want 1", len(r.cache))
+	}
+}
+
+// The cell pool must surface its in-flight gauge (and return it to zero once
+// the prefetch drains).
+func TestPrefetchGaugeRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := pipeline.DefaultOptions()
+	opts.TileSeekIterations = 4
+	opts.Parallelism = 4
+	r := NewRunnerContext(obs.WithMetrics(context.Background(), reg), opts)
+	e, err := ByID("fig10b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(r); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	inflight, ok := snap.Gauges["experiments.cells_inflight"]
+	if !ok {
+		t.Fatal("experiments.cells_inflight not registered")
+	}
+	if inflight != 0 {
+		t.Fatalf("cells_inflight = %v after drain, want 0", inflight)
+	}
+}

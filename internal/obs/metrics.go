@@ -47,6 +47,21 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
+// Add accumulates d into the gauge (CAS loop; safe for concurrent deltas,
+// e.g. in-flight counts that go up and down).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the last stored value (zero on nil).
 func (g *Gauge) Value() float64 {
 	if g == nil {

@@ -6,6 +6,10 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/fusedmindlab/transfusion/internal/arch"
@@ -66,9 +70,21 @@ type Options struct {
 	TileSeekSpace *tileseek.Space
 	// DPipe bounds the per-layer schedule search.
 	DPipe dpipe.Options
+	// Parallelism sets the evaluation's concurrency budget: 0 selects
+	// GOMAXPROCS, 1 the fully serial path, n > 1 parallel execution. It
+	// drives the tile search's speculative workers, concurrent sub-layer
+	// scheduling, and (unless DPipe.Parallelism is set explicitly) the DPipe
+	// candidate pool. Results are bit-identical at every setting for a fixed
+	// seed. Inside the tile search each objective evaluation runs serially —
+	// the search itself supplies the concurrency — so cores are never
+	// oversubscribed quadratically.
+	Parallelism int
 	// Progress, when non-nil, receives typed obs events during evaluation:
 	// PhaseStart/PhaseEnd around the tile search, per-rollout RolloutDone,
-	// per-plan EnumerationProgress, and Degraded on heuristic fallback.
+	// per-plan EnumerationProgress, and Degraded on heuristic fallback. With
+	// Parallelism above 1 the hook may be invoked from worker goroutines;
+	// invocations are serialised by the engine, so the hook itself needs no
+	// locking.
 	Progress obs.ProgressFunc
 }
 
@@ -91,9 +107,38 @@ func (o Options) withDefaults() Options {
 		o.TileSeekSeed = d.TileSeekSeed
 	}
 	if o.DPipe.MaxBipartitions <= 0 {
+		par := o.DPipe.Parallelism
 		o.DPipe = d.DPipe
+		o.DPipe.Parallelism = par
+	}
+	if o.DPipe.Parallelism == 0 {
+		// The pipeline-level budget flows down unless DPipe was pinned
+		// explicitly (1 at the pipeline level must mean fully serial).
+		o.DPipe.Parallelism = o.Parallelism
 	}
 	return o
+}
+
+// resolveParallelism maps an Options.Parallelism value to a worker count.
+func resolveParallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// serializeProgress wraps a progress hook so concurrent emitters appear
+// sequential to it; nil stays nil (and free).
+func serializeProgress(fn obs.ProgressFunc) obs.ProgressFunc {
+	if fn == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(ev obs.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		fn(ev)
+	}
 }
 
 // Evaluate models the system on the workload and architecture, selecting
@@ -129,6 +174,11 @@ func EvaluateContext(ctx context.Context, w Workload, spec arch.Spec, sys System
 	reg := obs.MetricsFrom(ctx)
 	reg.Counter("pipeline.evaluations").Inc()
 	lg := obs.LoggerFrom(ctx)
+	if resolveParallelism(opts.Parallelism) > 1 {
+		// Workers may emit progress events concurrently; callers' hooks must
+		// keep seeing sequential invocations.
+		opts.Progress = serializeProgress(opts.Progress)
+	}
 	if opts.DPipe.Progress == nil {
 		opts.DPipe.Progress = opts.Progress
 	}
@@ -148,8 +198,14 @@ func EvaluateContext(ctx context.Context, w Workload, spec arch.Spec, sys System
 	// The search reward follows opts.TileSeekObjective; the default EDP
 	// breaks latency ties on compute-bound workloads in favour of less
 	// traffic, matching the paper's energy/latency reward options.
+	// Each objective evaluation runs serially: with Parallelism above 1 the
+	// tile search evaluates many configurations concurrently, and nesting
+	// another pool inside each would oversubscribe the machine.
+	innerOpts := opts
+	innerOpts.Parallelism = 1
+	innerOpts.DPipe.Parallelism = 1
 	objective := func(c tiling.Config) (float64, bool) {
-		r, err := evaluateWithTile(ctx, w, spec, sys, c, opts)
+		r, err := evaluateWithTile(ctx, w, spec, sys, c, innerOpts)
 		if err != nil {
 			return 0, false
 		}
@@ -188,9 +244,10 @@ func EvaluateContext(ctx context.Context, w Workload, spec arch.Spec, sys System
 	opts.Progress.Emit(obs.PhaseStart{Phase: "tileseek"})
 	searchStart := time.Now()
 	search, serr := tileseek.SearchWithOptions(searchCtx, space, objective, tileseek.Options{
-		Iterations: opts.TileSeekIterations,
-		Seed:       opts.TileSeekSeed,
-		Progress:   opts.Progress,
+		Iterations:  opts.TileSeekIterations,
+		Seed:        opts.TileSeekSeed,
+		Parallelism: opts.Parallelism,
+		Progress:    opts.Progress,
 	})
 	searchDur := time.Since(searchStart)
 	opts.Progress.Emit(obs.PhaseEnd{Phase: "tileseek", Duration: searchDur})
@@ -313,7 +370,11 @@ func evaluateWithTile(ctx context.Context, w Workload, spec arch.Spec, sys Syste
 		return Result{}, err
 	}
 
-	// Schedule every sub-layer problem.
+	// Schedule every sub-layer problem — concurrently when the parallelism
+	// budget allows (the five problems are independent). Results are keyed by
+	// name, and scheduling errors are reported for the lexicographically
+	// smallest failing sub-layer, so outputs and errors are deterministic at
+	// any worker count.
 	type schedOut struct {
 		res dpipe.Result
 		lp  layerProblem
@@ -323,22 +384,77 @@ func evaluateWithTile(ctx context.Context, w Workload, spec arch.Spec, sys Syste
 	if reg != nil {
 		schedStart = time.Now()
 	}
-	scheds := make(map[string]schedOut, len(probs))
-	for name, lp := range probs {
-		var res dpipe.Result
-		var err error
+	names := make([]string, 0, len(probs))
+	for name := range probs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	schedOne := func(name string) (dpipe.Result, error) {
+		lp := probs[name]
 		switch lp.sched {
 		case SchedSequential:
-			res, err = dpipe.Sequential(lp.prob, spec, nil)
+			return dpipe.Sequential(lp.prob, spec, nil)
 		case SchedStatic:
-			res, err = dpipe.StaticPipelined(lp.prob, spec, dpipe.FuseMaxAssignment(lp.prob, spec))
+			return dpipe.StaticPipelined(lp.prob, spec, dpipe.FuseMaxAssignment(lp.prob, spec))
 		default:
-			res, err = dpipe.PlanContext(ctx, lp.prob, spec, opts.DPipe)
+			return dpipe.PlanContext(ctx, lp.prob, spec, opts.DPipe)
 		}
-		if err != nil {
-			return Result{}, fmt.Errorf("pipeline: scheduling %s: %w", name, err)
+	}
+	scheds := make(map[string]schedOut, len(probs))
+	workers := resolveParallelism(opts.Parallelism)
+	if workers > len(names) {
+		workers = len(names)
+	}
+	if workers > 1 {
+		opts.DPipe.Progress = serializeProgress(opts.DPipe.Progress)
+		results := make([]dpipe.Result, len(names))
+		errs := make([]error, len(names))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		var panicMu sync.Mutex
+		var panicVal any
+		wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panicMu.Lock()
+						if panicVal == nil {
+							panicVal = r
+						}
+						panicMu.Unlock()
+					}
+				}()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(names) {
+						return
+					}
+					results[i], errs[i] = schedOne(names[i])
+				}
+			}()
 		}
-		scheds[name] = schedOut{res: res, lp: lp}
+		wg.Wait()
+		if panicVal != nil {
+			panic(panicVal)
+		}
+		for i, err := range errs {
+			if err != nil {
+				return Result{}, fmt.Errorf("pipeline: scheduling %s: %w", names[i], err)
+			}
+		}
+		for i, name := range names {
+			scheds[name] = schedOut{res: results[i], lp: probs[name]}
+		}
+	} else {
+		for _, name := range names {
+			res, err := schedOne(name)
+			if err != nil {
+				return Result{}, fmt.Errorf("pipeline: scheduling %s: %w", name, err)
+			}
+			scheds[name] = schedOut{res: res, lp: probs[name]}
+		}
 	}
 	if reg != nil {
 		reg.Histogram("pipeline.schedule_ms", nil).

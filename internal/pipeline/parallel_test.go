@@ -1,0 +1,53 @@
+package pipeline
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+)
+
+// A full evaluation — tile search, sub-layer scheduling, phases, energy —
+// must be bit-identical at every Parallelism setting and GOMAXPROCS value.
+func TestEvaluateParallelismBitIdentical(t *testing.T) {
+	w := bertWorkload(4096)
+	cloud := arch.Cloud()
+	run := func(parallelism int) Result {
+		opts := fastOpts()
+		opts.Parallelism = parallelism
+		res, err := Evaluate(w, cloud, TransFusion(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	if ref.TotalCycles <= 0 {
+		t.Fatalf("degenerate serial reference %+v", ref)
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, parallelism := range []int{1, 4, 0} { // 0 resolves to GOMAXPROCS
+			if res := run(parallelism); !reflect.DeepEqual(res, ref) {
+				t.Fatalf("GOMAXPROCS=%d parallelism=%d: result diverged from serial\n got %+v\nwant %+v",
+					procs, parallelism, res, ref)
+			}
+		}
+	}
+}
+
+// Parallelism must propagate into the DPipe options only when the caller did
+// not pin them explicitly.
+func TestParallelismPropagatesToDPipe(t *testing.T) {
+	o := Options{Parallelism: 3}
+	if got := o.withDefaults().DPipe.Parallelism; got != 3 {
+		t.Fatalf("DPipe.Parallelism = %d, want inherited 3", got)
+	}
+	o = Options{Parallelism: 3}
+	o.DPipe.Parallelism = 2
+	if got := o.withDefaults().DPipe.Parallelism; got != 2 {
+		t.Fatalf("DPipe.Parallelism = %d, want explicit 2", got)
+	}
+}

@@ -1,0 +1,322 @@
+// Parallel search engine: speculative trajectory replay over a memoized
+// objective cache.
+//
+// The hard requirement is bit-identical results at any Parallelism and any
+// GOMAXPROCS. Classic parallel MCTS (virtual loss, merged root statistics)
+// perturbs the visit counts and therefore the UCB trajectory, so it cannot
+// meet that bar. Instead the engine keeps a single master goroutine running
+// the exact serial loop, and turns the remaining workers into speculators:
+//
+//   - The objective is required to be pure when parallelism is enabled, so a
+//     concurrency-safe singleflight memo cache keyed by tiling.Config holds
+//     values indistinguishable from fresh evaluations.
+//   - Whenever the master is about to block on an evaluation it publishes a
+//     snapshot (tree clone + PRNG state + reward scale). Workers clone the
+//     snapshot and replay the master's own algorithm forward; evaluations
+//     still in flight are bridged with a hypothesized reward (the tree's
+//     mean rollout reward), and every configuration a worker reaches first
+//     is claimed and evaluated into the cache.
+//   - After a bounded replay prefix each worker switches its rollout tail to
+//     a private seed-split PRNG stream (splitmix64(seed, workerID)), turning
+//     it into an explorer that samples the same region of the space the
+//     master's next rollouts are drawn from and warms the cache broadly.
+//
+// The master's consumed values come from the cache but are bit-equal to what
+// a direct call would return, so Result, counters derived from the master
+// trajectory, and progress events all match the serial engine exactly.
+package tileseek
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/fusedmindlab/transfusion/internal/obs"
+	"github.com/fusedmindlab/transfusion/internal/tiling"
+)
+
+// splitmix64 derives an independent, well-mixed PRNG seed for a worker
+// stream from the search seed. Sequential stream indices land far apart in
+// state space, so worker streams never correlate with each other or with
+// the master's xorshift sequence.
+func splitmix64(seed, stream uint64) uint64 {
+	z := seed + (stream+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// cacheEntry is one singleflight slot: whoever creates it owns the
+// evaluation and must close done exactly once; cost/ok are immutable after
+// done is closed.
+type cacheEntry struct {
+	done chan struct{}
+	cost float64
+	ok   bool
+}
+
+// objCache is the concurrency-safe objective memo cache.
+type objCache struct {
+	mu sync.Mutex
+	m  map[tiling.Config]*cacheEntry
+}
+
+func newObjCache() *objCache { return &objCache{m: make(map[tiling.Config]*cacheEntry)} }
+
+// acquire returns cfg's entry and whether the caller claimed it. A claimant
+// MUST store cost/ok and close done (even on panic), or every later reader
+// deadlocks.
+func (c *objCache) acquire(cfg tiling.Config) (*cacheEntry, bool) {
+	c.mu.Lock()
+	e, ok := c.m[cfg]
+	if !ok {
+		e = &cacheEntry{done: make(chan struct{})}
+		c.m[cfg] = e
+	}
+	c.mu.Unlock()
+	return e, !ok
+}
+
+// peekDone returns cfg's entry if it exists and has completed, without
+// claiming or blocking.
+func (c *objCache) peekDone(cfg tiling.Config) (*cacheEntry, bool) {
+	c.mu.Lock()
+	e := c.m[cfg]
+	c.mu.Unlock()
+	if e == nil {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+		return e, true
+	default:
+		return e, false
+	}
+}
+
+// fill evaluates cfg into a claimed entry. done is closed even if the
+// objective panics, so no reader is ever stranded; the panic itself keeps
+// propagating to the caller.
+func (c *objCache) fill(e *cacheEntry, obj Objective, cfg tiling.Config) (float64, bool) {
+	defer close(e.done)
+	e.cost, e.ok = obj(cfg)
+	return e.cost, e.ok
+}
+
+// Speculation tuning. The chain prefix replays the master's PRNG verbatim
+// (maximum-likelihood prediction of its next configs); past it the worker
+// flips to its explorer stream so mispredicted hypotheses cannot steer a
+// long wasted chain, and the cache fills with samples from the current
+// rollout distribution instead.
+const (
+	specChainSteps = 8   // replay steps on the master's PRNG stream
+	specLookahead  = 256 // total replay steps per snapshot before re-syncing
+	specMaxFresh   = 16  // evaluations per snapshot before re-syncing
+)
+
+// clone deep-copies the subtree rooted at n, attaching it to parent.
+func (n *node) clone(parent *node) *node {
+	c := &node{level: n.level, choice: n.choice, parent: parent,
+		visits: n.visits, reward: n.reward, dead: n.dead}
+	if len(n.children) > 0 {
+		c.children = make([]*node, len(n.children))
+		for i, ch := range n.children {
+			c.children[i] = ch.clone(c)
+		}
+	}
+	return c
+}
+
+// specSnapshot is the master's frozen pre-evaluation state. root is a clone
+// owned by the snapshot: workers clone it again before mutating, so one
+// snapshot safely feeds any number of workers.
+type specSnapshot struct {
+	root  *node
+	rng   uint64
+	scale float64
+}
+
+// speculator owns the memo cache and the worker pool.
+type speculator struct {
+	space  Space
+	levels [][]int
+	obj    Objective
+	cache  *objCache
+
+	hitsC   *obs.Counter // master consumed a cached / in-flight value
+	missesC *obs.Counter // master had to evaluate itself
+	evalsC  *obs.Counter // speculative evaluations by workers
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	gen  int64
+	snap *specSnapshot
+
+	genA     atomic.Int64 // mirror of gen for lock-free staleness checks
+	stoppedA atomic.Bool
+	stopped  bool
+
+	wg       sync.WaitGroup
+	panicMu  sync.Mutex
+	panicVal any
+}
+
+func newSpeculator(space Space, obj Objective, seed uint64, workers int, hitsC, missesC, evalsC *obs.Counter) *speculator {
+	sp := &speculator{
+		space:  space,
+		levels: space.levels(),
+		obj:    obj,
+		cache:  newObjCache(),
+		hitsC:  hitsC, missesC: missesC, evalsC: evalsC,
+	}
+	sp.cond = sync.NewCond(&sp.mu)
+	sp.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go sp.worker(i, seed)
+	}
+	return sp
+}
+
+// consume resolves one feasible configuration for the master. mw is the
+// master's walker (read here only to publish a snapshot; never mutated) and
+// scale its current reward normaliser.
+func (sp *speculator) consume(cfg tiling.Config, mw *walker, scale float64) (float64, bool) {
+	if e, ready := sp.cache.peekDone(cfg); ready {
+		sp.hitsC.Inc()
+		return e.cost, e.ok
+	}
+	// The master is about to block: hand the workers its exact state so they
+	// can run ahead while it waits.
+	sp.publish(mw, scale)
+	e, claimed := sp.cache.acquire(cfg)
+	if claimed {
+		sp.missesC.Inc()
+		return sp.cache.fill(e, sp.obj, cfg)
+	}
+	// A worker got there first and is still computing: joining it still
+	// overlaps work, so it counts as a hit.
+	sp.hitsC.Inc()
+	<-e.done
+	return e.cost, e.ok
+}
+
+// publish freezes the master's state as a new snapshot generation.
+func (sp *speculator) publish(mw *walker, scale float64) {
+	snap := &specSnapshot{root: mw.root.clone(nil), rng: mw.r.state, scale: scale}
+	sp.mu.Lock()
+	sp.gen++
+	sp.snap = snap
+	sp.genA.Store(sp.gen)
+	sp.mu.Unlock()
+	sp.cond.Broadcast()
+}
+
+// stop shuts the pool down, waits for in-flight evaluations, and re-raises
+// the first worker panic (if any) on the caller's goroutine so objective
+// panics surface exactly as they do on the serial path.
+func (sp *speculator) stop() {
+	sp.mu.Lock()
+	sp.stopped = true
+	sp.mu.Unlock()
+	sp.stoppedA.Store(true)
+	sp.cond.Broadcast()
+	sp.wg.Wait()
+	if sp.panicVal != nil {
+		panic(sp.panicVal)
+	}
+}
+
+func (sp *speculator) recordPanic(p any) {
+	sp.panicMu.Lock()
+	if sp.panicVal == nil {
+		sp.panicVal = p
+	}
+	sp.panicMu.Unlock()
+}
+
+// worker is one speculation loop: wait for a snapshot generation, replay
+// from it, repeat. Its explorer PRNG stream persists across snapshots so the
+// rollout tails it samples never repeat.
+func (sp *speculator) worker(id int, seed uint64) {
+	defer sp.wg.Done()
+	defer func() {
+		if p := recover(); p != nil {
+			sp.recordPanic(p)
+		}
+	}()
+	explorer := newRNG(splitmix64(seed, uint64(id)))
+	var lastGen int64
+	for {
+		sp.mu.Lock()
+		for !sp.stopped && sp.gen == lastGen {
+			sp.cond.Wait()
+		}
+		if sp.stopped {
+			sp.mu.Unlock()
+			return
+		}
+		lastGen = sp.gen
+		snap := sp.snap
+		sp.mu.Unlock()
+		sp.speculate(snap, lastGen, explorer)
+	}
+}
+
+// speculate replays the master's algorithm from one snapshot: true rewards
+// come from completed cache entries, configurations nobody holds are claimed
+// and evaluated (the useful parallel work), and entries still in flight are
+// bridged with the tree's mean rollout reward so the replay can continue
+// past them. The first specChainSteps use the master's own PRNG state —
+// predicting its actual next configs — after which the worker's private
+// stream takes over the rollout tails.
+func (sp *speculator) speculate(snap *specSnapshot, gen int64, explorer *rng) {
+	w := &walker{space: sp.space, levels: sp.levels,
+		r: &rng{state: snap.rng}, root: snap.root.clone(nil)}
+	scale := snap.scale
+	mean := 1.0
+	if w.root.visits > 0 {
+		mean = w.root.reward / float64(w.root.visits)
+	}
+	fresh := 0
+	for step := 0; step < specLookahead; step++ {
+		if sp.stoppedA.Load() || sp.genA.Load() != gen {
+			return // newer truth available: re-sync
+		}
+		if step == specChainSteps {
+			w.r = explorer
+		}
+		cur, cfg, _, feasible := w.step()
+		reward := 0.0
+		if feasible {
+			if e, claimed := sp.cache.acquire(cfg); claimed {
+				cost, ok := sp.cache.fill(e, sp.obj, cfg)
+				sp.evalsC.Inc()
+				fresh++
+				reward = specReward(cost, ok, &scale)
+			} else {
+				select {
+				case <-e.done:
+					reward = specReward(e.cost, e.ok, &scale)
+				default:
+					reward = mean // in flight elsewhere: hypothesize
+				}
+			}
+		}
+		backprop(cur, reward)
+		if fresh >= specMaxFresh {
+			return
+		}
+	}
+}
+
+// specReward mirrors the master's reward computation, including its
+// first-feasible-sets-the-scale rule on the worker's local copy.
+func specReward(cost float64, ok bool, scale *float64) float64 {
+	if !ok || cost <= 0 {
+		return 0
+	}
+	if math.IsNaN(*scale) {
+		*scale = cost
+	}
+	return *scale / cost
+}

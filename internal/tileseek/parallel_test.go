@@ -1,0 +1,124 @@
+package tileseek
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/internal/obs"
+	"github.com/fusedmindlab/transfusion/internal/tiling"
+)
+
+// The headline guarantee: SearchWithOptions returns a bit-identical Result —
+// and identical master-trajectory counters — at Parallelism 1, 4, and
+// GOMAXPROCS, across a sweep of GOMAXPROCS values.
+func TestSearchParallelismBitIdentical(t *testing.T) {
+	s := testSpace()
+	obj := syntheticObjective(s.Workload)
+	const budget, seed = 400, 7
+
+	run := func(parallelism int) (Result, obs.Snapshot) {
+		reg := obs.NewRegistry()
+		ctx := obs.WithMetrics(context.Background(), reg)
+		res, err := SearchWithOptions(ctx, s, obj, Options{
+			Iterations: budget, Seed: seed, Parallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, reg.Snapshot()
+	}
+
+	ref, refSnap := run(1)
+	if !ref.Found {
+		t.Fatal("serial reference found nothing")
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, parallelism := range []int{1, 4, 0} { // 0 resolves to GOMAXPROCS
+			res, snap := run(parallelism)
+			if res != ref {
+				t.Fatalf("GOMAXPROCS=%d parallelism=%d: result %+v != serial %+v",
+					procs, parallelism, res, ref)
+			}
+			for _, name := range []string{"tileseek.rollouts", "tileseek.evaluated", "tileseek.pruned"} {
+				if snap.Counters[name] != refSnap.Counters[name] {
+					t.Fatalf("GOMAXPROCS=%d parallelism=%d: counter %s = %d, serial %d",
+						procs, parallelism, name, snap.Counters[name], refSnap.Counters[name])
+				}
+			}
+		}
+	}
+}
+
+// Memoized values must be indistinguishable from fresh evaluations: every
+// (config, cost, ok) the cache hands out equals a direct objective call, and
+// the parallel search exercises the cache (nonzero hits).
+func TestObjectiveCacheCorrectness(t *testing.T) {
+	s := testSpace()
+	pure := syntheticObjective(s.Workload)
+
+	var mu sync.Mutex
+	served := map[tiling.Config]float64{}
+	obj := func(c tiling.Config) (float64, bool) {
+		cost, ok := pure(c)
+		mu.Lock()
+		if prev, seen := served[c]; seen && prev != cost {
+			mu.Unlock()
+			t.Errorf("objective impure for %v: %v vs %v", c, prev, cost)
+			return cost, ok
+		}
+		served[c] = cost
+		mu.Unlock()
+		return cost, ok
+	}
+
+	reg := obs.NewRegistry()
+	ctx := obs.WithMetrics(context.Background(), reg)
+	res, err := SearchWithOptions(ctx, s, obj, Options{Iterations: 400, Seed: 7, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every evaluation that ever hit the cache must equal a fresh call.
+	mu.Lock()
+	defer mu.Unlock()
+	for c, cost := range served {
+		if fresh, ok := pure(c); !ok || fresh != cost {
+			t.Fatalf("cached value for %v = %v, fresh evaluation = %v", c, cost, fresh)
+		}
+	}
+	if fresh, ok := pure(res.Best); !ok || fresh != res.BestCost {
+		t.Fatalf("best cost %v does not match a fresh evaluation %v", res.BestCost, fresh)
+	}
+
+	snap := reg.Snapshot()
+	hits, misses := snap.Counters["tileseek.cache_hits"], snap.Counters["tileseek.cache_misses"]
+	if hits == 0 {
+		t.Fatalf("cache never hit (hits=%d misses=%d)", hits, misses)
+	}
+	if hits+misses != int64(res.Evaluated) {
+		t.Fatalf("hits+misses = %d, want consumed evaluations %d", hits+misses, res.Evaluated)
+	}
+}
+
+// splitmix64 streams must differ per worker and be stable per (seed, id).
+func TestSplitmix64Streams(t *testing.T) {
+	seen := map[uint64]bool{}
+	for id := uint64(0); id < 64; id++ {
+		v := splitmix64(42, id)
+		if seen[v] {
+			t.Fatalf("stream collision at id %d", id)
+		}
+		seen[v] = true
+		if v != splitmix64(42, id) {
+			t.Fatal("splitmix64 unstable")
+		}
+	}
+	if splitmix64(1, 0) == splitmix64(2, 0) {
+		t.Fatal("seed ignored")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"runtime"
 
 	"github.com/fusedmindlab/transfusion/internal/arch"
 	"github.com/fusedmindlab/transfusion/internal/faults"
@@ -188,6 +189,15 @@ type Options struct {
 	Iterations int
 	// Seed seeds the deterministic PRNG (0 selects the fixed default).
 	Seed uint64
+	// Parallelism sets how many goroutines may evaluate objectives
+	// concurrently: 0 selects GOMAXPROCS, 1 the serial engine (exactly
+	// today's single-threaded loop), and n > 1 one master plus n-1
+	// speculative workers. The result is bit-identical at every setting for
+	// a fixed seed — parallel workers only warm a memo cache of the pure
+	// objective, they never alter the master trajectory — but the objective
+	// must be concurrency-safe (and pure, or the determinism guarantee is
+	// void) whenever the effective parallelism exceeds 1.
+	Parallelism int
 	// Progress, when non-nil, receives an obs.RolloutDone event after every
 	// rollout. Leave nil to pay nothing: the event is neither constructed
 	// nor boxed when unset.
@@ -207,8 +217,113 @@ func Search(space Space, objective Objective, iterations int, seed uint64) (Resu
 // completes its budget without finding any feasible configuration returns an
 // error matching faults.ErrInfeasible — an expected outcome callers degrade
 // around, not a crash.
+//
+// SearchContext always runs the serial engine (Parallelism 1), so the
+// objective does not need to be concurrency-safe; use SearchWithOptions to
+// opt into parallel evaluation.
 func SearchContext(ctx context.Context, space Space, objective Objective, iterations int, seed uint64) (Result, error) {
-	return SearchWithOptions(ctx, space, objective, Options{Iterations: iterations, Seed: seed})
+	return SearchWithOptions(ctx, space, objective, Options{Iterations: iterations, Seed: seed, Parallelism: 1})
+}
+
+// resolveParallelism maps an Options.Parallelism value to a worker count.
+func resolveParallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// walker bundles the state the MCTS loop threads through one rollout:
+// the space, its candidate lists, the PRNG, and the tree root. step is the
+// single source of truth for selection + expansion + rollout, shared by the
+// serial master loop and the speculative workers so both replay the exact
+// same trajectory from equal state.
+type walker struct {
+	space  Space
+	levels [][]int
+	r      *rng
+	root   *node
+}
+
+// step runs one iteration's selection, expansion, and rollout: it returns
+// the node to backpropagate from, the completed configuration, how many
+// candidates the buffer-constraint lower bound pruned during expansion, and
+// whether the configuration passed final validation.
+func (w *walker) step() (cur *node, cfg tiling.Config, pruned int, feasible bool) {
+	// Selection: descend by UCB1 until a node with unexpanded children or a
+	// leaf. Subtrees whose minimal completion already exceeds the buffer are
+	// marked dead at expansion time and never selected.
+	cur = w.root
+	values := make([]int, 0, len(w.levels))
+	for cur.level < len(w.levels) {
+		cands := w.levels[cur.level]
+		if len(cur.children) < len(cands) {
+			// Expansion: add the next unexpanded child, pruning dead
+			// subtrees eagerly. Children are expanded from the largest
+			// candidate down — large tiles amortise weight and K/V
+			// re-reads best, so they deserve the earliest visits, and
+			// the ones that cannot fit are pruned by the lower bound
+			// before costing an evaluation.
+			idx := len(cands) - 1 - len(cur.children)
+			child := &node{level: cur.level + 1, choice: idx, parent: cur}
+			if !w.space.partialFeasible(append(values, cands[idx])) {
+				child.dead = true
+				pruned++
+			}
+			cur.children = append(cur.children, child)
+			if child.dead {
+				continue // try the next candidate within this iteration
+			}
+			cur = child
+			values = append(values, cands[idx])
+			break
+		}
+		best := (*node)(nil)
+		bestScore := math.Inf(-1)
+		for _, ch := range cur.children {
+			if s := ch.ucb(cur.visits + 1); s > bestScore {
+				bestScore = s
+				best = ch
+			}
+		}
+		if best == nil || best.dead {
+			break // every child pruned: roll out from here
+		}
+		cur = best
+		values = append(values, w.levels[cur.level-1][cur.choice])
+	}
+
+	// Rollout: complete the remaining levels randomly among values that
+	// keep the minimal completion feasible (constraint-guided sampling,
+	// §5.1); fall back to uniform if no candidate passes the bound.
+	full := append([]int(nil), values...)
+	for len(full) < len(w.levels) {
+		cands := w.levels[len(full)]
+		var live []int
+		for _, v := range cands {
+			if w.space.partialFeasible(append(full, v)) {
+				live = append(live, v)
+			}
+		}
+		if len(live) == 0 {
+			live = cands
+		}
+		full = append(full, live[w.r.intn(len(live))])
+	}
+	cfg = assemble(full)
+
+	// Final constraint validation: infeasible tiles earn zero reward and are
+	// never passed to the expensive evaluation.
+	return cur, cfg, pruned, tiling.Feasible(cfg, w.space.Workload, w.space.Spec)
+}
+
+// backprop adds one visit carrying the given reward to every node from n up
+// to the root.
+func backprop(n *node, reward float64) {
+	for ; n != nil; n = n.parent {
+		n.visits++
+		n.reward += reward
+	}
 }
 
 // SearchWithOptions is SearchContext with explicit Options, the full-fidelity
@@ -216,10 +331,13 @@ func SearchContext(ctx context.Context, space Space, objective Objective, iterat
 //
 // Observability: a registry attached to ctx (obs.WithMetrics) accumulates
 // tileseek.searches, tileseek.rollouts, tileseek.evaluated and
-// tileseek.pruned; a logger attached to ctx (obs.WithLogger) gets debug
-// lines at search start and end; opts.Progress streams per-rollout events.
-// With none of the three configured the rollout loop allocates nothing it
-// did not already allocate.
+// tileseek.pruned; with parallelism enabled it additionally accumulates
+// tileseek.cache_hits, tileseek.cache_misses and tileseek.spec_evals; a
+// logger attached to ctx (obs.WithLogger) gets debug lines at search start
+// and end; opts.Progress streams per-rollout events (always from the master
+// goroutine, exactly once per rollout, at every parallelism level). With
+// none of the three configured the rollout loop allocates nothing it did not
+// already allocate.
 func SearchWithOptions(ctx context.Context, space Space, objective Objective, opts Options) (Result, error) {
 	if err := space.Validate(); err != nil {
 		return Result{}, err
@@ -228,99 +346,59 @@ func SearchWithOptions(ctx context.Context, space Space, objective Objective, op
 	if iterations <= 0 {
 		iterations = 1
 	}
-	levels := space.levels()
-	r := newRNG(opts.Seed)
+	workers := resolveParallelism(opts.Parallelism)
 
 	// Instruments are hoisted out of the rollout loop; on an unset registry
-	// each is nil and its increments are single predicted branches.
+	// each is nil and its increments are single predicted branches. The
+	// cache counters are registered even on serial searches so they always
+	// appear in exported snapshots.
 	reg := obs.MetricsFrom(ctx)
 	rolloutsC := reg.Counter("tileseek.rollouts")
 	evaluatedC := reg.Counter("tileseek.evaluated")
 	prunedC := reg.Counter("tileseek.pruned")
+	hitsC := reg.Counter("tileseek.cache_hits")
+	missesC := reg.Counter("tileseek.cache_misses")
 	reg.Counter("tileseek.searches").Inc()
 	lg := obs.LoggerFrom(ctx)
 	if lg.Enabled(ctx, slog.LevelDebug) {
 		lg.Debug("tileseek: search start",
-			"space", space.Size(), "iterations", iterations, "seed", opts.Seed)
+			"space", space.Size(), "iterations", iterations, "seed", opts.Seed,
+			"parallelism", workers)
 	}
 	res := Result{BestCost: math.Inf(1)}
 	// scale normalises rewards: the first feasible cost maps to reward 1.
 	scale := math.NaN()
 
-	root := &node{}
+	w := &walker{space: space, levels: space.levels(), r: newRNG(opts.Seed), root: &node{}}
+
+	// consume resolves one feasible configuration to its objective value. At
+	// Parallelism 1 it is a direct call — exactly the historical serial path.
+	// Above 1 it goes through the speculator's memo cache: the master claims
+	// or joins the config's singleflight entry while P-1 workers replay the
+	// published trajectory ahead of the master and pre-evaluate the configs
+	// it is about to need. Only the master mutates w or res, so the
+	// trajectory — and therefore the Result — is bit-identical to serial.
+	consume := objective
+	if workers > 1 {
+		sp := newSpeculator(space, objective, opts.Seed, workers-1, hitsC, missesC, reg.Counter("tileseek.spec_evals"))
+		defer sp.stop()
+		consume = func(cfg tiling.Config) (float64, bool) {
+			return sp.consume(cfg, w, scale)
+		}
+	}
+
 	for it := 0; it < iterations; it++ {
 		if ctx.Err() != nil {
 			return res, faults.Canceled(ctx)
 		}
 		rolloutsC.Inc()
-		// Selection: descend by UCB1 until a node with unexpanded children
-		// or a leaf. Subtrees whose minimal completion already exceeds the
-		// buffer are marked dead at expansion time and never selected.
-		cur := root
-		values := make([]int, 0, len(levels))
-		for cur.level < len(levels) {
-			cands := levels[cur.level]
-			if len(cur.children) < len(cands) {
-				// Expansion: add the next unexpanded child, pruning dead
-				// subtrees eagerly. Children are expanded from the largest
-				// candidate down — large tiles amortise weight and K/V
-				// re-reads best, so they deserve the earliest visits, and
-				// the ones that cannot fit are pruned by the lower bound
-				// before costing an evaluation.
-				idx := len(cands) - 1 - len(cur.children)
-				child := &node{level: cur.level + 1, choice: idx, parent: cur}
-				if !space.partialFeasible(append(values, cands[idx])) {
-					child.dead = true
-					res.Pruned++
-					prunedC.Inc()
-				}
-				cur.children = append(cur.children, child)
-				if child.dead {
-					continue // try the next candidate within this iteration
-				}
-				cur = child
-				values = append(values, cands[idx])
-				break
-			}
-			best := (*node)(nil)
-			bestScore := math.Inf(-1)
-			for _, ch := range cur.children {
-				if s := ch.ucb(cur.visits + 1); s > bestScore {
-					bestScore = s
-					best = ch
-				}
-			}
-			if best == nil || best.dead {
-				break // every child pruned: roll out from here
-			}
-			cur = best
-			values = append(values, levels[cur.level-1][cur.choice])
-		}
+		cur, cfg, prunedN, feasible := w.step()
+		res.Pruned += prunedN
+		prunedC.Add(int64(prunedN))
 
-		// Rollout: complete the remaining levels randomly among values that
-		// keep the minimal completion feasible (constraint-guided sampling,
-		// §5.1); fall back to uniform if no candidate passes the bound.
-		full := append([]int(nil), values...)
-		for len(full) < len(levels) {
-			cands := levels[len(full)]
-			var live []int
-			for _, v := range cands {
-				if space.partialFeasible(append(full, v)) {
-					live = append(live, v)
-				}
-			}
-			if len(live) == 0 {
-				live = cands
-			}
-			full = append(full, live[r.intn(len(live))])
-		}
-		cfg := assemble(full)
-
-		// Final constraint validation: infeasible tiles earn zero reward
-		// and are never passed to the expensive evaluation.
 		reward := 0.0
-		if tiling.Feasible(cfg, space.Workload, space.Spec) {
-			cost, ok := objective(cfg)
+		if feasible {
+			cost, ok := consume(cfg)
 			if ok && cost > 0 {
 				res.Evaluated++
 				evaluatedC.Inc()
@@ -339,11 +417,7 @@ func SearchWithOptions(ctx context.Context, space Space, objective Objective, op
 			prunedC.Inc()
 		}
 
-		// Backpropagation.
-		for n := cur; n != nil; n = n.parent {
-			n.visits++
-			n.reward += reward
-		}
+		backprop(cur, reward)
 
 		// The nil check must stay inline: constructing the event only inside
 		// the branch keeps the unset path free of interface boxing.
@@ -353,7 +427,7 @@ func SearchWithOptions(ctx context.Context, space Space, objective Objective, op
 				Budget:    iterations,
 				BestCost:  res.BestCost,
 				Found:     res.Found,
-				Visits:    root.visits,
+				Visits:    w.root.visits,
 			})
 		}
 	}

@@ -147,11 +147,17 @@ type ExperimentReport struct {
 // RunExperimentContext, but also returns the degradation notes so callers
 // (cmd/experiments) can surface incomplete searches instead of silently
 // folding them into the numbers. csv selects CSV output instead of the
-// rendered table.
-func RunExperimentReportContext(ctx context.Context, id string, searchBudget int, csv bool) (rep ExperimentReport, err error) {
+// rendered table. parallelism bounds the worker pools used across the run —
+// independent grid cells, tile-search speculation, and DPipe candidate
+// evaluation (0 selects GOMAXPROCS, 1 forces the serial path); the rendered
+// tables are bit-identical at every setting.
+func RunExperimentReportContext(ctx context.Context, id string, searchBudget, parallelism int, csv bool) (rep ExperimentReport, err error) {
 	defer faults.Recover(&err)
 	if searchBudget < 0 {
 		return ExperimentReport{}, faults.Invalidf("transfusion: negative search budget %d", searchBudget)
+	}
+	if parallelism < 0 {
+		return ExperimentReport{}, faults.Invalidf("transfusion: negative parallelism %d (0 selects GOMAXPROCS)", parallelism)
 	}
 	e, err := experiments.ByID(id)
 	if err != nil {
@@ -161,6 +167,7 @@ func RunExperimentReportContext(ctx context.Context, id string, searchBudget int
 	if searchBudget > 0 {
 		opts.TileSeekIterations = searchBudget
 	}
+	opts.Parallelism = parallelism
 	runner := experiments.NewRunnerContext(ctx, opts)
 	table, err := e.Run(runner)
 	if err != nil {

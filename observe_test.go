@@ -117,14 +117,17 @@ func TestRunExperimentReportContext(t *testing.T) {
 	if len(ids) == 0 {
 		t.Skip("no experiments registered")
 	}
-	rep, err := RunExperimentReportContext(context.Background(), ids[0], 2, false)
+	rep, err := RunExperimentReportContext(context.Background(), ids[0], 2, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.ID != ids[0] || rep.Output == "" {
 		t.Fatalf("report = %+v", rep)
 	}
-	if _, err := RunExperimentReportContext(context.Background(), ids[0], -1, false); err == nil {
+	if _, err := RunExperimentReportContext(context.Background(), ids[0], -1, 0, false); err == nil {
 		t.Fatal("negative budget accepted")
+	}
+	if _, err := RunExperimentReportContext(context.Background(), ids[0], 2, -1, false); err == nil {
+		t.Fatal("negative parallelism accepted")
 	}
 }
