@@ -188,6 +188,33 @@ func (s RunSpec) validate() error {
 	}
 }
 
+// CanonicalKey returns a deterministic string identifying the evaluation the
+// spec selects, for use as a cache or coalescing key: two specs with the same
+// key produce bit-identical RunResults. Defaulted fields are normalised
+// (Batch 0 becomes the evaluation default, SearchBudget 0 the default rollout
+// budget), so a spec that spells the default explicitly keys identically to
+// one that leaves it zero. Progress and Parallelism are deliberately
+// excluded: hooks do not change the result, and results are bit-identical at
+// every parallelism setting.
+func (s RunSpec) CanonicalKey() string {
+	batch := s.Batch
+	if batch == 0 {
+		batch = model.EvalBatch
+	}
+	budget := s.SearchBudget
+	if budget == 0 {
+		budget = pipeline.DefaultOptions().TileSeekIterations
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "arch=%s|archfile=%s|model=%s|seq=%d|sys=%s|batch=%d|budget=%d|causal=%t|timeout=%s",
+		s.Arch, s.ArchFile, s.Model, s.SeqLen, s.System, batch, budget, s.Causal, s.SearchTimeout)
+	if cm := s.CustomModel; cm != nil {
+		fmt.Fprintf(&b, "|custom=%s/%d/%d/%d/%d/%s",
+			cm.Name, cm.Heads, cm.HeadDim, cm.FFNHidden, cm.Layers, cm.Activation)
+	}
+	return b.String()
+}
+
 func (s RunSpec) resolve() (arch.Spec, model.Config, pipeline.System, pipeline.Options, int, error) {
 	if err := s.validate(); err != nil {
 		return arch.Spec{}, model.Config{}, pipeline.System{}, pipeline.Options{}, 0, err

@@ -310,3 +310,43 @@ func TestRunWithArchFileAndCustomModel(t *testing.T) {
 		t.Fatal("invalid custom model accepted")
 	}
 }
+
+func TestCanonicalKeyNormalisesDefaults(t *testing.T) {
+	base := RunSpec{Arch: "edge", Model: "bert", SeqLen: 4096, System: "transfusion"}
+	explicit := base
+	explicit.Batch = 64         // model.EvalBatch, the default
+	explicit.SearchBudget = 128 // pipeline.DefaultOptions().TileSeekIterations
+	if base.CanonicalKey() != explicit.CanonicalKey() {
+		t.Fatalf("defaulted and explicit-default specs key differently:\n%s\n%s",
+			base.CanonicalKey(), explicit.CanonicalKey())
+	}
+
+	// Execution knobs that cannot change the result are excluded from the key.
+	tuned := base
+	tuned.Parallelism = 4
+	tuned.Progress = func(ProgressEvent) {}
+	if base.CanonicalKey() != tuned.CanonicalKey() {
+		t.Fatal("Parallelism/Progress leaked into the canonical key")
+	}
+
+	// Every result-affecting field must move the key.
+	variants := []RunSpec{
+		{Arch: "cloud", Model: "bert", SeqLen: 4096, System: "transfusion"},
+		{Arch: "edge", Model: "t5", SeqLen: 4096, System: "transfusion"},
+		{Arch: "edge", Model: "bert", SeqLen: 1024, System: "transfusion"},
+		{Arch: "edge", Model: "bert", SeqLen: 4096, System: "fusemax"},
+		{Arch: "edge", Model: "bert", SeqLen: 4096, System: "transfusion", Batch: 32},
+		{Arch: "edge", Model: "bert", SeqLen: 4096, System: "transfusion", SearchBudget: 8},
+		{Arch: "edge", Model: "bert", SeqLen: 4096, System: "transfusion", Causal: true},
+		{Arch: "edge", Model: "bert", SeqLen: 4096, System: "transfusion",
+			CustomModel: &CustomModel{Name: "mini", Heads: 8, HeadDim: 64, FFNHidden: 2048, Layers: 4, Activation: "relu"}},
+	}
+	seen := map[string]int{base.CanonicalKey(): -1}
+	for i, v := range variants {
+		k := v.CanonicalKey()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %d keys identically to variant %d: %s", i, prev, k)
+		}
+		seen[k] = i
+	}
+}

@@ -1,0 +1,86 @@
+// Command transfusiond serves the TransFusion analytical model over HTTP:
+// plan evaluations (POST /v1/plan), five-system comparisons (POST
+// /v1/compare), health (GET /healthz), metrics (GET /metrics), and DPipe
+// schedule traces (GET /debug/trace). Identical requests are answered from an
+// LRU plan cache with singleflight coalescing; overload is shed with 503 +
+// Retry-After instead of queueing unbounded; SIGTERM drains in-flight plans
+// before exiting.
+//
+// Usage:
+//
+//	transfusiond -addr :8080
+//	curl -s localhost:8080/v1/plan -d '{"arch":"edge","model":"bert","seq_len":4096,"system":"transfusion"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/fusedmindlab/transfusion"
+	"github.com/fusedmindlab/transfusion/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "transfusiond:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", 4, "maximum simultaneous evaluations")
+	maxQueue := flag.Int("max-queue", 64, "maximum callers waiting for an evaluation slot before shedding with 503")
+	requestTimeout := flag.Duration("request-timeout", 60*time.Second, "server-owned evaluation deadline (expiry answers 504)")
+	cacheEntries := flag.Int("cache-entries", 1024, "plan cache capacity (completed results)")
+	maxSeq := flag.Int("max-seq", transfusion.MaxSeqLen, "largest sequence length accepted over the API")
+	maxBudget := flag.Int("max-budget", 1024, "largest per-request TileSeek rollout budget accepted")
+	parallelism := flag.Int("parallelism", 0, "per-evaluation worker-pool size (0 = GOMAXPROCS; results identical at any setting)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound for in-flight plans")
+	logLevel := flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
+	flag.Parse()
+
+	level, err := transfusion.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := transfusion.NewLogger(os.Stderr, level, *logJSON)
+
+	// SIGTERM/SIGINT starts the drain: healthz flips to draining, the
+	// listener closes, and in-flight plans get drain-timeout to finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx = transfusion.WithLogger(ctx, logger)
+	metrics := transfusion.NewMetrics()
+
+	srv := serve.New(serve.Config{
+		MaxConcurrent:   *maxConcurrent,
+		MaxQueue:        *maxQueue,
+		RequestTimeout:  *requestTimeout,
+		CacheEntries:    *cacheEntries,
+		MaxSeqLen:       *maxSeq,
+		MaxSearchBudget: *maxBudget,
+		Parallelism:     *parallelism,
+		DrainTimeout:    *drainTimeout,
+	}, metrics, ctx)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("transfusiond: listening",
+		"addr", l.Addr().String(),
+		"max_concurrent", *maxConcurrent,
+		"max_queue", *maxQueue,
+		"cache_entries", *cacheEntries)
+	err = srv.Serve(ctx, l)
+	logger.Info("transfusiond: drained, exiting")
+	return err
+}

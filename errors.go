@@ -33,3 +33,9 @@ var (
 // InternalError is a recovered panic from below the public API; match with
 // errors.As. Its Stack field carries the goroutine stack at recovery.
 type InternalError = faults.InternalError
+
+// HTTPStatus maps an error from the taxonomy onto the HTTP status a serving
+// layer should answer with: 400 for ErrInvalidSpec, 422 for ErrInfeasible and
+// ErrBudgetExhausted, 504 for ErrCanceled, 500 otherwise (200 for nil). The
+// transfusiond daemon uses exactly this mapping.
+func HTTPStatus(err error) int { return faults.HTTPStatus(err) }

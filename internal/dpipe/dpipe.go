@@ -218,34 +218,16 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 
 	// Candidate orderings: the canonical topological order always
 	// participates; each valid bipartition contributes orderings of its
-	// virtual-root DAG. Identical (order, firstSet) pairs can emerge from
-	// different bipartition orderings; they would schedule identically, so
-	// duplicates are skipped (and counted) under an unambiguous canonical
-	// key — the same key the reduction below uses as its tie-break, making
-	// the winner independent of evaluation order.
-	type candidate struct {
-		order []string
-		part  graph.Bipartition
-		key   string
-	}
-	var candidates []candidate
-	seen := map[string]bool{}
-	dedupC := reg.Counter("dpipe.dedup_skipped")
-	addOrder := func(order []string, part graph.Bipartition) {
-		key := strings.Join(order, "\x1f") + "\x1e" + strings.Join(part.FirstSorted(), "\x1f")
-		if seen[key] {
-			dedupC.Inc()
-			return
-		}
-		seen[key] = true
-		candidates = append(candidates, candidate{order: order, part: part, key: key})
-	}
+	// virtual-root DAG. Candidates are collected through a candidateSet,
+	// which skips (and counts) canonical-key duplicates — see its doc for
+	// why the current enumeration never produces any.
+	cs := newCandidateSet(reg.Counter("dpipe.dedup_skipped"))
 
 	canonical, err := p.Deps.TopoSort()
 	if err != nil {
 		return Result{}, err
 	}
-	addOrder(canonical, graph.Bipartition{})
+	cs.add(canonical, graph.Bipartition{})
 
 	parts, examined, err := p.Deps.BipartitionsBounded(ctx, opts.MaxEnumeration)
 	if reg != nil {
@@ -304,7 +286,7 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 					clean = append(clean, id)
 				}
 			}
-			addOrder(clean, part)
+			cs.add(clean, part)
 		}
 	}
 
@@ -314,16 +296,16 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 			Examined:     examined,
 			Budget:       opts.MaxEnumeration,
 			Bipartitions: len(parts),
-			Candidates:   len(candidates),
+			Candidates:   len(cs.list),
 		})
 	}
 
 	cells := reg.Counter("dpipe.dp_cells") // nil-safe on a nil registry
 	workers := resolveParallelism(opts.Parallelism)
-	if workers > len(candidates) {
-		workers = len(candidates)
+	if workers > len(cs.list) {
+		workers = len(cs.list)
 	}
-	results := make([]Result, len(candidates))
+	results := make([]Result, len(cs.list))
 	if workers > 1 {
 		// Fan the candidate evaluations (pure DP sweeps) across a bounded
 		// pool. Each result lands in its candidate's slot, so the reduction
@@ -350,10 +332,10 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 					i := int(next.Add(1)) - 1
 					// Cancellation is checked per candidate schedule, as on
 					// the serial path.
-					if i >= len(candidates) || ctx.Err() != nil {
+					if i >= len(cs.list) || ctx.Err() != nil {
 						return
 					}
-					c := candidates[i]
+					c := cs.list[i]
 					results[i] = evaluate(p, spec, c.order, c.part.First, opts.ExplicitEpochs, nil, cells)
 				}
 			}()
@@ -366,7 +348,7 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 			return Result{}, faults.Canceled(ctx)
 		}
 	} else {
-		for i, c := range candidates {
+		for i, c := range cs.list {
 			// Cancellation is checked per candidate schedule: a canceled plan
 			// returns promptly instead of finishing the DP sweep.
 			if ctx.Err() != nil {
@@ -383,7 +365,7 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 	best := Result{TotalCycles: math.Inf(1)}
 	bestKey := ""
 	found := false
-	for i, c := range candidates {
+	for i, c := range cs.list {
 		res := results[i]
 		if math.IsInf(res.TotalCycles, 1) {
 			continue
@@ -397,9 +379,9 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 			found = true
 		}
 	}
-	best.Candidates = len(candidates)
+	best.Candidates = len(cs.list)
 	if reg != nil {
-		reg.Counter("dpipe.candidates").Add(int64(len(candidates)))
+		reg.Counter("dpipe.candidates").Add(int64(len(cs.list)))
 		reg.Histogram("dpipe.plan_ms", nil).Observe(float64(time.Since(planStart).Microseconds()) / 1e3)
 	}
 	// Enabled-guarded so the disabled path never builds the attr slice:
@@ -407,7 +389,7 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 	if lg := obs.LoggerFrom(ctx); lg.Enabled(ctx, slog.LevelDebug) {
 		lg.Debug("dpipe: plan complete",
 			"problem", p.Name,
-			"candidates", len(candidates),
+			"candidates", len(cs.list),
 			"bipartitions", len(parts),
 			"enumerated", examined,
 			"cycles", best.TotalCycles)
@@ -682,6 +664,57 @@ func schedule(p *Problem, spec arch.Spec, seq []instance, fixedAssign map[string
 	}
 	return makespan, busy, assign
 }
+
+// candidate is one (ordering, bipartition) schedule to evaluate, with the
+// canonical key the reduction uses as its deterministic tie-break.
+type candidate struct {
+	order []string
+	part  graph.Bipartition
+	key   string
+}
+
+// candidateSet accumulates candidate schedules, skipping duplicates under an
+// unambiguous canonical key — order and First set joined with separator
+// bytes no op name can contain. The skip counter makes collisions
+// observable.
+//
+// With the current enumeration the counter is defensive and stays at zero:
+// TopoOrders backtracks without ever emitting the same ordering twice, each
+// bipartition is uniquely determined by its First set, and the canonical
+// order is added with an empty First set no bipartition can share (both
+// sides of a valid bipartition are non-empty). It exists because an earlier
+// fmt.Sprint-based key *could* collide, and because future enumeration
+// strategies (rotations, sampled orders) may legitimately regenerate a
+// candidate — the dedup, not the enumerator, is what guarantees the
+// evaluated set is collision-free.
+type candidateSet struct {
+	list  []candidate
+	seen  map[string]bool
+	dups  int
+	dedup *obs.Counter
+}
+
+func newCandidateSet(dedup *obs.Counter) *candidateSet {
+	return &candidateSet{seen: map[string]bool{}, dedup: dedup}
+}
+
+// add records the candidate unless an identical (order, First) pair was
+// already added, in which case the dedup counter fires; duplicates would
+// schedule identically, so evaluating them would only waste DP sweeps.
+func (cs *candidateSet) add(order []string, part graph.Bipartition) {
+	key := strings.Join(order, "\x1f") + "\x1e" + strings.Join(part.FirstSorted(), "\x1f")
+	if cs.seen[key] {
+		cs.dups++
+		cs.dedup.Inc()
+		return
+	}
+	cs.seen[key] = true
+	cs.list = append(cs.list, candidate{order: order, part: part, key: key})
+}
+
+// skipped returns how many duplicate adds were rejected, independent of any
+// metrics registry.
+func (cs *candidateSet) skipped() int { return cs.dups }
 
 // keyedParts sorts a bipartition slice and its precomputed canonical keys in
 // lockstep.

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/internal/pipeline"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden/*.json from the current implementation")
+
+// goldenBudget pins the TileSeek rollout budget for the golden runs: small
+// enough to keep the suite fast, large enough that the searches leave the
+// heuristic tile where it matters.
+const goldenBudget = 8
+
+// goldenIDs lists the regression-pinned artifacts: the buffer-requirement and
+// architecture tables plus the 64K model-wise headline figures (speedup,
+// utilization, energy) on cloud+edge across all five models.
+var goldenIDs = []string{"table2", "table3", "fig8b", "fig10b", "fig12b"}
+
+// goldenTable is the serialised form of one artifact.
+type goldenTable struct {
+	ID      string     `json:"id"`
+	Budget  int        `json:"search_budget"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".json")
+}
+
+func runGolden(t *testing.T, parallelism int) map[string]goldenTable {
+	t.Helper()
+	opts := pipeline.DefaultOptions()
+	opts.TileSeekIterations = goldenBudget
+	opts.Parallelism = parallelism
+	r := NewRunner(opts)
+	out := make(map[string]goldenTable, len(goldenIDs))
+	for _, id := range goldenIDs {
+		exp, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := exp.Run(r)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out[id] = goldenTable{
+			ID: id, Budget: goldenBudget,
+			Title: tbl.Title, Headers: append([]string(nil), tbl.Headers...),
+			Rows: tbl.Rows(),
+		}
+	}
+	return out
+}
+
+// diffTables renders a readable cell-level diff, or "" when equal.
+func diffTables(want, got goldenTable) string {
+	var b strings.Builder
+	if want.Title != got.Title {
+		fmt.Fprintf(&b, "  title: %q -> %q\n", want.Title, got.Title)
+	}
+	if strings.Join(want.Headers, "|") != strings.Join(got.Headers, "|") {
+		fmt.Fprintf(&b, "  headers: %v -> %v\n", want.Headers, got.Headers)
+	}
+	if len(want.Rows) != len(got.Rows) {
+		fmt.Fprintf(&b, "  row count: %d -> %d\n", len(want.Rows), len(got.Rows))
+	}
+	for i := 0; i < len(want.Rows) && i < len(got.Rows); i++ {
+		w, g := want.Rows[i], got.Rows[i]
+		for j := 0; j < len(w) || j < len(g); j++ {
+			var wc, gc string
+			if j < len(w) {
+				wc = w[j]
+			}
+			if j < len(g) {
+				gc = g[j]
+			}
+			if wc != gc {
+				col := fmt.Sprintf("col %d", j)
+				if j < len(want.Headers) {
+					col = want.Headers[j]
+				}
+				fmt.Fprintf(&b, "  row %d (%s), %s: %q -> %q\n", i, strings.Join(labelCells(w), "/"), col, wc, gc)
+			}
+		}
+	}
+	return b.String()
+}
+
+// labelCells picks the leading identity cells of a row for diff context.
+func labelCells(row []string) []string {
+	if len(row) > 2 {
+		return row[:2]
+	}
+	return row
+}
+
+// TestGoldenTables regenerates the pinned artifacts and compares them against
+// testdata/golden cell by cell. Run with -update to rewrite the goldens after
+// an intentional modelling change; the diff in a failure names the exact rows
+// and columns that moved.
+func TestGoldenTables(t *testing.T) {
+	got := runGolden(t, 1)
+
+	if *update {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range goldenIDs {
+			data, err := json.MarshalIndent(got[id], "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(goldenPath(id), append(data, '\n'), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("rewrote %d golden files", len(goldenIDs))
+		return
+	}
+
+	for _, id := range goldenIDs {
+		t.Run(id, func(t *testing.T) {
+			data, err := os.ReadFile(goldenPath(id))
+			if err != nil {
+				t.Fatalf("missing golden (run: go test ./internal/experiments -run TestGoldenTables -update): %v", err)
+			}
+			var want goldenTable
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("corrupt golden %s: %v", goldenPath(id), err)
+			}
+			if want.Budget != goldenBudget {
+				t.Fatalf("golden %s was generated at budget %d, test runs %d — regenerate with -update", id, want.Budget, goldenBudget)
+			}
+			if d := diffTables(want, got[id]); d != "" {
+				t.Errorf("%s drifted from golden (regenerate with -update if intentional):\n%s", id, d)
+			}
+		})
+	}
+}
+
+// TestGoldenTablesParallelismInvariant re-runs the same artifacts with a
+// 4-way worker pool and requires bit-identical tables: the deterministic
+// parallel search must not leak scheduling order into results.
+func TestGoldenTablesParallelismInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel re-run skipped in -short")
+	}
+	serial := runGolden(t, 1)
+	parallel := runGolden(t, 4)
+	for _, id := range goldenIDs {
+		if d := diffTables(serial[id], parallel[id]); d != "" {
+			t.Errorf("%s differs between Parallelism 1 and 4:\n%s", id, d)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"runtime/debug"
 )
 
@@ -96,6 +97,37 @@ func (e *InternalError) Unwrap() error {
 		return err
 	}
 	return nil
+}
+
+// HTTPStatus maps an error from the taxonomy onto the HTTP status code a
+// serving layer should answer with:
+//
+//	ErrInvalidSpec     400 Bad Request       — the caller's input is malformed;
+//	ErrInfeasible      422 Unprocessable     — well-formed but has no solution;
+//	ErrBudgetExhausted 422 Unprocessable     — the spec's own search budget ran
+//	                                           out; retrying is futile because
+//	                                           the outcome is deterministic;
+//	ErrCanceled        504 Gateway Timeout   — the request deadline expired (a
+//	                                           client that hung up never reads
+//	                                           the status anyway);
+//	anything else      500 Internal Server Error (including *InternalError).
+//
+// A nil error maps to 200 OK. Load shedding (503 + Retry-After) is not an
+// error classification: it is an admission decision made before any
+// evaluation starts, so serving layers emit it directly.
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrInvalidSpec):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrInfeasible), errors.Is(err, ErrBudgetExhausted):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrCanceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // Recover is the panic containment boundary: deferred at a public entry

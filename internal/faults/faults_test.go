@@ -3,6 +3,7 @@ package faults
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -81,5 +82,26 @@ func TestRecoverConvertsPanic(t *testing.T) {
 	}
 	if err := run3(); err == nil || err.Error() != "plain" {
 		t.Errorf("Recover clobbered a plain error: %v", err)
+	}
+}
+
+func TestHTTPStatus(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 200},
+		{"invalid", Invalidf("bad spec"), 400},
+		{"infeasible", Infeasiblef("no tile fits"), 422},
+		{"budget", Budgetf("out of rollouts"), 422},
+		{"canceled", fmt.Errorf("wrapped: %w", ErrCanceled), 504},
+		{"internal", &InternalError{Panic: "boom"}, 500},
+		{"unclassified", errors.New("mystery"), 500},
+	}
+	for _, tc := range cases {
+		if got := HTTPStatus(tc.err); got != tc.want {
+			t.Errorf("%s: HTTPStatus = %d, want %d", tc.name, got, tc.want)
+		}
 	}
 }

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// statusRecorder captures the status code a handler writes so the middleware
+// can classify the response after the fact. An unset code means the handler
+// returned without writing, which net/http turns into an implicit 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// HTTPMetrics wraps a handler with request accounting into reg under the
+// given metric prefix (e.g. "http"):
+//
+//	<prefix>.requests        counter, one per completed request
+//	<prefix>.status_Nxx      counter per status class (2xx/4xx/5xx/...)
+//	<prefix>.inflight        gauge, requests currently being handled
+//	<prefix>.request_ms      histogram of wall-clock handling time
+//
+// A nil registry passes the handler through untouched, so unconfigured
+// servers pay nothing.
+func HTTPMetrics(reg *Registry, prefix string, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	requests := reg.Counter(prefix + ".requests")
+	inflight := reg.Gauge(prefix + ".inflight")
+	latency := reg.Histogram(prefix+".request_ms", nil)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inflight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			inflight.Add(-1)
+			requests.Inc()
+			status := rec.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			reg.Counter(fmt.Sprintf("%s.status_%dxx", prefix, status/100)).Inc()
+			latency.Observe(float64(time.Since(start).Microseconds()) / 1e3)
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHTTPMetricsRecordsRequests(t *testing.T) {
+	reg := NewRegistry()
+	h := HTTPMetrics(reg, "http", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/ok":
+			w.Write([]byte("ok")) // implicit 200
+		case "/bad":
+			http.Error(w, "nope", http.StatusBadRequest)
+		case "/boom":
+			http.Error(w, "boom", http.StatusInternalServerError)
+		default:
+			// Returns without writing: net/http sends an implicit 200.
+		}
+	}))
+	for _, path := range []string{"/ok", "/bad", "/boom", "/silent"} {
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, path, nil))
+	}
+	if got := reg.Counter("http.requests").Value(); got != 4 {
+		t.Fatalf("http.requests = %d, want 4", got)
+	}
+	if got := reg.Counter("http.status_2xx").Value(); got != 2 {
+		t.Fatalf("http.status_2xx = %d, want 2", got)
+	}
+	if got := reg.Counter("http.status_4xx").Value(); got != 1 {
+		t.Fatalf("http.status_4xx = %d, want 1", got)
+	}
+	if got := reg.Counter("http.status_5xx").Value(); got != 1 {
+		t.Fatalf("http.status_5xx = %d, want 1", got)
+	}
+	if got := reg.Gauge("http.inflight").Value(); got != 0 {
+		t.Fatalf("http.inflight = %g after completion, want 0", got)
+	}
+	if got := reg.Histogram("http.request_ms", nil).Count(); got != 4 {
+		t.Fatalf("http.request_ms count = %d, want 4", got)
+	}
+}
+
+// A nil registry must pass the handler through without wrapping, so the
+// unconfigured path costs nothing.
+func TestHTTPMetricsNilRegistryPassthrough(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(204) })
+	h := HTTPMetrics(nil, "http", inner)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rw.Code != 204 {
+		t.Fatalf("status = %d, want 204", rw.Code)
+	}
+}

@@ -35,6 +35,16 @@ func (t *Table) AddRow(cells ...string) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Rows returns a deep copy of the data rows, so callers (golden-file
+// serialisation, diffing) can inspect cells without aliasing the table.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
 // Render returns the aligned table text.
 func (t *Table) Render() string {
 	widths := make([]int, len(t.Headers))

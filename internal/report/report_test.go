@@ -102,3 +102,17 @@ func TestCSV(t *testing.T) {
 		t.Fatalf("row 2 = %q", lines[2])
 	}
 }
+
+func TestRowsReturnsDeepCopy(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	tbl.AddRow("1", "2")
+	tbl.AddRow("3")
+	rows := tbl.Rows()
+	if len(rows) != 2 || rows[0][0] != "1" || rows[1][1] != "" {
+		t.Fatalf("rows = %v", rows)
+	}
+	rows[0][0] = "mutated"
+	if tbl.Rows()[0][0] != "1" {
+		t.Fatal("Rows aliases the table's internal state")
+	}
+}

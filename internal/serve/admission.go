@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"github.com/fusedmindlab/transfusion/internal/faults"
+	"github.com/fusedmindlab/transfusion/internal/obs"
+)
+
+// errOverloaded marks a request shed at admission: the evaluation pool is
+// saturated and the wait queue is at depth. The handler answers 503 with a
+// Retry-After header; it is deliberately not part of the faults taxonomy
+// because nothing about the request itself is wrong.
+var errOverloaded = errors.New("serve: overloaded, retry later")
+
+// admission is the bounded-concurrency controller in front of the evaluation
+// pool: at most maxConcurrent evaluations run at once, at most maxQueue
+// callers wait for a slot, and everything beyond that is shed immediately so
+// queue time never grows unbounded (load shedding beats collapse).
+type admission struct {
+	sem      chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+
+	shedC   *obs.Counter
+	activeG *obs.Gauge
+	queuedG *obs.Gauge
+}
+
+func newAdmission(maxConcurrent, maxQueue int, reg *obs.Registry) *admission {
+	return &admission{
+		sem:      make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+
+		shedC:   reg.Counter("serve.shed"),
+		activeG: reg.Gauge("serve.active"),
+		queuedG: reg.Gauge("serve.queued"),
+	}
+}
+
+// acquire claims an evaluation slot, waiting in the bounded queue when the
+// pool is busy. It returns errOverloaded when the queue is full, or an error
+// matching faults.ErrCanceled when ctx expires while queued. A nil return
+// must be paired with release.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.sem <- struct{}{}:
+		a.activeG.Add(1)
+		return nil
+	default:
+	}
+	if q := a.queued.Add(1); q > a.maxQueue {
+		a.queued.Add(-1)
+		a.shedC.Inc()
+		return errOverloaded
+	}
+	a.queuedG.Set(float64(a.queued.Load()))
+	defer func() {
+		a.queued.Add(-1)
+		a.queuedG.Set(float64(a.queued.Load()))
+	}()
+	select {
+	case a.sem <- struct{}{}:
+		a.activeG.Add(1)
+		return nil
+	case <-ctx.Done():
+		return faults.Canceled(ctx)
+	}
+}
+
+// release returns a slot claimed by acquire.
+func (a *admission) release() {
+	<-a.sem
+	a.activeG.Add(-1)
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/fusedmindlab/transfusion/internal/faults"
+	"github.com/fusedmindlab/transfusion/internal/obs"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := newAdmission(2, 1, reg)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("serve.active").Value(); got != 2 {
+		t.Fatalf("active = %g, want 2", got)
+	}
+	a.release()
+	a.release()
+	if got := reg.Gauge("serve.active").Value(); got != 0 {
+		t.Fatalf("active after release = %g, want 0", got)
+	}
+}
+
+func TestAdmissionShedsBeyondQueueDepth(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := newAdmission(1, 1, reg)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter is allowed in the queue...
+	waited := make(chan error, 1)
+	go func() { waited <- a.acquire(context.Background()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.queued.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// ...and the next arrival is shed immediately, without blocking.
+	if err := a.acquire(context.Background()); !errors.Is(err, errOverloaded) {
+		t.Fatalf("err = %v, want errOverloaded", err)
+	}
+	if got := reg.Counter("serve.shed").Value(); got != 1 {
+		t.Fatalf("shed = %d, want 1", got)
+	}
+	a.release() // hands the slot to the queued waiter
+	if err := <-waited; err != nil {
+		t.Fatalf("queued waiter err = %v", err)
+	}
+	a.release()
+}
+
+func TestAdmissionQueuedWaiterHonoursContext(t *testing.T) {
+	a := newAdmission(1, 4, obs.NewRegistry())
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := a.acquire(ctx); !errors.Is(err, faults.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if got := a.queued.Load(); got != 0 {
+		t.Fatalf("queued = %d after cancellation, want 0", got)
+	}
+	a.release()
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"github.com/fusedmindlab/transfusion"
+	"github.com/fusedmindlab/transfusion/internal/faults"
+	"github.com/fusedmindlab/transfusion/internal/obs"
+)
+
+// planCache is the serving layer's LRU result cache with singleflight
+// admission: concurrent requests for the same canonical RunSpec key coalesce
+// onto one evaluation, and completed results are retained up to the
+// configured entry count. It extends the PR 3 singleflight pattern (TileSeek
+// objective memo, experiments Runner) to the API layer, with one serving
+// twist: the evaluation runs under a server-owned context, so joiners that
+// hang up cannot kill the leader, and a completed result lands in the cache
+// even when every requester has gone away — the retry then hits.
+type planCache struct {
+	mu    sync.Mutex
+	max   int
+	lru   *list.List               // front = most recently used
+	byKey map[string]*list.Element // key -> element whose Value is *cacheEntry
+	calls map[string]*planCall     // in-flight evaluations by key
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	inflightG *obs.Gauge
+	sizeG     *obs.Gauge
+}
+
+// cacheEntry is one completed, cached result.
+type cacheEntry struct {
+	key string
+	res transfusion.RunResult
+}
+
+// planCall is one in-flight evaluation joiners wait on; res/err are immutable
+// after done closes.
+type planCall struct {
+	done chan struct{}
+	res  transfusion.RunResult
+	err  error
+}
+
+func newPlanCache(max int, reg *obs.Registry) *planCache {
+	return &planCache{
+		max:   max,
+		lru:   list.New(),
+		byKey: make(map[string]*list.Element),
+		calls: make(map[string]*planCall),
+
+		hits:      reg.Counter("serve.cache_hits"),
+		misses:    reg.Counter("serve.cache_misses"),
+		inflightG: reg.Gauge("serve.cache_inflight"),
+		sizeG:     reg.Gauge("serve.cache_size"),
+	}
+}
+
+// Do returns the cached result for key, joins an in-flight evaluation of it,
+// or runs eval as the leader and caches its success. cached reports whether
+// the result came from the completed cache (a coalesced join still counts as
+// a cache hit in the metrics — the evaluation was shared — but reports
+// cached=false because the caller did wait for an evaluation). ctx bounds
+// only this caller's wait, never the evaluation itself: eval runs to
+// completion under whatever context the leader's closure captured.
+func (c *planCache) Do(ctx context.Context, key string, eval func() (transfusion.RunResult, error)) (res transfusion.RunResult, cached bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		res = el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		c.hits.Inc()
+		return res, true, nil
+	}
+	if call, ok := c.calls[key]; ok {
+		c.mu.Unlock()
+		// A leader is already evaluating this key: joining shares its work,
+		// which is a hit for capacity purposes.
+		c.hits.Inc()
+		select {
+		case <-call.done:
+			return call.res, false, call.err
+		case <-ctx.Done():
+			return transfusion.RunResult{}, false, faults.Canceled(ctx)
+		}
+	}
+	call := &planCall{done: make(chan struct{})}
+	c.calls[key] = call
+	c.mu.Unlock()
+	c.misses.Inc()
+	c.inflightG.Add(1)
+
+	defer func() {
+		// Unblock joiners even if eval panics (the panic keeps propagating to
+		// the API recover boundary); an unfilled call reads as an internal
+		// error rather than a zero result.
+		if call.err == nil && !call.filled() {
+			call.err = faults.Invalidf("serve: evaluation of %s aborted", key)
+		}
+		c.inflightG.Add(-1)
+		close(call.done)
+		c.mu.Lock()
+		delete(c.calls, key)
+		c.mu.Unlock()
+	}()
+
+	call.res, call.err = eval()
+	if call.err != nil {
+		return transfusion.RunResult{}, false, call.err
+	}
+	c.mu.Lock()
+	c.insert(key, call.res)
+	c.mu.Unlock()
+	return call.res, false, nil
+}
+
+// filled reports whether eval assigned a result; distinguishes a zero-valued
+// success from an aborted call in the panic path above.
+func (call *planCall) filled() bool {
+	return call.res.System != "" || call.err != nil
+}
+
+// insert adds a completed result, evicting from the LRU tail. Caller holds mu.
+func (c *planCache) insert(key string, res transfusion.RunResult) {
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, res: res})
+	for c.max > 0 && c.lru.Len() > c.max {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.byKey, tail.Value.(*cacheEntry).key)
+	}
+	c.sizeG.Set(float64(c.lru.Len()))
+}
+
+// Len returns the number of completed entries currently cached.
+func (c *planCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,407 @@
+// Package serve is the transfusiond serving layer: an HTTP JSON API fronting
+// the analytical model's RunContext/CompareContext with the machinery a
+// production endpoint needs —
+//
+//   - an LRU plan cache keyed by the canonical RunSpec key, with singleflight
+//     coalescing of identical in-flight requests (serve.cache_hits/misses/
+//     inflight metrics);
+//   - a bounded-concurrency admission controller with a depth-limited wait
+//     queue; beyond the queue, requests are shed with 503 + Retry-After
+//     instead of piling up;
+//   - per-request deadlines owned by the server, with the faults taxonomy
+//     mapped onto HTTP statuses (faults.HTTPStatus);
+//   - graceful shutdown: on cancellation the health check flips to draining
+//     and in-flight plans finish within the drain timeout.
+//
+// Endpoints: POST /v1/plan, POST /v1/compare, GET /healthz, GET /metrics,
+// GET /debug/trace.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/fusedmindlab/transfusion"
+	"github.com/fusedmindlab/transfusion/internal/faults"
+	"github.com/fusedmindlab/transfusion/internal/obs"
+)
+
+// Config tunes the serving layer; zero values take the defaults noted on
+// each field.
+type Config struct {
+	// MaxConcurrent bounds simultaneous evaluations (default 4).
+	MaxConcurrent int
+	// MaxQueue bounds callers waiting for an evaluation slot before new
+	// arrivals are shed with 503 (0 takes the default of 64; negative
+	// disables queueing entirely — a busy pool sheds immediately).
+	MaxQueue int
+	// RequestTimeout is the server-owned evaluation deadline (default 60s).
+	// Expiry surfaces as 504 via the ErrCanceled mapping.
+	RequestTimeout time.Duration
+	// CacheEntries bounds the plan cache (default 1024 completed results).
+	CacheEntries int
+	// MaxSeqLen caps the sequence length accepted over the API (default
+	// transfusion.MaxSeqLen). Lower it to bound worst-case evaluation time.
+	MaxSeqLen int
+	// MaxSearchBudget caps the per-request TileSeek rollout budget (default
+	// 1024).
+	MaxSearchBudget int
+	// Parallelism is passed through to every evaluation's RunSpec (0 =
+	// GOMAXPROCS). Results are bit-identical at every setting, so it is not
+	// part of the cache key.
+	Parallelism int
+	// DrainTimeout bounds graceful shutdown (default 30s).
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	} else if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxSeqLen <= 0 || c.MaxSeqLen > transfusion.MaxSeqLen {
+		c.MaxSeqLen = transfusion.MaxSeqLen
+	}
+	if c.MaxSearchBudget <= 0 {
+		c.MaxSearchBudget = 1024
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// maxBodyBytes bounds request bodies; plan/compare requests are tiny.
+const maxBodyBytes = 1 << 20
+
+// Server is the transfusiond HTTP service.
+type Server struct {
+	cfg      Config
+	reg      *obs.Registry
+	cache    *planCache
+	adm      *admission
+	baseCtx  context.Context
+	draining atomic.Bool
+}
+
+// New builds a Server. reg receives the serving metrics and is exposed at
+// /metrics; nil disables metrics (the endpoint then serves an empty
+// snapshot). baseCtx carries cross-request facilities (logger); nil means
+// background.
+func New(cfg Config, reg *obs.Registry, baseCtx context.Context) *Server {
+	cfg = cfg.withDefaults()
+	if baseCtx == nil {
+		baseCtx = context.Background()
+	}
+	if reg != nil {
+		baseCtx = obs.WithMetrics(baseCtx, reg)
+	}
+	return &Server{
+		cfg:     cfg,
+		reg:     reg,
+		cache:   newPlanCache(cfg.CacheEntries, reg),
+		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, reg),
+		baseCtx: baseCtx,
+	}
+}
+
+// Handler returns the routed, metrics-instrumented handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/plan", s.handlePlan)
+	mux.HandleFunc("/v1/compare", s.handleCompare)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
+	return obs.HTTPMetrics(s.reg, "serve.http", mux)
+}
+
+// Serve runs the server on l until ctx is cancelled, then drains: the health
+// check flips to draining immediately, no new connections are accepted, and
+// in-flight requests get up to DrainTimeout to finish.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		s.draining.Store(true)
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(drainCtx)
+	}()
+	if err := srv.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	select {
+	case err := <-shutdownErr:
+		return err
+	default:
+		return nil
+	}
+}
+
+// PlanRequest is the POST /v1/plan body. Field semantics follow
+// transfusion.RunSpec; architecture files and custom models are not accepted
+// over the wire (unknown fields are rejected with 400).
+type PlanRequest struct {
+	Arch         string `json:"arch"`
+	Model        string `json:"model"`
+	SeqLen       int    `json:"seq_len"`
+	System       string `json:"system"`
+	Batch        int    `json:"batch,omitempty"`
+	SearchBudget int    `json:"search_budget,omitempty"`
+	Causal       bool   `json:"causal,omitempty"`
+}
+
+// PlanResponse is the POST /v1/plan reply.
+type PlanResponse struct {
+	// Result is the evaluation outcome.
+	Result transfusion.RunResult `json:"result"`
+	// Cached reports the result came from the completed plan cache without
+	// waiting on any evaluation.
+	Cached bool `json:"cached"`
+	// Key is the canonical cache key the request resolved to.
+	Key string `json:"key"`
+	// ElapsedMS is the server-side handling time.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// CompareRequest is the POST /v1/compare body.
+type CompareRequest struct {
+	Arch         string `json:"arch"`
+	Model        string `json:"model"`
+	SeqLen       int    `json:"seq_len"`
+	Batch        int    `json:"batch,omitempty"`
+	SearchBudget int    `json:"search_budget,omitempty"`
+}
+
+// CompareResponse is the POST /v1/compare reply: all five systems in the
+// paper's comparison order (Unfused first).
+type CompareResponse struct {
+	Results []transfusion.RunResult `json:"results"`
+	// CachedResults counts how many of the five came straight from cache.
+	CachedResults int     `json:"cached_results"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+}
+
+// errorResponse is the JSON body of every non-2xx reply.
+type errorResponse struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// writeError maps err through the faults taxonomy onto an HTTP status.
+// Shedding gets 503 + Retry-After here rather than in the taxonomy: it is an
+// admission decision, not an error classification.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errOverloaded) {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error(), Status: http.StatusServiceUnavailable})
+		return
+	}
+	status := faults.HTTPStatus(err)
+	msg := err.Error()
+	var ie *faults.InternalError
+	if errors.As(err, &ie) {
+		// Never leak a panic value or stack to the wire.
+		msg = "internal error"
+	}
+	writeJSON(w, status, errorResponse{Error: msg, Status: status})
+}
+
+// decodeStrict decodes one JSON document into v, rejecting unknown fields,
+// type mismatches, and trailing garbage — everything surfaces as an error
+// matching faults.ErrInvalidSpec so the handler answers 400.
+func decodeStrict(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return faults.Invalidf("serve: bad request body: %v", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return faults.Invalidf("serve: trailing data after JSON body")
+	}
+	return nil
+}
+
+// validateLimits enforces the server-side caps before any evaluation work.
+func (s *Server) validateLimits(seqLen, budget int) error {
+	if seqLen > s.cfg.MaxSeqLen {
+		return faults.Invalidf("serve: seq_len %d exceeds server limit %d", seqLen, s.cfg.MaxSeqLen)
+	}
+	if budget > s.cfg.MaxSearchBudget {
+		return faults.Invalidf("serve: search_budget %d exceeds server limit %d", budget, s.cfg.MaxSearchBudget)
+	}
+	return nil
+}
+
+// evalPlan resolves one spec through the cache/admission stack. reqCtx bounds
+// only this caller's wait; the evaluation itself runs under the server's own
+// deadline so a disconnecting client cannot kill coalesced peers, and its
+// result is cached for the retry even if nobody is left to read it.
+func (s *Server) evalPlan(reqCtx context.Context, spec transfusion.RunSpec) (transfusion.RunResult, bool, string, error) {
+	spec.Parallelism = s.cfg.Parallelism
+	key := spec.CanonicalKey()
+	res, cached, err := s.cache.Do(reqCtx, key, func() (transfusion.RunResult, error) {
+		evalCtx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
+		defer cancel()
+		if err := s.adm.acquire(evalCtx); err != nil {
+			return transfusion.RunResult{}, err
+		}
+		defer s.adm.release()
+		return transfusion.RunContext(evalCtx, spec)
+	})
+	return res, cached, key, err
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only", Status: http.StatusMethodNotAllowed})
+		return
+	}
+	start := time.Now()
+	var req PlanRequest
+	if err := decodeStrict(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := s.validateLimits(req.SeqLen, req.SearchBudget); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	spec := transfusion.RunSpec{
+		Arch: req.Arch, Model: req.Model, SeqLen: req.SeqLen, System: req.System,
+		Batch: req.Batch, SearchBudget: req.SearchBudget, Causal: req.Causal,
+	}
+	res, cached, key, err := s.evalPlan(r.Context(), spec)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PlanResponse{
+		Result: res, Cached: cached, Key: key,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only", Status: http.StatusMethodNotAllowed})
+		return
+	}
+	start := time.Now()
+	var req CompareRequest
+	if err := decodeStrict(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := s.validateLimits(req.SeqLen, req.SearchBudget); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// Route each system through the same cache/admission stack as /v1/plan,
+	// so a compare shares evaluations with plans (and other compares) of the
+	// same workload.
+	resp := CompareResponse{Results: make([]transfusion.RunResult, 0, 5)}
+	for _, name := range transfusion.SystemNames() {
+		spec := transfusion.RunSpec{
+			Arch: req.Arch, Model: req.Model, SeqLen: req.SeqLen, System: name,
+			Batch: req.Batch, SearchBudget: req.SearchBudget,
+		}
+		res, cached, _, err := s.evalPlan(r.Context(), spec)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		if cached {
+			resp.CachedResults++
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		data, err := snap.JSON()
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data) //nolint:errcheck
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	snap.WriteText(w) //nolint:errcheck
+}
+
+// handleTrace serves the Chrome trace_event export of the DPipe schedules for
+// a workload: GET /debug/trace?arch=edge&model=bert&seq=4096&epochs=6.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	seq, err := strconv.Atoi(strings.TrimSpace(q.Get("seq")))
+	if err != nil {
+		s.writeError(w, faults.Invalidf("serve: bad seq parameter %q", q.Get("seq")))
+		return
+	}
+	epochs := 6
+	if e := q.Get("epochs"); e != "" {
+		epochs, err = strconv.Atoi(e)
+		if err != nil || epochs < 1 || epochs > 64 {
+			s.writeError(w, faults.Invalidf("serve: bad epochs parameter %q", e))
+			return
+		}
+	}
+	if err := s.validateLimits(seq, 0); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	data, err := transfusion.ChromeTraceSchedule(q.Get("arch"), q.Get("model"), seq, epochs)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("inline; filename=%q", "trace.json"))
+	w.Write(data) //nolint:errcheck
+}

@@ -1,0 +1,142 @@
+package tiling
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/model"
+)
+
+// The Table 2 formulas are closed-form polynomials; these reference
+// implementations re-derive every count by brute-force element enumeration —
+// one increment per buffered element, term by term — so an algebra slip in
+// the closed forms (a swapped factor, a lost coefficient) cannot survive
+// unnoticed.
+
+// countElems increments once per element of an extents-shaped tensor.
+func countElems(extents ...int) int64 {
+	n := int64(0)
+	idx := make([]int, len(extents))
+	for {
+		n++
+		i := len(extents) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < extents[i] {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return n
+		}
+	}
+}
+
+// refQKV enumerates B*D*(4P + 3*M1*M0) + 3*D*H*E + 2*B*H*P.
+func refQKV(c Config, h, e int) int64 {
+	n := countElems(c.B, c.D, 4*c.P)
+	n += countElems(c.B, c.D, 3*c.M1*c.M0)
+	n += countElems(3, c.D, h, e)
+	n += countElems(2, c.B, h, c.P)
+	return n
+}
+
+// refMHA enumerates B*H*E*(P + 2*M1*M0) + B*H*P*(2 + 2F) + 4*M0*P' + 18*P'.
+func refMHA(c Config, h, e, f, pp int) int64 {
+	n := countElems(c.B, h, e, c.P)
+	n += countElems(c.B, h, e, 2*c.M1*c.M0)
+	n += countElems(c.B, h, c.P, 2+2*f)
+	n += countElems(4, c.M0, pp)
+	n += countElems(18, pp)
+	return n
+}
+
+// refLayerNorm enumerates 3*B*H*F*P + 4*H*F*P'.
+func refLayerNorm(c Config, h, f, pp int) int64 {
+	return countElems(3, c.B, h, f, c.P) + countElems(4, h, f, pp)
+}
+
+// refFFN enumerates H*F*(2*B*P + S) + S*(P + 2) + 2*S*P'.
+func refFFN(c Config, h, f, pp int) int64 {
+	n := countElems(h, f, 2*c.B, c.P)
+	n += countElems(h, f, c.S)
+	n += countElems(c.S, c.P)
+	n += countElems(c.S, 2)
+	n += countElems(2, c.S, pp)
+	return n
+}
+
+// TestBufferFormulasMatchEnumerationOracle cross-checks the four closed-form
+// buffer requirements against brute-force element enumeration over ~1k
+// seeded random tiles, and BufferReq against the max of the four.
+func TestBufferFormulasMatchEnumerationOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	spec := arch.Edge()
+	for i := 0; i < 1000; i++ {
+		c := Config{
+			B:  1 + rng.Intn(6),
+			D:  1 + rng.Intn(6),
+			P:  1 + rng.Intn(6),
+			M1: 1 + rng.Intn(6),
+			M0: 1 + rng.Intn(6),
+			S:  1 + rng.Intn(6),
+		}
+		h := 1 + rng.Intn(6)
+		e := 1 + rng.Intn(6)
+		f := e
+		pp := c.PPrime(spec)
+
+		if got, want := QKVBufferReq(c, h, e), refQKV(c, h, e); got != want {
+			t.Fatalf("case %d %v h=%d e=%d: QKV = %d, oracle %d", i, c, h, e, got, want)
+		}
+		if got, want := MHABufferReq(c, h, e, f, pp), refMHA(c, h, e, f, pp); got != want {
+			t.Fatalf("case %d %v h=%d e=%d f=%d pp=%d: MHA = %d, oracle %d", i, c, h, e, f, pp, got, want)
+		}
+		if got, want := LayerNormBufferReq(c, h, f, pp), refLayerNorm(c, h, f, pp); got != want {
+			t.Fatalf("case %d %v: LayerNorm = %d, oracle %d", i, c, got, want)
+		}
+		if got, want := FFNBufferReq(c, h, f, pp), refFFN(c, h, f, pp); got != want {
+			t.Fatalf("case %d %v: FFN = %d, oracle %d", i, c, got, want)
+		}
+	}
+}
+
+// TestBufferReqIsMaxOfStagesOnRealTiles checks, for every model on both
+// evaluation architectures across the full sequence sweep, that BufferReq is
+// exactly the maximum stage requirement and Feasible agrees with the
+// validity + capacity definition.
+func TestBufferReqIsMaxOfStagesOnRealTiles(t *testing.T) {
+	for _, spec := range []arch.Spec{arch.Cloud(), arch.Edge()} {
+		for _, m := range model.All() {
+			for _, seq := range model.SeqLengths() {
+				w := Workload{Model: m, SeqLen: seq, Batch: model.EvalBatch}
+				c, err := HeuristicTile(w, spec)
+				if err != nil {
+					t.Fatalf("%s/%s/%d: %v", spec.Name, m.Name, seq, err)
+				}
+				pp := c.PPrime(spec)
+				stages := []int64{
+					QKVBufferReq(c, m.H, m.E),
+					MHABufferReq(c, m.H, m.E, m.F, pp),
+					LayerNormBufferReq(c, m.H, m.F, pp),
+					FFNBufferReq(c, m.H, m.F, pp),
+				}
+				max := stages[0]
+				for _, s := range stages[1:] {
+					if s > max {
+						max = s
+					}
+				}
+				if got := BufferReq(c, w, spec); got != max {
+					t.Errorf("%s/%s/%d: BufferReq = %d, max stage %d", spec.Name, m.Name, seq, got, max)
+				}
+				wantFeasible := c.Validate(w) == nil && max <= spec.BufferElements()
+				if got := Feasible(c, w, spec); got != wantFeasible {
+					t.Errorf("%s/%s/%d: Feasible = %t, definition says %t", spec.Name, m.Name, seq, got, wantFeasible)
+				}
+			}
+		}
+	}
+}
