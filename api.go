@@ -190,26 +190,29 @@ func (s RunSpec) validate() error {
 
 // CanonicalKey returns a deterministic string identifying the evaluation the
 // spec selects, for use as a cache or coalescing key: two specs with the same
-// key produce bit-identical RunResults. Defaulted fields are normalised
-// (Batch 0 becomes the evaluation default, SearchBudget 0 the default rollout
-// budget), so a spec that spells the default explicitly keys identically to
-// one that leaves it zero. Progress and Parallelism are deliberately
-// excluded: hooks do not change the result, and results are bit-identical at
-// every parallelism setting.
+// key produce bit-identical RunResults. String fields are %q-quoted so the
+// key is injective — field values containing the separator characters cannot
+// collide with a different spec. Defaulted fields are normalised (Batch 0
+// becomes the evaluation default; SearchBudget <= 0 the default rollout
+// budget, matching resolve, which only overrides the budget when positive),
+// so a spec that spells the default explicitly keys identically to one that
+// leaves it zero. Progress and Parallelism are deliberately excluded: hooks
+// do not change the result, and results are bit-identical at every
+// parallelism setting.
 func (s RunSpec) CanonicalKey() string {
 	batch := s.Batch
 	if batch == 0 {
 		batch = model.EvalBatch
 	}
 	budget := s.SearchBudget
-	if budget == 0 {
+	if budget <= 0 {
 		budget = pipeline.DefaultOptions().TileSeekIterations
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "arch=%s|archfile=%s|model=%s|seq=%d|sys=%s|batch=%d|budget=%d|causal=%t|timeout=%s",
+	fmt.Fprintf(&b, "arch=%q|archfile=%q|model=%q|seq=%d|sys=%q|batch=%d|budget=%d|causal=%t|timeout=%s",
 		s.Arch, s.ArchFile, s.Model, s.SeqLen, s.System, batch, budget, s.Causal, s.SearchTimeout)
 	if cm := s.CustomModel; cm != nil {
-		fmt.Fprintf(&b, "|custom=%s/%d/%d/%d/%d/%s",
+		fmt.Fprintf(&b, "|custom=%q/%d/%d/%d/%d/%q",
 			cm.Name, cm.Heads, cm.HeadDim, cm.FFNHidden, cm.Layers, cm.Activation)
 	}
 	return b.String()

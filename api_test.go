@@ -349,4 +349,13 @@ func TestCanonicalKeyNormalisesDefaults(t *testing.T) {
 		}
 		seen[k] = i
 	}
+
+	// Injectivity: string fields containing the key's own separator characters
+	// must not let two distinct specs collide. Under an unquoted encoding both
+	// of these would render as arch=a|archfile=b|...
+	smuggled := RunSpec{Arch: "a|archfile=b", SeqLen: 4096, System: "transfusion", Model: "bert"}
+	split := RunSpec{Arch: "a", ArchFile: "b", SeqLen: 4096, System: "transfusion", Model: "bert"}
+	if smuggled.CanonicalKey() == split.CanonicalKey() {
+		t.Fatalf("separator-smuggling specs collide: %s", smuggled.CanonicalKey())
+	}
 }

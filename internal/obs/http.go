@@ -28,6 +28,25 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// Unwrap exposes the underlying writer so http.ResponseController can reach
+// its optional interfaces (http.Flusher, http.Hijacker, io.ReaderFrom)
+// through the wrapper.
+func (r *statusRecorder) Unwrap() http.ResponseWriter {
+	return r.ResponseWriter
+}
+
+// Flush forwards to the underlying writer's Flusher, if any, so streaming
+// handlers keep working behind the middleware. Flushing commits the response
+// headers, which net/http treats as an implicit 200 when none were written.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		if r.status == 0 {
+			r.status = http.StatusOK
+		}
+		f.Flush()
+	}
+}
+
 // HTTPMetrics wraps a handler with request accounting into reg under the
 // given metric prefix (e.g. "http"):
 //

@@ -44,6 +44,35 @@ func TestHTTPMetricsRecordsRequests(t *testing.T) {
 	}
 }
 
+// The middleware must not strip the underlying writer's optional interfaces:
+// streaming handlers reach Flush directly (or via http.ResponseController,
+// which finds it through Unwrap), and a flushed-but-never-written response
+// still records as the implicit 200.
+func TestHTTPMetricsForwardsFlush(t *testing.T) {
+	reg := NewRegistry()
+	h := HTTPMetrics(reg, "http", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Error("middleware writer lost http.Flusher")
+			return
+		}
+		f.Flush()
+	}))
+	rw := httptest.NewRecorder() // httptest.ResponseRecorder implements Flusher
+	h.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/", nil))
+	if !rw.Flushed {
+		t.Fatal("Flush was not forwarded to the underlying writer")
+	}
+	if got := reg.Counter("http.status_2xx").Value(); got != 1 {
+		t.Fatalf("http.status_2xx = %d, want 1 (flush commits implicit 200)", got)
+	}
+
+	rec := &statusRecorder{ResponseWriter: httptest.NewRecorder()}
+	if _, ok := any(rec).(interface{ Unwrap() http.ResponseWriter }); !ok {
+		t.Fatal("statusRecorder does not expose Unwrap for http.ResponseController")
+	}
+}
+
 // A nil registry must pass the handler through without wrapping, so the
 // unconfigured path costs nothing.
 func TestHTTPMetricsNilRegistryPassthrough(t *testing.T) {

@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"sync"
 
 	"github.com/fusedmindlab/transfusion"
@@ -43,6 +44,9 @@ type planCall struct {
 	done chan struct{}
 	res  transfusion.RunResult
 	err  error
+	// complete is set once eval has returned; observed false in the deferred
+	// cleanup it means eval panicked out of the call.
+	complete bool
 }
 
 func newPlanCache(max int, reg *obs.Registry) *planCache {
@@ -95,10 +99,11 @@ func (c *planCache) Do(ctx context.Context, key string, eval func() (transfusion
 
 	defer func() {
 		// Unblock joiners even if eval panics (the panic keeps propagating to
-		// the API recover boundary); an unfilled call reads as an internal
-		// error rather than a zero result.
-		if call.err == nil && !call.filled() {
-			call.err = faults.Invalidf("serve: evaluation of %s aborted", key)
+		// the API recover boundary); joiners of a panicked evaluation get the
+		// same internal-error classification (500) the leader's recover
+		// boundary reports, never a zero result or a caller-fault 400.
+		if !call.complete {
+			call.err = &faults.InternalError{Panic: fmt.Sprintf("serve: evaluation of %s aborted", key)}
 		}
 		c.inflightG.Add(-1)
 		close(call.done)
@@ -108,6 +113,7 @@ func (c *planCache) Do(ctx context.Context, key string, eval func() (transfusion
 	}()
 
 	call.res, call.err = eval()
+	call.complete = true
 	if call.err != nil {
 		return transfusion.RunResult{}, false, call.err
 	}
@@ -115,12 +121,6 @@ func (c *planCache) Do(ctx context.Context, key string, eval func() (transfusion
 	c.insert(key, call.res)
 	c.mu.Unlock()
 	return call.res, false, nil
-}
-
-// filled reports whether eval assigned a result; distinguishes a zero-valued
-// success from an aborted call in the panic path above.
-func (call *planCall) filled() bool {
-	return call.res.System != "" || call.err != nil
 }
 
 // insert adds a completed result, evicting from the LRU tail. Caller holds mu.

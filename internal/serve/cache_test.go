@@ -207,6 +207,16 @@ func TestPlanCachePanicUnblocksJoiners(t *testing.T) {
 		if err == nil {
 			t.Fatal("joiner got nil error from a panicked evaluation")
 		}
+		// A panicked evaluation is a server-side failure: joiners must see the
+		// same internal-error classification (500) the leader's recover
+		// boundary produces, never a caller-fault 400.
+		var ie *faults.InternalError
+		if !errors.As(err, &ie) {
+			t.Fatalf("joiner error %v is not *faults.InternalError", err)
+		}
+		if got := faults.HTTPStatus(err); got != 500 {
+			t.Fatalf("joiner error maps to HTTP %d, want 500", got)
+		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("joiner deadlocked on a panicked evaluation")
 	}

@@ -106,12 +106,16 @@ type Server struct {
 // New builds a Server. reg receives the serving metrics and is exposed at
 // /metrics; nil disables metrics (the endpoint then serves an empty
 // snapshot). baseCtx carries cross-request facilities (logger); nil means
-// background.
+// background. Only its values are kept: cancellation is detached, so a
+// caller passing its shutdown-signal context (as cmd/transfusiond does)
+// cannot abort in-flight evaluations mid-drain — drain semantics belong to
+// the context given to Serve.
 func New(cfg Config, reg *obs.Registry, baseCtx context.Context) *Server {
 	cfg = cfg.withDefaults()
 	if baseCtx == nil {
 		baseCtx = context.Background()
 	}
+	baseCtx = context.WithoutCancel(baseCtx)
 	if reg != nil {
 		baseCtx = obs.WithMetrics(baseCtx, reg)
 	}
@@ -148,15 +152,14 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		defer cancel()
 		shutdownErr <- srv.Shutdown(drainCtx)
 	}()
-	if err := srv.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		return err
+	err := srv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		// srv.Serve returns ErrServerClosed the moment Shutdown is called,
+		// while the drain is still running. Block until Shutdown finishes (or
+		// DrainTimeout expires) so in-flight plans complete before we return.
+		return <-shutdownErr
 	}
-	select {
-	case err := <-shutdownErr:
-		return err
-	default:
-		return nil
-	}
+	return err
 }
 
 // PlanRequest is the POST /v1/plan body. Field semantics follow
@@ -251,10 +254,18 @@ func decodeStrict(r *http.Request, v interface{}) error {
 	return nil
 }
 
-// validateLimits enforces the server-side caps before any evaluation work.
+// validateLimits enforces the server-side bounds before any evaluation work —
+// including before the cache key is computed, so out-of-range values can never
+// reach (and fragment) the plan cache.
 func (s *Server) validateLimits(seqLen, budget int) error {
+	if seqLen <= 0 {
+		return faults.Invalidf("serve: non-positive seq_len %d", seqLen)
+	}
 	if seqLen > s.cfg.MaxSeqLen {
 		return faults.Invalidf("serve: seq_len %d exceeds server limit %d", seqLen, s.cfg.MaxSeqLen)
+	}
+	if budget < 0 {
+		return faults.Invalidf("serve: negative search_budget %d (0 selects the default)", budget)
 	}
 	if budget > s.cfg.MaxSearchBudget {
 		return faults.Invalidf("serve: search_budget %d exceeds server limit %d", budget, s.cfg.MaxSearchBudget)

@@ -127,6 +127,8 @@ func TestPlanEndpointStatusMapping(t *testing.T) {
 		{"seq over server cap", `{"arch":"edge","model":"bert","seq_len":8192,"system":"unfused"}`, http.StatusBadRequest},
 		{"budget over server cap", `{"arch":"edge","model":"bert","seq_len":1024,"system":"transfusion","search_budget":1000000}`, http.StatusBadRequest},
 		{"negative batch", `{"arch":"edge","model":"bert","seq_len":1024,"system":"unfused","batch":-1}`, http.StatusBadRequest},
+		{"negative seq", `{"arch":"edge","model":"bert","seq_len":-1,"system":"unfused"}`, http.StatusBadRequest},
+		{"negative budget", `{"arch":"edge","model":"bert","seq_len":1024,"system":"unfused","search_budget":-1}`, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -333,20 +335,25 @@ func TestServeGracefulShutdownDrainsInFlight(t *testing.T) {
 	time.Sleep(100 * time.Millisecond)
 	cancel()
 	select {
-	case code := <-reqDone:
-		if code != http.StatusOK {
-			t.Fatalf("in-flight request finished with %d, want 200", code)
-		}
-	case <-time.After(30 * time.Second):
-		t.Fatal("in-flight request did not complete during drain")
-	}
-	select {
 	case err := <-served:
 		if err != nil {
 			t.Fatalf("Serve returned %v", err)
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("Serve did not return after drain")
+	}
+	// Serve must block until the drain finishes: by the time it returns, the
+	// in-flight evaluation (seconds of search) has completed and its response
+	// is on the wire, so the client observes it almost immediately. A short
+	// window here catches a Serve that returns while Shutdown is still
+	// draining.
+	select {
+	case code := <-reqDone:
+		if code != http.StatusOK {
+			t.Fatalf("in-flight request finished with %d, want 200", code)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Serve returned before the in-flight request completed")
 	}
 	if !s.draining.Load() {
 		t.Fatal("server did not mark itself draining")
