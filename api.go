@@ -53,6 +53,16 @@ type RunSpec struct {
 	// only to itself and earlier positions). The paper's evaluation uses
 	// the bidirectional formulation; this is the decoder extension.
 	Causal bool
+	// HeuristicOnly skips the tile search entirely and evaluates
+	// search-backed systems (TransFusion) on the static heuristic tile; the
+	// result reports Degraded with a DegradedReason. It is the bottom tier
+	// of transfusiond's overload degradation ladder: the heuristic tile is
+	// always a valid configuration, so a saturated server can still answer
+	// cheaply instead of shedding. Baselines that never search are
+	// unaffected. The flag changes the result, so it is part of
+	// CanonicalKey: degraded results can never overwrite or serve for
+	// full-fidelity cache entries.
+	HeuristicOnly bool
 	// ArchFile, when set, loads the architecture from a JSON description
 	// instead of a preset (see internal/arch's schema); Arch is ignored.
 	ArchFile string
@@ -209,8 +219,8 @@ func (s RunSpec) CanonicalKey() string {
 		budget = pipeline.DefaultOptions().TileSeekIterations
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "arch=%q|archfile=%q|model=%q|seq=%d|sys=%q|batch=%d|budget=%d|causal=%t|timeout=%s",
-		s.Arch, s.ArchFile, s.Model, s.SeqLen, s.System, batch, budget, s.Causal, s.SearchTimeout)
+	fmt.Fprintf(&b, "arch=%q|archfile=%q|model=%q|seq=%d|sys=%q|batch=%d|budget=%d|causal=%t|timeout=%s|heur=%t",
+		s.Arch, s.ArchFile, s.Model, s.SeqLen, s.System, batch, budget, s.Causal, s.SearchTimeout, s.HeuristicOnly)
 	if cm := s.CustomModel; cm != nil {
 		fmt.Fprintf(&b, "|custom=%q/%d/%d/%d/%d/%q",
 			cm.Name, cm.Heads, cm.HeadDim, cm.FFNHidden, cm.Layers, cm.Activation)
@@ -258,6 +268,7 @@ func (s RunSpec) resolve() (arch.Spec, model.Config, pipeline.System, pipeline.O
 	}
 	opts.Progress = s.Progress
 	opts.Parallelism = s.Parallelism
+	opts.SkipSearch = s.HeuristicOnly
 	return spec, m, sys, opts, batch, nil
 }
 

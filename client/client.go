@@ -1,0 +1,533 @@
+// Package client is the Go client for the transfusiond HTTP API (POST
+// /v1/plan, POST /v1/compare, GET /healthz, GET /readyz), built for an
+// unreliable network and a server that degrades under load:
+//
+//   - retries with exponential backoff and full jitter, honouring the
+//     server's Retry-After on 503 (transfusiond computes it from queue depth
+//     and its plan-latency EWMA, so obeying it spreads a thundering herd);
+//   - a circuit breaker that opens after consecutive 5xx responses and
+//     half-opens a single probe after a cooldown, so a struggling server is
+//     not hammered by a retry storm;
+//   - optional request hedging for plan lookups: plans are idempotent and
+//     cached server-side, so racing a second request after a quiet delay
+//     trims tail latency without changing any outcome;
+//   - typed errors: every non-2xx response surfaces as an *APIError carrying
+//     the status, the server's message, and any Retry-After hint.
+//
+// Responses served below full fidelity (the server's overload degradation
+// ladder or watchdog) are reported via PlanResponse.ServedDegraded, mirroring
+// the Served-Degraded response header.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/fusedmindlab/transfusion"
+)
+
+// PlanRequest is the POST /v1/plan body; field semantics follow
+// transfusion.RunSpec.
+type PlanRequest struct {
+	Arch         string `json:"arch"`
+	Model        string `json:"model"`
+	SeqLen       int    `json:"seq_len"`
+	System       string `json:"system"`
+	Batch        int    `json:"batch,omitempty"`
+	SearchBudget int    `json:"search_budget,omitempty"`
+	Causal       bool   `json:"causal,omitempty"`
+}
+
+// PlanResponse is the POST /v1/plan reply.
+type PlanResponse struct {
+	Result    transfusion.RunResult `json:"result"`
+	Cached    bool                  `json:"cached"`
+	Key       string                `json:"key"`
+	ElapsedMS float64               `json:"elapsed_ms"`
+	// ServedDegraded mirrors the Served-Degraded response header: non-empty
+	// when the server answered below full fidelity ("budget", "heuristic",
+	// "watchdog", or "search"), empty for a full-fidelity answer.
+	ServedDegraded string `json:"-"`
+}
+
+// CompareRequest is the POST /v1/compare body.
+type CompareRequest struct {
+	Arch         string `json:"arch"`
+	Model        string `json:"model"`
+	SeqLen       int    `json:"seq_len"`
+	Batch        int    `json:"batch,omitempty"`
+	SearchBudget int    `json:"search_budget,omitempty"`
+}
+
+// CompareResponse is the POST /v1/compare reply.
+type CompareResponse struct {
+	Results        []transfusion.RunResult `json:"results"`
+	CachedResults  int                     `json:"cached_results"`
+	ElapsedMS      float64                 `json:"elapsed_ms"`
+	ServedDegraded string                  `json:"-"`
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error string (or a summary of an unparseable
+	// body).
+	Message string
+	// RetryAfter is the server's Retry-After hint, 0 when absent.
+	RetryAfter time.Duration
+}
+
+// Error renders the status and message.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("transfusiond: %d: %s", e.Status, e.Message)
+}
+
+// Temporary reports whether retrying the identical request can succeed:
+// true for 5xx (overload, deadline, internal fault), false for 4xx (the
+// request itself is wrong — 400/422 are deterministic outcomes).
+func (e *APIError) Temporary() bool { return e.Status >= 500 }
+
+// ErrCircuitOpen is returned without touching the network while the client's
+// circuit breaker is open; match with errors.Is. Wait out the breaker
+// cooldown (or fix the server) before retrying.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// Options tune the client; zero values take the defaults noted per field.
+type Options struct {
+	// HTTPClient overrides the transport (default: a client with a 90s
+	// overall timeout; per-request contexts still apply).
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts after the first try (default 3;
+	// negative disables retries).
+	MaxRetries int
+	// BaseBackoff is the first retry's backoff ceiling (default 100ms);
+	// subsequent attempts double it, with full jitter.
+	BaseBackoff time.Duration
+	// MaxBackoff caps a single backoff sleep (default 5s). A server
+	// Retry-After above the cap is still honoured up to 60s.
+	MaxBackoff time.Duration
+	// BreakerThreshold is the consecutive-5xx count that opens the circuit
+	// breaker (default 5; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before half-opening
+	// a single probe request (default 10s).
+	BreakerCooldown time.Duration
+	// HedgeDelay, when positive, hedges plan lookups: if the first attempt
+	// has not answered within the delay, a second identical request races it
+	// and the first response wins. Plans are idempotent and coalesced
+	// server-side, so hedging is safe; it is off by default.
+	HedgeDelay time.Duration
+	// Seed seeds the backoff jitter for reproducibility (0 seeds from the
+	// clock).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{Timeout: 90 * time.Second}
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	} else if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 10 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = time.Now().UnixNano()
+	}
+	return o
+}
+
+// Client talks to one transfusiond instance. It is safe for concurrent use.
+type Client struct {
+	base string
+	opts Options
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	brk breaker
+}
+
+// New builds a Client for the server at baseURL (e.g.
+// "http://localhost:8080"); a trailing slash is trimmed.
+func New(baseURL string, opts Options) *Client {
+	opts = opts.withDefaults()
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+		brk: breaker{
+			threshold: opts.BreakerThreshold,
+			cooldown:  opts.BreakerCooldown,
+		},
+	}
+}
+
+// breaker is the consecutive-5xx circuit breaker. Closed it passes every
+// request; after threshold consecutive server-side failures it opens and
+// fails fast for cooldown; then it half-opens exactly one probe — the probe's
+// outcome closes or re-opens it.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	consec    int
+	openedAt  time.Time
+	probing   bool
+}
+
+// allow reports whether a request may go out now.
+func (b *breaker) allow(now time.Time) bool {
+	if b.threshold < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.consec < b.threshold {
+		return true
+	}
+	if now.Sub(b.openedAt) < b.cooldown {
+		return false
+	}
+	if b.probing {
+		return false // one half-open probe at a time
+	}
+	b.probing = true
+	return true
+}
+
+// record feeds one outcome back. serverFault marks 5xx responses and
+// transport errors; 4xx responses and successes both count as the server
+// answering coherently.
+func (b *breaker) record(serverFault bool, now time.Time) {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if !serverFault {
+		b.consec = 0
+		return
+	}
+	b.consec++
+	if b.consec >= b.threshold {
+		b.openedAt = now
+	}
+}
+
+// Plan evaluates one spec, retrying and (when configured) hedging.
+func (c *Client) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding plan request: %w", err)
+	}
+	out, err := c.withRetries(ctx, func(ctx context.Context) (interface{}, *APIError, error) {
+		return c.hedged(ctx, func(ctx context.Context) (interface{}, *APIError, error) {
+			status, header, data, err := c.post(ctx, "/v1/plan", body)
+			if err != nil {
+				return nil, nil, err
+			}
+			resp, apiErr, err := decodePlanResponse(status, header.Get("Retry-After"), data)
+			if resp != nil {
+				resp.ServedDegraded = header.Get("Served-Degraded")
+			}
+			return asAny(resp), apiErr, err
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out.(*PlanResponse), nil
+}
+
+// Compare evaluates all five systems on one workload, retrying on transient
+// failures.
+func (c *Client) Compare(ctx context.Context, req CompareRequest) (*CompareResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding compare request: %w", err)
+	}
+	out, err := c.withRetries(ctx, func(ctx context.Context) (interface{}, *APIError, error) {
+		status, header, data, err := c.post(ctx, "/v1/compare", body)
+		if err != nil {
+			return nil, nil, err
+		}
+		resp, apiErr, err := decodeCompareResponse(status, header.Get("Retry-After"), data)
+		if resp != nil {
+			resp.ServedDegraded = header.Get("Served-Degraded")
+		}
+		return asAny(resp), apiErr, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out.(*CompareResponse), nil
+}
+
+// asAny keeps a typed nil pointer from becoming a non-nil interface.
+func asAny[T any](p *T) interface{} {
+	if p == nil {
+		return nil
+	}
+	return p
+}
+
+// Healthy checks liveness (GET /healthz) — no retries, no breaker.
+func (c *Client) Healthy(ctx context.Context) error { return c.check(ctx, "/healthz") }
+
+// Ready checks readiness (GET /readyz): nil when the server is routable, an
+// *APIError (503 while draining or while the server's evaluator breaker is
+// open) otherwise. No retries, no breaker.
+func (c *Client) Ready(ctx context.Context) error { return c.check(ctx, "/readyz") }
+
+func (c *Client) check(ctx context.Context, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	return &APIError{Status: resp.StatusCode, Message: summarise(data)}
+}
+
+// attemptFn is one wire attempt: (result, API-level error, transport error).
+type attemptFn func(ctx context.Context) (interface{}, *APIError, error)
+
+// withRetries runs fn under the breaker and retry policy: transport errors
+// and Temporary API errors back off (honouring Retry-After) and retry;
+// permanent API errors and successes return immediately.
+func (c *Client) withRetries(ctx context.Context, fn attemptFn) (interface{}, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if !c.brk.allow(time.Now()) {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last error: %v)", ErrCircuitOpen, lastErr)
+			}
+			return nil, ErrCircuitOpen
+		}
+		out, apiErr, err := fn(ctx)
+		switch {
+		case err != nil:
+			// Transport-level failure: the server never answered coherently.
+			c.brk.record(true, time.Now())
+			lastErr = err
+		case apiErr != nil:
+			c.brk.record(apiErr.Temporary(), time.Now())
+			if !apiErr.Temporary() {
+				return nil, apiErr
+			}
+			lastErr = apiErr
+		default:
+			c.brk.record(false, time.Now())
+			return out, nil
+		}
+		if attempt >= c.opts.MaxRetries {
+			return nil, lastErr
+		}
+		if err := c.sleepBackoff(ctx, attempt, retryAfterOf(lastErr)); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// retryAfterOf extracts a server Retry-After hint from an error chain.
+func retryAfterOf(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter
+	}
+	return 0
+}
+
+// sleepBackoff waits before retry number attempt+1: exponential backoff with
+// full jitter, floored by the server's Retry-After hint when one was given.
+func (c *Client) sleepBackoff(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	ceil := c.opts.BaseBackoff << uint(attempt)
+	if ceil > c.opts.MaxBackoff {
+		ceil = c.opts.MaxBackoff
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(ceil) + 1))
+	c.mu.Unlock()
+	if retryAfter > d {
+		// The server knows its queue better than our jitter does.
+		d = retryAfter
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// hedged runs fn, racing a second identical attempt if the first has not
+// answered within HedgeDelay; the first response (success or failure, as long
+// as another attempt is not still in flight to fall back on) wins and the
+// loser is cancelled. With hedging disabled it is just fn.
+func (c *Client) hedged(ctx context.Context, fn attemptFn) (interface{}, *APIError, error) {
+	if c.opts.HedgeDelay <= 0 {
+		return fn(ctx)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type out struct {
+		res    interface{}
+		apiErr *APIError
+		err    error
+	}
+	ch := make(chan out, 2)
+	launch := func() { go func() { r, a, e := fn(hctx); ch <- out{r, a, e} }() }
+	launch()
+	launched, received := 1, 0
+	hedge := time.NewTimer(c.opts.HedgeDelay)
+	defer hedge.Stop()
+	for {
+		select {
+		case o := <-ch:
+			received++
+			if (o.err == nil && o.apiErr == nil) || received == launched {
+				return o.res, o.apiErr, o.err
+			}
+			// This attempt failed but its twin is still in flight: let the
+			// twin decide the outcome.
+		case <-hedge.C:
+			launch()
+			launched = 2
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+}
+
+// maxResponseBytes bounds response bodies read into memory; plan and compare
+// replies are a few KB.
+const maxResponseBytes = 8 << 20
+
+func (c *Client) post(ctx context.Context, path string, body []byte) (int, http.Header, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, data, nil
+}
+
+// errorBody is the server's JSON error shape.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// decodePlanResponse turns one wire response into a PlanResponse or an
+// *APIError. It must never panic and must tolerate arbitrary bodies — the
+// server may be fronted by proxies that answer with HTML, truncated JSON, or
+// nothing at all (FuzzClientDecode holds it to that).
+func decodePlanResponse(status int, retryAfter string, body []byte) (*PlanResponse, *APIError, error) {
+	if status == http.StatusOK {
+		var pr PlanResponse
+		if err := json.Unmarshal(body, &pr); err != nil {
+			return nil, nil, fmt.Errorf("client: undecodable 200 plan body: %w", err)
+		}
+		return &pr, nil, nil
+	}
+	return nil, apiErrorFrom(status, retryAfter, body), nil
+}
+
+// decodeCompareResponse is decodePlanResponse for /v1/compare.
+func decodeCompareResponse(status int, retryAfter string, body []byte) (*CompareResponse, *APIError, error) {
+	if status == http.StatusOK {
+		var cr CompareResponse
+		if err := json.Unmarshal(body, &cr); err != nil {
+			return nil, nil, fmt.Errorf("client: undecodable 200 compare body: %w", err)
+		}
+		return &cr, nil, nil
+	}
+	return nil, apiErrorFrom(status, retryAfter, body), nil
+}
+
+// apiErrorFrom builds the typed error for a non-200 response, tolerating
+// non-JSON bodies and junk Retry-After values.
+func apiErrorFrom(status int, retryAfter string, body []byte) *APIError {
+	e := &APIError{Status: status}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Error != "" {
+		e.Message = eb.Error
+	} else {
+		e.Message = summarise(body)
+	}
+	e.RetryAfter = parseRetryAfter(retryAfter)
+	return e
+}
+
+// summarise renders a (possibly binary, possibly huge) body as a short
+// printable message.
+func summarise(body []byte) string {
+	s := strings.TrimSpace(string(body))
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	if s == "" {
+		return "(empty response body)"
+	}
+	return strconv.Quote(s)
+}
+
+// parseRetryAfter parses a Retry-After header as delta-seconds, clamped to
+// [0, 5m]; anything unparseable (including HTTP-dates, which transfusiond
+// never sends) is 0.
+func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return time.Duration(secs) * time.Second
+}

@@ -1,0 +1,277 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/fusedmindlab/transfusion/internal/obs"
+	"github.com/fusedmindlab/transfusion/internal/serve"
+)
+
+// fastOpts keeps test retries quick and deterministic.
+func fastOpts() Options {
+	return Options{
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Seed:        1,
+	}
+}
+
+// The client round-trips against the real serving layer: plan, compare, and
+// both health endpoints.
+func TestClientAgainstRealServer(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := serve.New(serve.Config{Parallelism: 1}, reg, context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	ctx := context.Background()
+	if err := c.Healthy(ctx); err != nil {
+		t.Fatalf("Healthy: %v", err)
+	}
+	if err := c.Ready(ctx); err != nil {
+		t.Fatalf("Ready: %v", err)
+	}
+	pr, err := c.Plan(ctx, PlanRequest{Arch: "edge", Model: "bert", SeqLen: 1024, System: "unfused"})
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if pr.Result.System != "unfused" || pr.Result.Cycles <= 0 {
+		t.Fatalf("implausible plan result: %+v", pr.Result)
+	}
+	if pr.ServedDegraded != "" {
+		t.Fatalf("unloaded server served degraded: %q", pr.ServedDegraded)
+	}
+	again, err := c.Plan(ctx, PlanRequest{Arch: "edge", Model: "bert", SeqLen: 1024, System: "unfused"})
+	if err != nil {
+		t.Fatalf("Plan again: %v", err)
+	}
+	if !again.Cached || again.Result.Cycles != pr.Result.Cycles {
+		t.Fatalf("repeat plan not served from cache: %+v", again)
+	}
+	cr, err := c.Compare(ctx, CompareRequest{Arch: "edge", Model: "bert", SeqLen: 1024, SearchBudget: 4})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(cr.Results) != 5 {
+		t.Fatalf("compare results = %d, want 5", len(cr.Results))
+	}
+}
+
+// A 4xx is a deterministic outcome: surfaced as a typed permanent APIError,
+// never retried.
+func TestClientDoesNotRetryCallerErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"bad spec","status":400}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	_, err := c.Plan(context.Background(), PlanRequest{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want *APIError with 400", err)
+	}
+	if apiErr.Temporary() {
+		t.Fatal("400 reported Temporary")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retries on 4xx)", got)
+	}
+}
+
+// Transient 5xx responses are retried with backoff until the server recovers.
+func TestClientRetriesTransientErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"overloaded","status":503}`)) //nolint:errcheck
+			return
+		}
+		w.Write([]byte(`{"result":{"System":"unfused","Cycles":1},"cached":false,"key":"k"}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	pr, err := c.Plan(context.Background(), PlanRequest{})
+	if err != nil {
+		t.Fatalf("Plan after transient 503s: %v", err)
+	}
+	if pr.Result.Cycles != 1 {
+		t.Fatalf("unexpected result: %+v", pr.Result)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two 503s then success)", got)
+	}
+}
+
+// The server's Retry-After floor is honoured: with a 1-second hint the retry
+// cannot arrive earlier.
+func TestClientHonoursRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var firstAt, secondAt atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			firstAt.Store(time.Now().UnixNano())
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			secondAt.Store(time.Now().UnixNano())
+			w.Write([]byte(`{"result":{},"cached":false,"key":"k"}`)) //nolint:errcheck
+		}
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	if _, err := c.Plan(context.Background(), PlanRequest{}); err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if gap := time.Duration(secondAt.Load() - firstAt.Load()); gap < time.Second {
+		t.Fatalf("retry arrived %v after the 503, before the 1s Retry-After", gap)
+	}
+}
+
+// After threshold consecutive 5xx the breaker opens and fails fast without
+// touching the network; after the cooldown a half-open probe closes it again.
+func TestClientCircuitBreaker(t *testing.T) {
+	var calls atomic.Int64
+	var failing atomic.Bool
+	failing.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if failing.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			w.Write([]byte(`{"error":"boom","status":500}`)) //nolint:errcheck
+			return
+		}
+		w.Write([]byte(`{"result":{},"cached":false,"key":"k"}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	opts := fastOpts()
+	opts.MaxRetries = 2 // 3 attempts per call
+	opts.BreakerThreshold = 3
+	opts.BreakerCooldown = 50 * time.Millisecond
+	c := New(ts.URL, opts)
+	ctx := context.Background()
+
+	// First call: 3 attempts, all 500 — trips the breaker exactly at the
+	// threshold.
+	if _, err := c.Plan(ctx, PlanRequest{}); err == nil {
+		t.Fatal("failing server produced no error")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	// Second call: breaker is open — fails fast, no network traffic.
+	if _, err := c.Plan(ctx, PlanRequest{}); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("open breaker let a request through (%d calls)", got)
+	}
+	// After the cooldown the half-open probe goes through; the server has
+	// recovered, so the probe succeeds and the breaker closes.
+	failing.Store(false)
+	time.Sleep(60 * time.Millisecond)
+	if _, err := c.Plan(ctx, PlanRequest{}); err != nil {
+		t.Fatalf("post-cooldown probe failed: %v", err)
+	}
+	if _, err := c.Plan(ctx, PlanRequest{}); err != nil {
+		t.Fatalf("closed breaker rejected a request: %v", err)
+	}
+}
+
+// A hedged plan lookup returns as soon as either attempt answers: a stalled
+// first request does not hold the response hostage.
+func TestClientHedgingTrimsTailLatency(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// First attempt stalls until the test ends.
+			select {
+			case <-release:
+			case <-r.Context().Done():
+			}
+			return
+		}
+		w.Write([]byte(`{"result":{},"cached":true,"key":"k"}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	opts := fastOpts()
+	opts.HedgeDelay = 20 * time.Millisecond
+	c := New(ts.URL, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	pr, err := c.Plan(ctx, PlanRequest{})
+	if err != nil {
+		t.Fatalf("hedged Plan: %v", err)
+	}
+	if !pr.Cached {
+		t.Fatalf("unexpected response: %+v", pr)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hedged response took %v; the stalled first attempt won", elapsed)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2 (primary + hedge)", got)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"1", time.Second},
+		{" 2 ", 2 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"nonsense", 0},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0},
+		{"99999", 300 * time.Second},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDecodePlanResponse(t *testing.T) {
+	pr, apiErr, err := decodePlanResponse(200, "", []byte(`{"result":{"Cycles":42},"cached":true,"key":"k"}`))
+	if err != nil || apiErr != nil || pr == nil || pr.Result.Cycles != 42 || !pr.Cached {
+		t.Fatalf("good 200 decode = %+v, %v, %v", pr, apiErr, err)
+	}
+	if _, _, err := decodePlanResponse(200, "", []byte(`<html>gateway error</html>`)); err == nil {
+		t.Fatal("undecodable 200 body produced no error")
+	}
+	_, apiErr, err = decodePlanResponse(503, "7", []byte(`{"error":"overloaded","status":503}`))
+	if err != nil || apiErr == nil || apiErr.Status != 503 || apiErr.RetryAfter != 7*time.Second || apiErr.Message != "overloaded" {
+		t.Fatalf("503 decode = %+v, %v", apiErr, err)
+	}
+	_, apiErr, _ = decodePlanResponse(502, "", []byte("Bad Gateway"))
+	if apiErr == nil || apiErr.Status != 502 || apiErr.Message == "" {
+		t.Fatalf("non-JSON 502 decode = %+v", apiErr)
+	}
+	if !apiErr.Temporary() {
+		t.Fatal("502 reported permanent")
+	}
+}

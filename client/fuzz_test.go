@@ -1,0 +1,55 @@
+package client
+
+import (
+	"testing"
+)
+
+// FuzzClientDecode holds the response decoders to their contract: whatever
+// bytes a proxy or a half-dead server answers with, decoding never panics,
+// never returns a response and an error together, and always produces a
+// typed *APIError for non-200 statuses.
+func FuzzClientDecode(f *testing.F) {
+	f.Add(200, "", []byte(`{"result":{"Cycles":1},"cached":false,"key":"k"}`))
+	f.Add(200, "", []byte(`{"results":[{}],"cached_results":1}`))
+	f.Add(200, "", []byte(`<html>gateway error</html>`))
+	f.Add(200, "", []byte(``))
+	f.Add(400, "", []byte(`{"error":"bad spec","status":400}`))
+	f.Add(503, "7", []byte(`{"error":"overloaded","status":503}`))
+	f.Add(503, "Wed, 21 Oct 2015 07:28:00 GMT", []byte(`Bad Gateway`))
+	f.Add(500, "-1", []byte{0xff, 0xfe, 0x00})
+	f.Add(504, "99999999999999999999", []byte(`{"error":`))
+	f.Fuzz(func(t *testing.T, status int, retryAfter string, body []byte) {
+		pr, planErr, err := decodePlanResponse(status, retryAfter, body)
+		checkDecode(t, status, pr != nil, planErr, err)
+		cr, cmpErr, err := decodeCompareResponse(status, retryAfter, body)
+		checkDecode(t, status, cr != nil, cmpErr, err)
+	})
+}
+
+func checkDecode(t *testing.T, status int, gotResp bool, apiErr *APIError, err error) {
+	t.Helper()
+	if status == 200 {
+		if apiErr != nil {
+			t.Fatalf("200 produced an APIError: %v", apiErr)
+		}
+		if gotResp == (err != nil) {
+			t.Fatalf("200 decode: resp=%t err=%v — want exactly one", gotResp, err)
+		}
+		return
+	}
+	if gotResp || err != nil {
+		t.Fatalf("non-200 decode: resp=%t err=%v — want neither", gotResp, err)
+	}
+	if apiErr == nil {
+		t.Fatalf("status %d produced no APIError", status)
+	}
+	if apiErr.Status != status {
+		t.Fatalf("APIError.Status = %d, want %d", apiErr.Status, status)
+	}
+	if apiErr.Message == "" {
+		t.Fatal("APIError with empty message")
+	}
+	if apiErr.RetryAfter < 0 || apiErr.RetryAfter > 300e9 {
+		t.Fatalf("RetryAfter %v outside [0, 5m]", apiErr.RetryAfter)
+	}
+}

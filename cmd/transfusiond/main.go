@@ -1,15 +1,22 @@
 // Command transfusiond serves the TransFusion analytical model over HTTP:
 // plan evaluations (POST /v1/plan), five-system comparisons (POST
-// /v1/compare), health (GET /healthz), metrics (GET /metrics), and DPipe
-// schedule traces (GET /debug/trace). Identical requests are answered from an
-// LRU plan cache with singleflight coalescing; overload is shed with 503 +
-// Retry-After instead of queueing unbounded; SIGTERM drains in-flight plans
-// before exiting.
+// /v1/compare), liveness (GET /healthz), readiness (GET /readyz), metrics
+// (GET /metrics), and DPipe schedule traces (GET /debug/trace). Identical
+// requests are answered from an LRU plan cache with singleflight coalescing.
+// Overload steps requests down a degradation ladder (reduced search budget,
+// then heuristic-tile-only) before shedding with 503 + a computed
+// Retry-After; a watchdog converts stuck evaluations into degraded answers.
+// SIGTERM flips /readyz to draining, waits -ready-delay, then drains
+// in-flight plans before exiting.
 //
 // Usage:
 //
 //	transfusiond -addr :8080
 //	curl -s localhost:8080/v1/plan -d '{"arch":"edge","model":"bert","seq_len":4096,"system":"transfusion"}'
+//
+// For resilience testing, -chaos injects deterministic faults at named sites:
+//
+//	transfusiond -chaos 'serve.cache.leader=latency:2s@every=5' -chaos-seed 42
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"time"
 
 	"github.com/fusedmindlab/transfusion"
+	"github.com/fusedmindlab/transfusion/internal/chaos"
 	"github.com/fusedmindlab/transfusion/internal/serve"
 )
 
@@ -43,6 +51,11 @@ func run() error {
 	maxBudget := flag.Int("max-budget", 1024, "largest per-request TileSeek rollout budget accepted")
 	parallelism := flag.Int("parallelism", 0, "per-evaluation worker-pool size (0 = GOMAXPROCS; results identical at any setting)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound for in-flight plans")
+	reducedBudget := flag.Int("reduced-budget", 16, "search budget cap under the degradation ladder's middle tier")
+	watchdogTimeout := flag.Duration("watchdog", 0, "wait before the watchdog serves a degraded answer for a stuck evaluation (0 = half the request timeout, negative disables)")
+	readyDelay := flag.Duration("ready-delay", 0, "pause between flipping /readyz to draining and closing the listener on shutdown")
+	chaosSpec := flag.String("chaos", "", "fault-injection schedule, e.g. 'serve.cache.leader=latency:2s@every=5;serve.admission=error@p=0.01' (empty disables)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for probabilistic -chaos schedules (deterministic replay)")
 	logLevel := flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
 	flag.Parse()
@@ -53,11 +66,20 @@ func run() error {
 	}
 	logger := transfusion.NewLogger(os.Stderr, level, *logJSON)
 
-	// SIGTERM/SIGINT starts the drain: healthz flips to draining, the
-	// listener closes, and in-flight plans get drain-timeout to finish.
+	// SIGTERM/SIGINT starts the drain: readyz flips to draining, ready-delay
+	// later the listener closes, and in-flight plans get drain-timeout to
+	// finish. Liveness (healthz) stays OK throughout.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	ctx = transfusion.WithLogger(ctx, logger)
+	if *chaosSpec != "" {
+		inj, err := chaos.Parse(*chaosSpec, *chaosSeed)
+		if err != nil {
+			return err
+		}
+		ctx = chaos.With(ctx, inj)
+		logger.Warn("transfusiond: fault injection armed", "schedule", *chaosSpec, "seed", *chaosSeed)
+	}
 	metrics := transfusion.NewMetrics()
 
 	srv := serve.New(serve.Config{
@@ -69,6 +91,9 @@ func run() error {
 		MaxSearchBudget: *maxBudget,
 		Parallelism:     *parallelism,
 		DrainTimeout:    *drainTimeout,
+		ReducedBudget:   *reducedBudget,
+		WatchdogTimeout: *watchdogTimeout,
+		ReadyDelay:      *readyDelay,
 	}, metrics, ctx)
 
 	l, err := net.Listen("tcp", *addr)

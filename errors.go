@@ -19,6 +19,11 @@ import (
 //	                   canceled or its deadline passed (the error also
 //	                   matches context.Canceled / context.DeadlineExceeded
 //	                   as appropriate);
+//	ErrOverloaded      an admission controller refused the work because the
+//	                   system is saturated past its degradation ladder; the
+//	                   request is fine — back off and retry (the client
+//	                   package does this automatically, honoring the
+//	                   server's Retry-After);
 //	*InternalError     an internal invariant broke. Every public entry point
 //	                   runs behind a recover() boundary, so a bug below the
 //	                   API surfaces as a typed error carrying the panic value
@@ -28,6 +33,7 @@ var (
 	ErrInfeasible      = faults.ErrInfeasible
 	ErrBudgetExhausted = faults.ErrBudgetExhausted
 	ErrCanceled        = faults.ErrCanceled
+	ErrOverloaded      = faults.ErrOverloaded
 )
 
 // InternalError is a recovered panic from below the public API; match with
@@ -36,6 +42,6 @@ type InternalError = faults.InternalError
 
 // HTTPStatus maps an error from the taxonomy onto the HTTP status a serving
 // layer should answer with: 400 for ErrInvalidSpec, 422 for ErrInfeasible and
-// ErrBudgetExhausted, 504 for ErrCanceled, 500 otherwise (200 for nil). The
-// transfusiond daemon uses exactly this mapping.
+// ErrBudgetExhausted, 504 for ErrCanceled, 503 for ErrOverloaded, 500
+// otherwise (200 for nil). The transfusiond daemon uses exactly this mapping.
 func HTTPStatus(err error) int { return faults.HTTPStatus(err) }

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/chaos"
 	"github.com/fusedmindlab/transfusion/internal/einsum"
 	"github.com/fusedmindlab/transfusion/internal/faults"
 	"github.com/fusedmindlab/transfusion/internal/graph"
@@ -301,6 +302,10 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 	}
 
 	cells := reg.Counter("dpipe.dp_cells") // nil-safe on a nil registry
+	// Fault-injection site, struck once per candidate schedule evaluation on
+	// both the serial and the pooled path; nil (a single branch) when no
+	// injector is attached to ctx.
+	chaosSite := chaos.SiteFrom(ctx, chaos.SiteDPipeCandidate)
 	workers := resolveParallelism(opts.Parallelism)
 	if workers > len(cs.list) {
 		workers = len(cs.list)
@@ -315,6 +320,7 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 		var wg sync.WaitGroup
 		var panicMu sync.Mutex
 		var panicVal any
+		var injected error
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
 			go func() {
@@ -335,6 +341,14 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 					if i >= len(cs.list) || ctx.Err() != nil {
 						return
 					}
+					if err := chaosSite.Strike(ctx); err != nil {
+						panicMu.Lock()
+						if injected == nil {
+							injected = err
+						}
+						panicMu.Unlock()
+						return
+					}
 					c := cs.list[i]
 					results[i] = evaluate(p, spec, c.order, c.part.First, opts.ExplicitEpochs, nil, cells)
 				}
@@ -347,12 +361,18 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 		if ctx.Err() != nil {
 			return Result{}, faults.Canceled(ctx)
 		}
+		if injected != nil {
+			return Result{}, fmt.Errorf("dpipe: problem %s: %w", p.Name, injected)
+		}
 	} else {
 		for i, c := range cs.list {
 			// Cancellation is checked per candidate schedule: a canceled plan
 			// returns promptly instead of finishing the DP sweep.
 			if ctx.Err() != nil {
 				return Result{}, faults.Canceled(ctx)
+			}
+			if err := chaosSite.Strike(ctx); err != nil {
+				return Result{}, fmt.Errorf("dpipe: problem %s: %w", p.Name, err)
 			}
 			results[i] = evaluate(p, spec, c.order, c.part.First, opts.ExplicitEpochs, nil, cells)
 		}

@@ -38,6 +38,11 @@ var (
 	// ErrCanceled marks work abandoned because the caller's context was
 	// canceled (or its deadline passed).
 	ErrCanceled = errors.New("canceled")
+	// ErrOverloaded marks work refused by an admission controller because
+	// the system is saturated beyond its degradation ladder — nothing about
+	// the request itself is wrong, and retrying after backing off is the
+	// correct reaction (serving layers answer 503 + Retry-After).
+	ErrOverloaded = errors.New("overloaded")
 )
 
 // Invalidf builds an error matching ErrInvalidSpec with a formatted message.
@@ -55,6 +60,12 @@ func Infeasiblef(format string, args ...interface{}) error {
 // message.
 func Budgetf(format string, args ...interface{}) error {
 	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrBudgetExhausted)
+}
+
+// Overloadedf builds an error matching ErrOverloaded with a formatted
+// message.
+func Overloadedf(format string, args ...interface{}) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrOverloaded)
 }
 
 // canceledError pairs ErrCanceled with the underlying context cause so both
@@ -110,11 +121,12 @@ func (e *InternalError) Unwrap() error {
 //	ErrCanceled        504 Gateway Timeout   — the request deadline expired (a
 //	                                           client that hung up never reads
 //	                                           the status anyway);
+//	ErrOverloaded      503 Service Unavailable — admission shed the request
+//	                                           past the degradation ladder;
+//	                                           serving layers add Retry-After;
 //	anything else      500 Internal Server Error (including *InternalError).
 //
-// A nil error maps to 200 OK. Load shedding (503 + Retry-After) is not an
-// error classification: it is an admission decision made before any
-// evaluation starts, so serving layers emit it directly.
+// A nil error maps to 200 OK.
 func HTTPStatus(err error) int {
 	switch {
 	case err == nil:
@@ -125,6 +137,8 @@ func HTTPStatus(err error) int {
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, ErrCanceled):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}

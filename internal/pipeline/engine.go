@@ -68,6 +68,13 @@ type Options struct {
 	// by tests and external tools to constrain or stress the search (e.g. a
 	// deliberately infeasible space exercises the degradation path).
 	TileSeekSpace *tileseek.Space
+	// SkipSearch evaluates search-backed systems (TransFusion) on the static
+	// heuristic tile without running TileSeek at all, reporting the result as
+	// Degraded. Serving layers use it as the bottom tier of their overload
+	// degradation ladder: the heuristic tile is always a valid configuration,
+	// so a loaded server can answer cheaply instead of shedding. Baselines
+	// that never search are unaffected.
+	SkipSearch bool
 	// DPipe bounds the per-layer schedule search.
 	DPipe dpipe.Options
 	// Parallelism sets the evaluation's concurrency budget: 0 selects
@@ -189,6 +196,26 @@ func EvaluateContext(ctx context.Context, w Workload, spec arch.Spec, sys System
 			return Result{}, err
 		}
 		return evaluateWithTile(ctx, w, spec, sys, tile, opts)
+	}
+
+	if opts.SkipSearch {
+		// Heuristic-only degraded mode: evaluate the search-backed system on
+		// the static seed tile. The result is valid — the heuristic is the
+		// same configuration the search itself falls back to — just possibly
+		// pessimistic, so it is reported as Degraded.
+		tile, err := tiling.HeuristicTile(w, spec)
+		if err != nil {
+			return Result{}, err
+		}
+		res, err := evaluateWithTile(ctx, w, spec, sys, tile, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Degraded = true
+		res.DegradedReason = "tile search skipped (heuristic-only degraded mode)"
+		reg.Counter("pipeline.degradations").Inc()
+		opts.Progress.Emit(obs.Degraded{Reason: res.DegradedReason})
+		return res, nil
 	}
 
 	space := tileseek.DefaultSpace(w, spec)

@@ -2,27 +2,26 @@ package serve
 
 import (
 	"context"
-	"errors"
 	"sync/atomic"
 
+	"github.com/fusedmindlab/transfusion/internal/chaos"
 	"github.com/fusedmindlab/transfusion/internal/faults"
 	"github.com/fusedmindlab/transfusion/internal/obs"
 )
 
-// errOverloaded marks a request shed at admission: the evaluation pool is
-// saturated and the wait queue is at depth. The handler answers 503 with a
-// Retry-After header; it is deliberately not part of the faults taxonomy
-// because nothing about the request itself is wrong.
-var errOverloaded = errors.New("serve: overloaded, retry later")
-
 // admission is the bounded-concurrency controller in front of the evaluation
-// pool: at most maxConcurrent evaluations run at once, at most maxQueue
-// callers wait for a slot, and everything beyond that is shed immediately so
-// queue time never grows unbounded (load shedding beats collapse).
+// pool: at most maxConcurrent evaluations run at once, and callers beyond
+// that wait in a depth-bounded queue. Queue depth is also the signal the
+// degradation ladder reads (see Server.degradeTier): requests start losing
+// search fidelity once the queue is half full, and only past twice the
+// configured depth — when even heuristic-only answers cannot keep up — are
+// arrivals shed outright with faults.ErrOverloaded (503 + Retry-After).
+// Degrading before shedding keeps answers flowing: the heuristic tile is
+// always a valid configuration, so a cheap answer beats no answer.
 type admission struct {
-	sem      chan struct{}
-	queued   atomic.Int64
-	maxQueue int64
+	sem     chan struct{}
+	queued  atomic.Int64
+	hardCap int64
 
 	shedC   *obs.Counter
 	activeG *obs.Gauge
@@ -31,8 +30,11 @@ type admission struct {
 
 func newAdmission(maxConcurrent, maxQueue int, reg *obs.Registry) *admission {
 	return &admission{
-		sem:      make(chan struct{}, maxConcurrent),
-		maxQueue: int64(maxQueue),
+		sem: make(chan struct{}, maxConcurrent),
+		// The ladder works inside [0, maxQueue]; the hard cap gives degraded
+		// requests the same headroom again before arrivals are refused. With
+		// queueing disabled (maxQueue 0) a busy pool sheds immediately.
+		hardCap: 2 * int64(maxQueue),
 
 		shedC:   reg.Counter("serve.shed"),
 		activeG: reg.Gauge("serve.active"),
@@ -40,21 +42,34 @@ func newAdmission(maxConcurrent, maxQueue int, reg *obs.Registry) *admission {
 	}
 }
 
+// pressure reports the current wait-queue depth — the load signal behind the
+// degradation ladder and the computed Retry-After.
+func (a *admission) pressure() int64 { return a.queued.Load() }
+
 // acquire claims an evaluation slot, waiting in the bounded queue when the
-// pool is busy. It returns errOverloaded when the queue is full, or an error
-// matching faults.ErrCanceled when ctx expires while queued. A nil return
-// must be paired with release.
+// pool is busy. It returns an error matching faults.ErrOverloaded when the
+// queue is past its hard cap, or one matching faults.ErrCanceled when ctx
+// expires while queued. A request whose context is already dead never
+// acquires a slot, even if one happens to be free the instant it joins the
+// race. A nil return must be paired with release.
 func (a *admission) acquire(ctx context.Context) error {
+	if err := chaos.SiteFrom(ctx, chaos.SiteServeAdmission).Strike(ctx); err != nil {
+		return err
+	}
 	select {
 	case a.sem <- struct{}{}:
+		if ctx.Err() != nil {
+			<-a.sem
+			return faults.Canceled(ctx)
+		}
 		a.activeG.Add(1)
 		return nil
 	default:
 	}
-	if q := a.queued.Add(1); q > a.maxQueue {
+	if q := a.queued.Add(1); q > a.hardCap {
 		a.queued.Add(-1)
 		a.shedC.Inc()
-		return errOverloaded
+		return faults.Overloadedf("serve: overloaded (queue depth %d past hard cap %d), retry later", q-1, a.hardCap)
 	}
 	a.queuedG.Set(float64(a.queued.Load()))
 	defer func() {
@@ -63,6 +78,13 @@ func (a *admission) acquire(ctx context.Context) error {
 	}()
 	select {
 	case a.sem <- struct{}{}:
+		// Both arms of the select can be ready at once and the winner is
+		// random; a caller that is already canceled must give the slot
+		// straight back instead of starting an evaluation nobody reads.
+		if ctx.Err() != nil {
+			<-a.sem
+			return faults.Canceled(ctx)
+		}
 		a.activeG.Add(1)
 		return nil
 	case <-ctx.Done():

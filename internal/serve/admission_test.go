@@ -29,29 +29,35 @@ func TestAdmissionFastPath(t *testing.T) {
 	}
 }
 
-func TestAdmissionShedsBeyondQueueDepth(t *testing.T) {
+func TestAdmissionShedsBeyondHardCap(t *testing.T) {
 	reg := obs.NewRegistry()
 	a := newAdmission(1, 1, reg)
 	if err := a.acquire(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	// One waiter is allowed in the queue...
-	waited := make(chan error, 1)
-	go func() { waited <- a.acquire(context.Background()) }()
+	// The hard cap is twice the configured queue depth (the band in between
+	// is where the degradation ladder works), so two waiters may queue...
+	waited := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { waited <- a.acquire(context.Background()) }()
+	}
 	deadline := time.Now().Add(5 * time.Second)
-	for a.queued.Load() == 0 && time.Now().Before(deadline) {
+	for a.queued.Load() < 2 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	// ...and the next arrival is shed immediately, without blocking.
-	if err := a.acquire(context.Background()); !errors.Is(err, errOverloaded) {
-		t.Fatalf("err = %v, want errOverloaded", err)
+	// ...and the next arrival is shed immediately, without blocking, with an
+	// error from the faults taxonomy (mapping to 503).
+	if err := a.acquire(context.Background()); !errors.Is(err, faults.ErrOverloaded) {
+		t.Fatalf("err = %v, want faults.ErrOverloaded", err)
 	}
 	if got := reg.Counter("serve.shed").Value(); got != 1 {
 		t.Fatalf("shed = %d, want 1", got)
 	}
-	a.release() // hands the slot to the queued waiter
-	if err := <-waited; err != nil {
-		t.Fatalf("queued waiter err = %v", err)
+	for i := 0; i < 2; i++ {
+		a.release() // hands the slot to a queued waiter
+		if err := <-waited; err != nil {
+			t.Fatalf("queued waiter %d err = %v", i, err)
+		}
 	}
 	a.release()
 }

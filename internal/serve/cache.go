@@ -70,7 +70,17 @@ func newPlanCache(max int, reg *obs.Registry) *planCache {
 // cached=false because the caller did wait for an evaluation). ctx bounds
 // only this caller's wait, never the evaluation itself: eval runs to
 // completion under whatever context the leader's closure captured.
-func (c *planCache) Do(ctx context.Context, key string, eval func() (transfusion.RunResult, error)) (res transfusion.RunResult, cached bool, err error) {
+//
+// retainDegraded controls what happens when eval succeeds but reports a
+// Degraded result. For keys whose spec asked for degraded fidelity
+// (heuristic-only), Degraded is definitional and the result is retained like
+// any other. For full-fidelity keys the degradation arose inside the
+// evaluation — a transient search fault — and retaining it would pin a
+// pessimistic plan under the clean key for the cache's lifetime: the caller
+// and its coalesced joiners still get the degraded answer (they were
+// concurrent with the fault), but the entry is not kept, so the next request
+// re-evaluates.
+func (c *planCache) Do(ctx context.Context, key string, retainDegraded bool, eval func() (transfusion.RunResult, error)) (res transfusion.RunResult, cached bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.lru.MoveToFront(el)
@@ -117,6 +127,9 @@ func (c *planCache) Do(ctx context.Context, key string, eval func() (transfusion
 	if call.err != nil {
 		return transfusion.RunResult{}, false, call.err
 	}
+	if call.res.Degraded && !retainDegraded {
+		return call.res, false, nil
+	}
 	c.mu.Lock()
 	c.insert(key, call.res)
 	c.mu.Unlock()
@@ -137,6 +150,24 @@ func (c *planCache) insert(key string, res transfusion.RunResult) {
 		delete(c.byKey, tail.Value.(*cacheEntry).key)
 	}
 	c.sizeG.Set(float64(c.lru.Len()))
+}
+
+// Get peeks the completed cache for key without joining or starting an
+// evaluation. The serving layer peeks the full-fidelity key before applying
+// the degradation ladder: a complete cached answer is better than a freshly
+// computed degraded one at any load level.
+func (c *planCache) Get(key string) (transfusion.RunResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		// Not counted as a miss: the caller falls through to Do, which
+		// accounts the request exactly once.
+		return transfusion.RunResult{}, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).res, true
 }
 
 // Len returns the number of completed entries currently cached.

@@ -25,11 +25,11 @@ func TestPlanCacheHitMissAccounting(t *testing.T) {
 		evals++
 		return result("transfusion", 42), nil
 	}
-	res, cached, err := c.Do(context.Background(), "k1", eval)
+	res, cached, err := c.Do(context.Background(), "k1", true, eval)
 	if err != nil || cached || res.Cycles != 42 {
 		t.Fatalf("first Do = (%v, %t, %v), want fresh result", res, cached, err)
 	}
-	res, cached, err = c.Do(context.Background(), "k1", eval)
+	res, cached, err = c.Do(context.Background(), "k1", true, eval)
 	if err != nil || !cached || res.Cycles != 42 {
 		t.Fatalf("second Do = (%v, %t, %v), want cached result", res, cached, err)
 	}
@@ -58,7 +58,7 @@ func TestPlanCacheCoalescesConcurrentIdenticalRequests(t *testing.T) {
 	}
 	leaderDone := make(chan error, 1)
 	go func() {
-		_, _, err := c.Do(context.Background(), "k", eval)
+		_, _, err := c.Do(context.Background(), "k", true, eval)
 		leaderDone <- err
 	}()
 	<-started
@@ -71,7 +71,7 @@ func TestPlanCacheCoalescesConcurrentIdenticalRequests(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ress[i], _, errs[i] = c.Do(context.Background(), "k", func() (transfusion.RunResult, error) {
+			ress[i], _, errs[i] = c.Do(context.Background(), "k", true, func() (transfusion.RunResult, error) {
 				t.Error("joiner ran its own evaluation")
 				return transfusion.RunResult{}, nil
 			})
@@ -104,13 +104,13 @@ func TestPlanCacheCoalescesConcurrentIdenticalRequests(t *testing.T) {
 func TestPlanCacheErrorsAreNotCached(t *testing.T) {
 	c := newPlanCache(8, obs.NewRegistry())
 	boom := errors.New("boom")
-	if _, _, err := c.Do(context.Background(), "k", func() (transfusion.RunResult, error) {
+	if _, _, err := c.Do(context.Background(), "k", true, func() (transfusion.RunResult, error) {
 		return transfusion.RunResult{}, boom
 	}); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	// The failure must not poison the key: the next call re-evaluates.
-	res, cached, err := c.Do(context.Background(), "k", func() (transfusion.RunResult, error) {
+	res, cached, err := c.Do(context.Background(), "k", true, func() (transfusion.RunResult, error) {
 		return result("transfusion", 1), nil
 	})
 	if err != nil || cached || res.Cycles != 1 {
@@ -125,7 +125,7 @@ func TestPlanCacheLRUEviction(t *testing.T) {
 	reg := obs.NewRegistry()
 	c := newPlanCache(2, reg)
 	mk := func(k string) {
-		if _, _, err := c.Do(context.Background(), k, func() (transfusion.RunResult, error) {
+		if _, _, err := c.Do(context.Background(), k, true, func() (transfusion.RunResult, error) {
 			return result(k, 1), nil
 		}); err != nil {
 			t.Fatal(err)
@@ -155,7 +155,7 @@ func TestPlanCacheJoinerHonoursItsContext(t *testing.T) {
 	c := newPlanCache(8, obs.NewRegistry())
 	gate := make(chan struct{})
 	started := make(chan struct{})
-	go c.Do(context.Background(), "k", func() (transfusion.RunResult, error) { //nolint:errcheck
+	go c.Do(context.Background(), "k", true, func() (transfusion.RunResult, error) { //nolint:errcheck
 		close(started)
 		<-gate
 		return result("transfusion", 9), nil
@@ -163,7 +163,7 @@ func TestPlanCacheJoinerHonoursItsContext(t *testing.T) {
 	<-started
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, _, err := c.Do(ctx, "k", nil); !errors.Is(err, faults.ErrCanceled) {
+	if _, _, err := c.Do(ctx, "k", true, nil); !errors.Is(err, faults.ErrCanceled) {
 		t.Fatalf("joiner err = %v, want ErrCanceled", err)
 	}
 	close(gate)
@@ -172,7 +172,7 @@ func TestPlanCacheJoinerHonoursItsContext(t *testing.T) {
 	for c.Len() == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	res, cached, err := c.Do(context.Background(), "k", nil)
+	res, cached, err := c.Do(context.Background(), "k", true, nil)
 	if err != nil || !cached || res.Cycles != 9 {
 		t.Fatalf("post-cancel Do = (%v, %t, %v), want cached 9", res, cached, err)
 	}
@@ -190,7 +190,7 @@ func TestPlanCachePanicUnblocksJoiners(t *testing.T) {
 				t.Error("leader panic did not propagate")
 			}
 		}()
-		c.Do(context.Background(), "k", func() (transfusion.RunResult, error) { //nolint:errcheck
+		c.Do(context.Background(), "k", true, func() (transfusion.RunResult, error) { //nolint:errcheck
 			close(started)
 			// Give the joiner a moment to register before dying.
 			time.Sleep(10 * time.Millisecond)
@@ -199,7 +199,7 @@ func TestPlanCachePanicUnblocksJoiners(t *testing.T) {
 	}()
 	<-started
 	go func() {
-		_, _, err := c.Do(context.Background(), "k", nil)
+		_, _, err := c.Do(context.Background(), "k", true, nil)
 		joinErr <- err
 	}()
 	select {
@@ -227,7 +227,7 @@ func TestPlanCacheDistinctKeysDoNotCoalesce(t *testing.T) {
 	c := newPlanCache(8, reg)
 	for i := 0; i < 4; i++ {
 		k := fmt.Sprintf("k%d", i)
-		if _, _, err := c.Do(context.Background(), k, func() (transfusion.RunResult, error) {
+		if _, _, err := c.Do(context.Background(), k, true, func() (transfusion.RunResult, error) {
 			return result(k, float64(i)), nil
 		}); err != nil {
 			t.Fatal(err)
@@ -238,5 +238,41 @@ func TestPlanCacheDistinctKeysDoNotCoalesce(t *testing.T) {
 	}
 	if h := reg.Counter("serve.cache_hits").Value(); h != 0 {
 		t.Fatalf("hits = %d, want 0", h)
+	}
+}
+
+// An internally degraded result is shared with its requester but not retained
+// under a full-fidelity key — the next request must re-evaluate. Keys whose
+// spec asked for degraded fidelity retain degraded results like any other.
+func TestPlanCacheDoesNotRetainDegradedResults(t *testing.T) {
+	c := newPlanCache(8, obs.NewRegistry())
+	degraded := result("transfusion", 1)
+	degraded.Degraded = true
+	degraded.DegradedReason = "tile search faulted"
+
+	evals := 0
+	eval := func() (transfusion.RunResult, error) {
+		evals++
+		return degraded, nil
+	}
+	res, cached, err := c.Do(context.Background(), "full", false, eval)
+	if err != nil || cached || !res.Degraded {
+		t.Fatalf("first Do = (%+v, %t, %v)", res, cached, err)
+	}
+	if _, ok := c.Get("full"); ok {
+		t.Fatal("degraded result was retained under the full-fidelity key")
+	}
+	if _, cached, err = c.Do(context.Background(), "full", false, eval); err != nil || cached {
+		t.Fatalf("second Do did not re-evaluate: cached=%t err=%v", cached, err)
+	}
+	if evals != 2 {
+		t.Fatalf("evals = %d, want 2 (no retention between them)", evals)
+	}
+
+	if _, _, err := c.Do(context.Background(), "full|heur=true", true, eval); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("full|heur=true"); !ok {
+		t.Fatal("definitionally degraded result was not retained under its own key")
 	}
 }

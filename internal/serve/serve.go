@@ -6,15 +6,28 @@
 //     coalescing of identical in-flight requests (serve.cache_hits/misses/
 //     inflight metrics);
 //   - a bounded-concurrency admission controller with a depth-limited wait
-//     queue; beyond the queue, requests are shed with 503 + Retry-After
-//     instead of piling up;
+//     queue and a degradation ladder above it: as the queue fills, requests
+//     step down search-budget tiers (full search -> reduced budget ->
+//     heuristic tile only) instead of being shed, surfaced via the result's
+//     Degraded/DegradedReason fields, a Served-Degraded response header, and
+//     serve.degraded.* counters; only past twice the queue depth are
+//     arrivals refused with 503 + a Retry-After computed from queue depth
+//     and the EWMA of recent plan latencies (serve.plan_latency_ewma);
+//   - a per-request watchdog that converts a stuck evaluation into a
+//     degraded heuristic-only answer instead of letting the caller ride the
+//     full deadline into a 504;
 //   - per-request deadlines owned by the server, with the faults taxonomy
-//     mapped onto HTTP statuses (faults.HTTPStatus);
-//   - graceful shutdown: on cancellation the health check flips to draining
+//     mapped onto HTTP statuses (faults.HTTPStatus), and a panic-recovery
+//     boundary around every handler;
+//   - split health endpoints — /healthz is pure liveness, /readyz is
+//     readiness and fails while draining or while the evaluator circuit
+//     breaker (tripped by consecutive internal errors) is open;
+//   - graceful shutdown: on cancellation readiness flips first, then (after
+//     ReadyDelay, for load balancers to stop routing) the listener closes
 //     and in-flight plans finish within the drain timeout.
 //
-// Endpoints: POST /v1/plan, POST /v1/compare, GET /healthz, GET /metrics,
-// GET /debug/trace.
+// Endpoints: POST /v1/plan, POST /v1/compare, GET /healthz, GET /readyz,
+// GET /metrics, GET /debug/trace.
 package serve
 
 import (
@@ -23,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
@@ -31,6 +45,7 @@ import (
 	"time"
 
 	"github.com/fusedmindlab/transfusion"
+	"github.com/fusedmindlab/transfusion/internal/chaos"
 	"github.com/fusedmindlab/transfusion/internal/faults"
 	"github.com/fusedmindlab/transfusion/internal/obs"
 )
@@ -61,6 +76,20 @@ type Config struct {
 	Parallelism int
 	// DrainTimeout bounds graceful shutdown (default 30s).
 	DrainTimeout time.Duration
+	// ReducedBudget is the search budget the degradation ladder's middle
+	// tier caps requests at once the wait queue is half full (default 16).
+	ReducedBudget int
+	// WatchdogTimeout bounds how long a request waits on its evaluation
+	// before the watchdog serves a degraded heuristic-only answer instead
+	// (the stuck evaluation keeps running in the background, bounded by
+	// RequestTimeout, and lands in the cache if it ever completes). 0 takes
+	// the default of half the request timeout; negative disables the
+	// watchdog.
+	WatchdogTimeout time.Duration
+	// ReadyDelay is the pause between flipping /readyz to draining and
+	// closing the listener on shutdown, giving load balancers a window to
+	// stop routing (default 0 — flip and drain immediately).
+	ReadyDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -87,8 +116,29 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
+	if c.ReducedBudget <= 0 {
+		c.ReducedBudget = 16
+	}
+	if c.WatchdogTimeout == 0 {
+		c.WatchdogTimeout = c.RequestTimeout / 2
+	} else if c.WatchdogTimeout < 0 {
+		c.WatchdogTimeout = 0
+	}
+	if c.ReadyDelay < 0 {
+		c.ReadyDelay = 0
+	}
 	return c
 }
+
+// Circuit breaker into the evaluator: after breakerThreshold consecutive
+// internal errors /readyz reports not-ready for breakerCooldown (or until a
+// request succeeds), so orchestrators stop routing to a replica whose
+// evaluator is systematically failing. Liveness (/healthz) is unaffected —
+// the process itself is healthy and must not be restarted for it.
+const (
+	breakerThreshold = 5
+	breakerCooldown  = 15 * time.Second
+)
 
 // maxBodyBytes bounds request bodies; plan/compare requests are tiny.
 const maxBodyBytes = 1 << 20
@@ -101,6 +151,19 @@ type Server struct {
 	adm      *admission
 	baseCtx  context.Context
 	draining atomic.Bool
+
+	// ewmaBits holds the EWMA of recent plan evaluation latencies in
+	// milliseconds, as float64 bits (0 = no observation yet). It feeds the
+	// serve.plan_latency_ewma gauge and the computed Retry-After.
+	ewmaBits atomic.Uint64
+	ewmaG    *obs.Gauge
+
+	// consecInternal counts consecutive internal errors; at
+	// breakerThreshold the evaluator circuit breaker trips (breakerTrip is
+	// the trip time in unix nanoseconds) and /readyz fails until a request
+	// succeeds or the cooldown passes.
+	consecInternal atomic.Int64
+	breakerTrip    atomic.Int64
 }
 
 // New builds a Server. reg receives the serving metrics and is exposed at
@@ -125,6 +188,7 @@ func New(cfg Config, reg *obs.Registry, baseCtx context.Context) *Server {
 		cache:   newPlanCache(cfg.CacheEntries, reg),
 		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, reg),
 		baseCtx: baseCtx,
+		ewmaG:   reg.Gauge("serve.plan_latency_ewma"),
 	}
 }
 
@@ -134,20 +198,45 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/v1/compare", s.handleCompare)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
-	return obs.HTTPMetrics(s.reg, "serve.http", mux)
+	return obs.HTTPMetrics(s.reg, "serve.http", s.recoverPanics(mux))
 }
 
-// Serve runs the server on l until ctx is cancelled, then drains: the health
-// check flips to draining immediately, no new connections are accepted, and
-// in-flight requests get up to DrainTimeout to finish.
+// recoverPanics is the handler-level panic boundary: a panic escaping a
+// handler (the evaluation path has its own faults.Recover boundary, but the
+// handlers themselves, fault injection, and future middleware do not) maps to
+// a 500 instead of net/http killing the connection mid-response. If the
+// handler already wrote a response the write of the error status is a no-op.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.writeError(w, &faults.InternalError{Panic: rec})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Serve runs the server on l until ctx is cancelled, then drains: readiness
+// (/readyz) flips to draining immediately, ReadyDelay later no new
+// connections are accepted, and in-flight requests get up to DrainTimeout to
+// finish. Liveness (/healthz) stays OK throughout — a draining process is
+// shutting down deliberately, not stuck.
 func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	srv := &http.Server{Handler: s.Handler()}
 	shutdownErr := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
+		// Readiness flips before the listener closes so load balancers see
+		// not-ready and stop routing while the socket still accepts the
+		// stragglers already routed here.
 		s.draining.Store(true)
+		if s.cfg.ReadyDelay > 0 {
+			time.Sleep(s.cfg.ReadyDelay)
+		}
 		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 		defer cancel()
 		shutdownErr <- srv.Shutdown(drainCtx)
@@ -221,22 +310,81 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 }
 
 // writeError maps err through the faults taxonomy onto an HTTP status.
-// Shedding gets 503 + Retry-After here rather than in the taxonomy: it is an
-// admission decision, not an error classification.
+// Overload (503) carries a Retry-After computed from current queue depth and
+// the EWMA of recent plan latencies; internal errors feed the evaluator
+// circuit breaker behind /readyz.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
-	if errors.Is(err, errOverloaded) {
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error(), Status: http.StatusServiceUnavailable})
-		return
-	}
 	status := faults.HTTPStatus(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
 	msg := err.Error()
 	var ie *faults.InternalError
 	if errors.As(err, &ie) {
 		// Never leak a panic value or stack to the wire.
 		msg = "internal error"
 	}
+	if status == http.StatusInternalServerError {
+		s.noteInternalError()
+	}
 	writeJSON(w, status, errorResponse{Error: msg, Status: status})
+}
+
+// observeLatency folds one plan evaluation's service time into the EWMA
+// behind serve.plan_latency_ewma (milliseconds) and the computed Retry-After.
+func (s *Server) observeLatency(d time.Duration) {
+	const alpha = 0.2
+	ms := float64(d.Microseconds()) / 1e3
+	for {
+		old := s.ewmaBits.Load()
+		next := ms
+		if old != 0 {
+			next = (1-alpha)*math.Float64frombits(old) + alpha*ms
+		}
+		if s.ewmaBits.CompareAndSwap(old, math.Float64bits(next)) {
+			s.ewmaG.Set(next)
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates how long a shed caller should back off: the
+// time for the current queue (plus the caller) to drain through the
+// evaluation pool at the EWMA service rate, clamped to [1, 60] seconds.
+func (s *Server) retryAfterSeconds() int {
+	ewmaMS := math.Float64frombits(s.ewmaBits.Load())
+	if ewmaMS <= 0 {
+		return 1
+	}
+	drainMS := float64(s.adm.pressure()+1) / float64(s.cfg.MaxConcurrent) * ewmaMS
+	secs := int(math.Ceil(drainMS / 1000))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// noteInternalError advances the evaluator circuit breaker; see breakerOpen.
+func (s *Server) noteInternalError() {
+	if s.consecInternal.Add(1) >= breakerThreshold {
+		s.breakerTrip.Store(time.Now().UnixNano())
+	}
+}
+
+// noteSuccess resets the breaker: the evaluator produced a good answer.
+func (s *Server) noteSuccess() { s.consecInternal.Store(0) }
+
+// breakerOpen reports whether the evaluator circuit breaker currently holds
+// /readyz not-ready: breakerThreshold consecutive internal errors, with the
+// most recent inside the cooldown window.
+func (s *Server) breakerOpen() bool {
+	if s.consecInternal.Load() < breakerThreshold {
+		return false
+	}
+	return time.Now().UnixNano()-s.breakerTrip.Load() < int64(breakerCooldown)
 }
 
 // decodeStrict decodes one JSON document into v, rejecting unknown fields,
@@ -273,23 +421,166 @@ func (s *Server) validateLimits(seqLen, budget int) error {
 	return nil
 }
 
-// evalPlan resolves one spec through the cache/admission stack. reqCtx bounds
-// only this caller's wait; the evaluation itself runs under the server's own
-// deadline so a disconnecting client cannot kill coalesced peers, and its
-// result is cached for the retry even if nobody is left to read it.
-func (s *Server) evalPlan(reqCtx context.Context, spec transfusion.RunSpec) (transfusion.RunResult, bool, string, error) {
+// Degradation-mode labels: exactly one serve.degraded.<mode> counter is
+// incremented per response carrying a Served-Degraded header, so the sum of
+// the serve.degraded.* counters always equals the number of degraded
+// responses served.
+const (
+	degradeBudget    = "budget"    // ladder tier 1: search budget reduced
+	degradeHeuristic = "heuristic" // ladder tier 2: heuristic tile only
+	degradeWatchdog  = "watchdog"  // watchdog rescued a stuck evaluation
+	degradeSearch    = "search"    // the evaluation itself degraded internally
+)
+
+// degradeTier maps current queue pressure onto the ladder: 0 below half the
+// configured queue depth (full-fidelity search), 1 up to the full depth
+// (reduced search budget), 2 beyond it (heuristic tile only — no search).
+// With queueing disabled the ladder is off: a busy pool sheds immediately,
+// preserving the strict pre-ladder behaviour.
+func (s *Server) degradeTier() int {
+	if s.cfg.MaxQueue == 0 {
+		return 0
+	}
+	q := s.adm.pressure()
+	switch {
+	case 2*q < int64(s.cfg.MaxQueue):
+		return 0
+	case q < int64(s.cfg.MaxQueue):
+		return 1
+	default:
+		return 2
+	}
+}
+
+// applyLadder steps spec down the degradation ladder for the current load,
+// returning the possibly rewritten spec and the degradation mode ("" at tier
+// 0). Degraded specs have different canonical keys (the budget and the
+// HeuristicOnly flag are both part of CanonicalKey), so degraded results live
+// in their own cache slots and can never be served for — or overwrite — a
+// full-fidelity entry: the cache is structurally unpoisonable by load.
+func (s *Server) applyLadder(spec transfusion.RunSpec) (transfusion.RunSpec, string) {
+	if spec.HeuristicOnly {
+		return spec, "" // already at the bottom by the caller's own choice
+	}
+	switch s.degradeTier() {
+	case 1:
+		if spec.SearchBudget == 0 || spec.SearchBudget > s.cfg.ReducedBudget {
+			spec.SearchBudget = s.cfg.ReducedBudget
+			return spec, degradeBudget
+		}
+		return spec, ""
+	case 2:
+		spec.HeuristicOnly = true
+		return spec, degradeHeuristic
+	default:
+		return spec, ""
+	}
+}
+
+// evalPlan resolves one spec through the ladder/cache/admission stack,
+// returning the result, whether it came from cache, the canonical key it was
+// served under, and the degradation mode ("" for a full-fidelity answer).
+// reqCtx bounds only this caller's wait; the evaluation itself runs under the
+// server's own deadline so a disconnecting client cannot kill coalesced
+// peers, and its result is cached for the retry even if nobody is left to
+// read it.
+func (s *Server) evalPlan(reqCtx context.Context, spec transfusion.RunSpec) (transfusion.RunResult, bool, string, string, error) {
 	spec.Parallelism = s.cfg.Parallelism
-	key := spec.CanonicalKey()
-	res, cached, err := s.cache.Do(reqCtx, key, func() (transfusion.RunResult, error) {
+	fullKey := spec.CanonicalKey()
+	// Peek the full-fidelity cache before consulting the ladder: a complete
+	// cached answer beats a freshly computed degraded one at any load.
+	if res, ok := s.cache.Get(fullKey); ok {
+		return res, true, fullKey, "", nil
+	}
+	spec, mode := s.applyLadder(spec)
+	key := fullKey
+	if mode != "" {
+		key = spec.CanonicalKey()
+	}
+
+	if s.cfg.WatchdogTimeout <= 0 {
+		res, cached, err := s.doEval(reqCtx, spec, key)
+		return res, cached, key, mode, err
+	}
+
+	type evalOut struct {
+		res    transfusion.RunResult
+		cached bool
+		err    error
+	}
+	done := make(chan evalOut, 1)
+	go func() {
+		r, c, err := s.doEval(reqCtx, spec, key)
+		done <- evalOut{res: r, cached: c, err: err}
+	}()
+	watchdog := time.NewTimer(s.cfg.WatchdogTimeout)
+	defer watchdog.Stop()
+	select {
+	case o := <-done:
+		return o.res, o.cached, key, mode, o.err
+	case <-reqCtx.Done():
+		return transfusion.RunResult{}, false, key, mode, faults.Canceled(reqCtx)
+	case <-watchdog.C:
+	}
+	if spec.HeuristicOnly {
+		// The stuck evaluation already is the heuristic-only fallback; there
+		// is nothing cheaper to step down to, so ride it out.
+		select {
+		case o := <-done:
+			return o.res, o.cached, key, mode, o.err
+		case <-reqCtx.Done():
+			return transfusion.RunResult{}, false, key, mode, faults.Canceled(reqCtx)
+		}
+	}
+	// Watchdog fired: serve a heuristic-only answer now instead of letting
+	// the caller ride the request deadline into a 504. The stuck evaluation
+	// keeps running in the background, bounded by RequestTimeout, and lands
+	// in the cache under its own key if it ever completes. The fallback
+	// bypasses admission deliberately — the pool's slots may be wedged by the
+	// very evaluations the watchdog is routing around, and the heuristic path
+	// is bounded, cheap work.
+	s.reg.Counter("serve.watchdog_fires").Inc()
+	fspec := spec
+	fspec.HeuristicOnly = true
+	fkey := fspec.CanonicalKey()
+	res, cached, err := s.cache.Do(reqCtx, fkey, true, func() (transfusion.RunResult, error) {
+		evalCtx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
+		defer cancel()
+		return transfusion.RunContext(evalCtx, fspec)
+	})
+	if err != nil {
+		return transfusion.RunResult{}, false, fkey, mode, err
+	}
+	return res, cached, fkey, degradeWatchdog, nil
+}
+
+// doEval is one pass through the cache/admission stack for a
+// (possibly ladder-rewritten) spec.
+func (s *Server) doEval(reqCtx context.Context, spec transfusion.RunSpec, key string) (transfusion.RunResult, bool, error) {
+	// Degraded results are retained only under keys that asked for degraded
+	// fidelity; see planCache.Do.
+	return s.cache.Do(reqCtx, key, spec.HeuristicOnly, func() (res transfusion.RunResult, err error) {
+		// The recover boundary keeps an injected (or real) panic in the
+		// leader from unwinding through the cache's singleflight machinery
+		// and killing the serving process; it classifies as an internal
+		// error (500) for the leader and every coalesced joiner.
+		defer faults.Recover(&err)
 		evalCtx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
 		defer cancel()
 		if err := s.adm.acquire(evalCtx); err != nil {
 			return transfusion.RunResult{}, err
 		}
 		defer s.adm.release()
-		return transfusion.RunContext(evalCtx, spec)
+		if err := chaos.SiteFrom(evalCtx, chaos.SiteServeCacheLeader).Strike(evalCtx); err != nil {
+			return transfusion.RunResult{}, err
+		}
+		start := time.Now()
+		res, err = transfusion.RunContext(evalCtx, spec)
+		if err == nil {
+			s.observeLatency(time.Since(start))
+		}
+		return res, err
 	})
-	return res, cached, key, err
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -312,15 +603,41 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Arch: req.Arch, Model: req.Model, SeqLen: req.SeqLen, System: req.System,
 		Batch: req.Batch, SearchBudget: req.SearchBudget, Causal: req.Causal,
 	}
-	res, cached, key, err := s.evalPlan(r.Context(), spec)
+	res, cached, key, mode, err := s.evalPlan(r.Context(), spec)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
+	s.markDegraded(w, &res, mode)
+	s.noteSuccess()
 	writeJSON(w, http.StatusOK, PlanResponse{
 		Result: res, Cached: cached, Key: key,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
 	})
+}
+
+// markDegraded stamps a response that was served below full fidelity: the
+// Served-Degraded header names the mode, exactly one serve.degraded.<mode>
+// counter is incremented (so the counters' sum equals the number of degraded
+// responses on the wire), and the result's Degraded/DegradedReason fields are
+// set when the ladder — rather than the evaluation itself — was the cause.
+// mode "" with an undegraded result is the full-fidelity fast path: no
+// header, no counter.
+func (s *Server) markDegraded(w http.ResponseWriter, res *transfusion.RunResult, mode string) {
+	if mode == "" {
+		if !res.Degraded {
+			return
+		}
+		// The evaluation degraded internally (search timeout, budget
+		// exhaustion, infeasible space — or an injected search fault).
+		mode = degradeSearch
+	}
+	if !res.Degraded {
+		res.Degraded = true
+		res.DegradedReason = "served degraded under load (" + mode + " tier)"
+	}
+	w.Header().Set("Served-Degraded", mode)
+	s.reg.Counter("serve.degraded." + mode).Inc()
 }
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
@@ -343,12 +660,14 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	// so a compare shares evaluations with plans (and other compares) of the
 	// same workload.
 	resp := CompareResponse{Results: make([]transfusion.RunResult, 0, 5)}
+	degradeMode := ""
+	anyDegraded := false
 	for _, name := range transfusion.SystemNames() {
 		spec := transfusion.RunSpec{
 			Arch: req.Arch, Model: req.Model, SeqLen: req.SeqLen, System: name,
 			Batch: req.Batch, SearchBudget: req.SearchBudget,
 		}
-		res, cached, _, err := s.evalPlan(r.Context(), spec)
+		res, cached, _, mode, err := s.evalPlan(r.Context(), spec)
 		if err != nil {
 			s.writeError(w, err)
 			return
@@ -356,18 +675,46 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		if cached {
 			resp.CachedResults++
 		}
+		if mode != "" && degradeMode == "" {
+			degradeMode = mode
+		}
+		anyDegraded = anyDegraded || res.Degraded
 		resp.Results = append(resp.Results, res)
 	}
+	// One header and one counter per response, whatever mix of the five
+	// evaluations degraded — the counter/header invariant is per response on
+	// the wire, not per evaluation behind it.
+	if degradeMode != "" || anyDegraded {
+		if degradeMode == "" {
+			degradeMode = degradeSearch
+		}
+		w.Header().Set("Served-Degraded", degradeMode)
+		s.reg.Counter("serve.degraded." + degradeMode).Inc()
+	}
+	s.noteSuccess()
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is pure liveness: the process is up and serving HTTP. It
+// stays 200 while draining (shutting down deliberately is not being stuck) —
+// restart decisions belong to /healthz, routing decisions to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
-	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 while draining (flipped before the listener
+// closes, so load balancers stop routing first) and while the evaluator
+// circuit breaker is open after consecutive internal errors.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.breakerOpen():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "breaker-open"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

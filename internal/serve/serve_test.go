@@ -227,16 +227,27 @@ func TestCompareEndpointSharesCacheWithPlan(t *testing.T) {
 	}
 }
 
-func TestHealthzReportsDraining(t *testing.T) {
+// Liveness and readiness split: /healthz stays 200 while draining (the
+// process is shutting down deliberately, not stuck — restarting it would be
+// wrong), while /readyz flips to 503 so load balancers stop routing.
+func TestHealthzLivenessAndReadyzDraining(t *testing.T) {
 	s, ts, _ := newTestServer(t, Config{})
 	resp, data := get(t, ts.URL+"/healthz")
 	if resp.StatusCode != http.StatusOK || !bytes.Contains(data, []byte(`"ok"`)) {
 		t.Fatalf("healthy healthz = %d %s", resp.StatusCode, data)
 	}
+	resp, data = get(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(data, []byte(`"ok"`)) {
+		t.Fatalf("healthy readyz = %d %s", resp.StatusCode, data)
+	}
 	s.draining.Store(true)
 	resp, data = get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining healthz = %d %s, want 200 (liveness is not readiness)", resp.StatusCode, data)
+	}
+	resp, data = get(t, ts.URL+"/readyz")
 	if resp.StatusCode != http.StatusServiceUnavailable || !bytes.Contains(data, []byte(`"draining"`)) {
-		t.Fatalf("draining healthz = %d %s", resp.StatusCode, data)
+		t.Fatalf("draining readyz = %d %s", resp.StatusCode, data)
 	}
 }
 

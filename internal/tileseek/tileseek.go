@@ -20,6 +20,7 @@ import (
 	"runtime"
 
 	"github.com/fusedmindlab/transfusion/internal/arch"
+	"github.com/fusedmindlab/transfusion/internal/chaos"
 	"github.com/fusedmindlab/transfusion/internal/faults"
 	"github.com/fusedmindlab/transfusion/internal/obs"
 	"github.com/fusedmindlab/transfusion/internal/tiling"
@@ -387,9 +388,19 @@ func SearchWithOptions(ctx context.Context, space Space, objective Objective, op
 		}
 	}
 
+	// Fault-injection site, struck once per rollout on the master trajectory.
+	// Unconfigured (the production default) the hoisted lookup is nil and each
+	// Strike is a single predicted branch. An injected error or cancel aborts
+	// the search exactly as a real mid-search failure would — callers see the
+	// partial Result plus the error, and the pipeline degrades around it.
+	chaosSite := chaos.SiteFrom(ctx, chaos.SiteTileseekRollout)
+
 	for it := 0; it < iterations; it++ {
 		if ctx.Err() != nil {
 			return res, faults.Canceled(ctx)
+		}
+		if err := chaosSite.Strike(ctx); err != nil {
+			return res, err
 		}
 		rolloutsC.Inc()
 		cur, cfg, prunedN, feasible := w.step()
