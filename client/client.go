@@ -50,10 +50,13 @@ type PlanRequest struct {
 
 // PlanResponse is the POST /v1/plan reply.
 type PlanResponse struct {
-	Result    transfusion.RunResult `json:"result"`
-	Cached    bool                  `json:"cached"`
-	Key       string                `json:"key"`
-	ElapsedMS float64               `json:"elapsed_ms"`
+	Result transfusion.RunResult `json:"result"`
+	Cached bool                  `json:"cached"`
+	Key    string                `json:"key"`
+	// Source names the tier that answered — "memory", "disk" (the server's
+	// persistent plan store), or "search" — mirroring X-Plan-Source.
+	Source    string  `json:"source"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 	// ServedDegraded mirrors the Served-Degraded response header: non-empty
 	// when the server answered below full fidelity ("budget", "heuristic",
 	// "watchdog", or "search"), empty for a full-fidelity answer.
@@ -514,20 +517,32 @@ func summarise(body []byte) string {
 	return strconv.Quote(s)
 }
 
-// parseRetryAfter parses a Retry-After header as delta-seconds, clamped to
-// [0, 5m]; anything unparseable (including HTTP-dates, which transfusiond
-// never sends) is 0.
+// parseRetryAfter parses a Retry-After header in either RFC 9110 form —
+// delta-seconds, or an HTTP-date (transfusiond sends delta-seconds, but the
+// client also talks to it through proxies and load balancers that rewrite the
+// header to a date) — clamped to [0, 5m]. Anything unparseable, negative, or
+// a date already in the past is 0.
 func parseRetryAfter(v string) time.Duration {
 	v = strings.TrimSpace(v)
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
+	const cap = 300 * time.Second
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return min(time.Duration(secs)*time.Second, cap)
+	}
+	// http.ParseTime accepts the three date formats the RFC admits
+	// (IMF-fixdate, RFC 850, ANSI C asctime).
+	when, err := http.ParseTime(v)
+	if err != nil {
 		return 0
 	}
-	if secs > 300 {
-		secs = 300
+	d := time.Until(when)
+	if d < 0 {
+		return 0
 	}
-	return time.Duration(secs) * time.Second
+	return min(d, cap)
 }

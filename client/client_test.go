@@ -245,13 +245,66 @@ func TestParseRetryAfter(t *testing.T) {
 		{"0", 0},
 		{"-3", 0},
 		{"nonsense", 0},
-		{"Wed, 21 Oct 2015 07:28:00 GMT", 0},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0}, // valid HTTP-date, but in the past
+		{"Wed, 21 Oct 2015 07:28:00", 0},     // date missing its zone: unparseable
 		{"99999", 300 * time.Second},
 	}
 	for _, tc := range cases {
 		if got := parseRetryAfter(tc.in); got != tc.want {
 			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
 		}
+	}
+}
+
+// Regression: a proxy rewriting delta-seconds into an HTTP-date must still
+// produce a real backoff, not fall through to 0 (the pre-fix behaviour).
+func TestParseRetryAfterHTTPDate(t *testing.T) {
+	future := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
+	got := parseRetryAfter(future)
+	if got < 8*time.Second || got > 10*time.Second {
+		t.Fatalf("parseRetryAfter(%q) = %v, want ~10s", future, got)
+	}
+	// All three RFC 9110 date formats parse.
+	when := time.Now().Add(30 * time.Second).UTC()
+	for _, layout := range []string{http.TimeFormat, "Monday, 02-Jan-06 15:04:05 MST", time.ANSIC} {
+		v := when.Format(layout)
+		if got := parseRetryAfter(v); got < 25*time.Second || got > 30*time.Second {
+			t.Errorf("parseRetryAfter(%q) = %v, want ~30s", v, got)
+		}
+	}
+	// A far-future date clamps to the same 5-minute cap as delta-seconds.
+	far := time.Now().Add(24 * time.Hour).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(far); got != 300*time.Second {
+		t.Fatalf("parseRetryAfter(far future) = %v, want the 5m cap", got)
+	}
+}
+
+// End to end: a 503 carrying a date-form Retry-After holds the retry back.
+func TestClientHonoursHTTPDateRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var firstAt, secondAt atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			firstAt.Store(time.Now().UnixNano())
+			w.Header().Set("Retry-After", time.Now().Add(time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			secondAt.Store(time.Now().UnixNano())
+			w.Write([]byte(`{"result":{},"cached":false,"key":"k"}`)) //nolint:errcheck
+		}
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	if _, err := c.Plan(context.Background(), PlanRequest{}); err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	// HTTP-dates have one-second resolution, so the bound is conservative:
+	// the retry must not arrive essentially immediately (the pre-fix
+	// fall-through to the millisecond-scale default backoff).
+	if gap := time.Duration(secondAt.Load() - firstAt.Load()); gap < 100*time.Millisecond {
+		t.Fatalf("retry arrived %v after the 503 — the date-form Retry-After was ignored", gap)
 	}
 }
 

@@ -1,0 +1,315 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/fusedmindlab/transfusion"
+	"github.com/fusedmindlab/transfusion/internal/store"
+)
+
+// The kill-mid-write crash test drives the real daemon binary through the
+// persistence lifecycle the store exists for:
+//
+//	daemon A  plans two specs cleanly, drains on SIGTERM (fills committed);
+//	daemon B  plans a third spec under injected fsync latency and is
+//	          SIGKILLed with the store write torn mid-flight;
+//	          one of A's committed records is then bit-flipped on disk;
+//	daemon C  boots over the wreckage: the torn temp is swept
+//	          (store.recovered), the corrupt record quarantined — renamed
+//	          aside, never deleted — (store.quarantined), the surviving
+//	          record loads and serves from disk bit-identically, and the
+//	          corrupted spec recomputes to the same answer instead of ever
+//	          serving bad bytes.
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+func daemonBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "transfusiond-bin-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "transfusiond")
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("building daemon: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binPath
+}
+
+// daemon is one running transfusiond process under test.
+type daemon struct {
+	cmd    *exec.Cmd
+	url    string
+	stderr *strings.Builder
+}
+
+// startDaemon launches the binary on a kernel-assigned port and waits for the
+// "listening" log line (and readiness) before returning.
+func startDaemon(t *testing.T, args ...string) *daemon {
+	t.Helper()
+	d := &daemon{stderr: &strings.Builder{}}
+	d.cmd = exec.Command(daemonBinary(t), append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := d.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			d.cmd.Process.Kill() //nolint:errcheck
+			d.cmd.Wait()         //nolint:errcheck
+		}
+	})
+
+	// The daemon logs its bound address as an addr=HOST:PORT token on the
+	// "listening" line; everything on stderr is also kept for failure output.
+	addrC := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			d.stderr.WriteString(line + "\n")
+			if strings.Contains(line, "listening") {
+				for _, tok := range strings.Fields(line) {
+					if a, ok := strings.CutPrefix(tok, "addr="); ok {
+						select {
+						case addrC <- a:
+						default:
+						}
+					}
+				}
+			}
+		}
+	}()
+	select {
+	case a := <-addrC:
+		d.url = "http://" + a
+	case <-time.After(20 * time.Second):
+		t.Fatalf("daemon never logged its address; stderr:\n%s", d.stderr.String())
+	}
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		resp, err := http.Get(d.url + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became ready; stderr:\n%s", d.stderr.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return d
+}
+
+// stop signals the daemon and waits for a clean exit (the drain path).
+func (d *daemon) stop(t *testing.T, sig syscall.Signal) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(sig); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		d.cmd.Process.Kill() //nolint:errcheck
+		t.Fatalf("daemon did not exit after %v; stderr:\n%s", sig, d.stderr.String())
+	}
+}
+
+// plan posts body to /v1/plan and decodes the 200 reply, returning the
+// response and the X-Plan-Source header.
+func (d *daemon) plan(t *testing.T, body string) (serveResp, string) {
+	t.Helper()
+	resp, err := http.Post(d.url+"/v1/plan", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("plan request: %v", err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan status %d: %s", resp.StatusCode, data)
+	}
+	var pr serveResp
+	if err := json.Unmarshal(data, &pr); err != nil {
+		t.Fatal(err)
+	}
+	return pr, resp.Header.Get("X-Plan-Source")
+}
+
+// serveResp mirrors the serve.PlanResponse fields this test reads.
+type serveResp struct {
+	Result transfusion.RunResult `json:"result"`
+	Key    string                `json:"key"`
+	Source string                `json:"source"`
+}
+
+// metric fetches one named value from /metrics.
+func (d *daemon) metric(t *testing.T, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(d.url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("unparsable metric line %q", line)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+func TestKillMidWriteRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemon processes")
+	}
+	dir := t.TempDir()
+	const (
+		spec1 = `{"arch":"edge","model":"bert","seq_len":1024,"system":"transfusion","search_budget":8}`
+		spec2 = `{"arch":"edge","model":"bert","seq_len":2048,"system":"unfused"}`
+		spec3 = `{"arch":"edge","model":"bert","seq_len":4096,"system":"unfused"}`
+	)
+
+	// Daemon A: plan two specs cleanly; SIGTERM drains the fills to disk.
+	a := startDaemon(t, "-store-dir", dir, "-request-timeout", "120s")
+	res1, src := a.plan(t, spec1)
+	if src != "search" {
+		t.Fatalf("daemon A first plan source %q, want search", src)
+	}
+	res2, _ := a.plan(t, spec2)
+	a.stop(t, syscall.SIGTERM)
+	if ents, _ := filepath.Glob(filepath.Join(dir, "*.plan")); len(ents) != 2 {
+		t.Fatalf("daemon A committed %d records, want 2; stderr:\n%s", len(ents), a.stderr.String())
+	}
+
+	// Daemon B: injected fsync latency holds spec3's store write open with a
+	// full temp file on disk — SIGKILL lands exactly mid-write.
+	b := startDaemon(t, "-store-dir", dir,
+		"-chaos", "store.fsync=latency:120s@every=1", "-chaos-seed", "7",
+		"-request-timeout", "300s")
+	if _, src := b.plan(t, spec1); src != "memory" && src != "disk" {
+		t.Fatalf("daemon B re-plan of spec1 source %q, want a cache tier", src)
+	}
+	b.plan(t, spec3) // the fill behind this hangs at the injected fsync
+	torn := ""
+	for deadline := time.Now().Add(15 * time.Second); torn == ""; {
+		if tmps, _ := filepath.Glob(filepath.Join(dir, ".tmp-*")); len(tmps) > 0 {
+			torn = tmps[0]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no torn temp file appeared; stderr:\n%s", b.stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := b.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no cleanup
+		t.Fatal(err)
+	}
+	b.cmd.Wait() //nolint:errcheck
+	if _, err := os.Stat(torn); err != nil {
+		t.Fatalf("torn temp file vanished with the SIGKILL: %v", err)
+	}
+
+	// Corrupt spec2's committed record — the bit-rot / torn-sector case.
+	spec2File := filepath.Join(dir, store.FileName(res2.Key))
+	data, err := os.ReadFile(spec2File)
+	if err != nil {
+		t.Fatalf("reading spec2's record (key %q): %v", res2.Key, err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(spec2File, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Daemon C: cold restart over the wreckage (-store-warm=false keeps the
+	// memory cache empty so the disk tier is observable on the wire).
+	c := startDaemon(t, "-store-dir", dir, "-store-warm=false", "-request-timeout", "120s")
+	if got := c.metric(t, "store.loaded"); got != 1 {
+		t.Fatalf("store.loaded = %d, want 1 (only spec1 survived); stderr:\n%s", got, c.stderr.String())
+	}
+	if got := c.metric(t, "store.recovered"); got != 1 {
+		t.Fatalf("store.recovered = %d, want 1 (the torn temp)", got)
+	}
+	if got := c.metric(t, "store.quarantined"); got < 1 {
+		t.Fatalf("store.quarantined = %d, want >= 1 (the corrupted record)", got)
+	}
+
+	// Quarantine means renamed aside, never deleted.
+	if _, err := os.Stat(spec2File); !os.IsNotExist(err) {
+		t.Fatal("corrupted record still at its live name after recovery")
+	}
+	q, _ := os.ReadDir(filepath.Join(dir, store.QuarantineDir))
+	if len(q) < 2 { // the torn temp and the corrupt record
+		t.Fatalf("quarantine holds %d files, want >= 2", len(q))
+	}
+
+	// The surviving record serves from disk, bit-identical to daemon A's
+	// answer, with no re-search.
+	got1, src := c.plan(t, spec1)
+	if src != "disk" {
+		t.Fatalf("recovered spec1 served from %q, want disk", src)
+	}
+	if got1.Result.Cycles != res1.Result.Cycles || got1.Result.Tile != res1.Result.Tile ||
+		got1.Result.TileSearchEvals != res1.Result.TileSearchEvals {
+		t.Fatalf("disk-served plan diverged from the original:\ngot  %+v\nwant %+v", got1.Result, res1.Result)
+	}
+
+	// The corrupted spec is recomputed — a clean miss, never quarantine-served
+	// bytes — and lands on the same answer as before the corruption.
+	got2, src := c.plan(t, spec2)
+	if src != "search" {
+		t.Fatalf("corrupted spec2 served from %q, want search (recomputed)", src)
+	}
+	if got2.Result.Cycles != res2.Result.Cycles || got2.Result.Tile != res2.Result.Tile {
+		t.Fatalf("recomputed plan diverged:\ngot  %+v\nwant %+v", got2.Result, res2.Result)
+	}
+	c.stop(t, syscall.SIGTERM)
+}
+
+// CanonicalKey must agree between the client-visible response and the store's
+// file naming — the bridge the crash test's corruption step depends on.
+func TestResponseKeyMatchesStoreFileName(t *testing.T) {
+	spec := transfusion.RunSpec{Arch: "edge", Model: "bert", SeqLen: 2048, System: "unfused"}
+	name := store.FileName(spec.CanonicalKey())
+	if !strings.HasSuffix(name, ".plan") || len(name) != 64+len(".plan") {
+		t.Fatalf("unexpected record name %q", name)
+	}
+}

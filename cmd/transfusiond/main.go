@@ -7,7 +7,9 @@
 // then heuristic-tile-only) before shedding with 503 + a computed
 // Retry-After; a watchdog converts stuck evaluations into degraded answers.
 // SIGTERM flips /readyz to draining, waits -ready-delay, then drains
-// in-flight plans before exiting.
+// in-flight plans before exiting. With -store-dir, completed plans are
+// persisted to a crash-safe disk store and a restarted daemon warm-starts
+// from them (X-Plan-Source reports which tier answered).
 //
 // Usage:
 //
@@ -32,6 +34,7 @@ import (
 	"github.com/fusedmindlab/transfusion"
 	"github.com/fusedmindlab/transfusion/internal/chaos"
 	"github.com/fusedmindlab/transfusion/internal/serve"
+	"github.com/fusedmindlab/transfusion/internal/store"
 )
 
 func main() {
@@ -54,6 +57,9 @@ func run() error {
 	reducedBudget := flag.Int("reduced-budget", 16, "search budget cap under the degradation ladder's middle tier")
 	watchdogTimeout := flag.Duration("watchdog", 0, "wait before the watchdog serves a degraded answer for a stuck evaluation (0 = half the request timeout, negative disables)")
 	readyDelay := flag.Duration("ready-delay", 0, "pause between flipping /readyz to draining and closing the listener on shutdown")
+	storeDir := flag.String("store-dir", "", "directory for the durable plan store (empty disables the disk tier)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 256<<20, "byte budget for the plan store directory, LRU-evicted (<= 0 unlimited)")
+	storeWarm := flag.Bool("store-warm", true, "seed the in-memory plan cache from the store at startup (warm restart)")
 	chaosSpec := flag.String("chaos", "", "fault-injection schedule, e.g. 'serve.cache.leader=latency:2s@every=5;serve.admission=error@p=0.01' (empty disables)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for probabilistic -chaos schedules (deterministic replay)")
 	logLevel := flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
@@ -82,6 +88,23 @@ func run() error {
 	}
 	metrics := transfusion.NewMetrics()
 
+	var planStore *store.Store
+	if *storeDir != "" {
+		// Open runs the recovery scan: checksums verified, torn temp files
+		// and corrupt records quarantined (renamed aside, never deleted).
+		planStore, err = store.Open(*storeDir, *storeMaxBytes, metrics)
+		if err != nil {
+			return err
+		}
+		logger.Info("transfusiond: plan store open",
+			"dir", *storeDir,
+			"loaded", metrics.Counter("store.loaded").Value(),
+			"recovered", metrics.Counter("store.recovered").Value(),
+			"quarantined", metrics.Counter("store.quarantined").Value(),
+			"bytes", planStore.SizeBytes(),
+			"warm", *storeWarm)
+	}
+
 	srv := serve.New(serve.Config{
 		MaxConcurrent:   *maxConcurrent,
 		MaxQueue:        *maxQueue,
@@ -94,6 +117,8 @@ func run() error {
 		ReducedBudget:   *reducedBudget,
 		WatchdogTimeout: *watchdogTimeout,
 		ReadyDelay:      *readyDelay,
+		Store:           planStore,
+		ColdStart:       !*storeWarm,
 	}, metrics, ctx)
 
 	l, err := net.Listen("tcp", *addr)

@@ -1,8 +1,10 @@
 // Package chaos is the deterministic fault-injection framework behind the
 // serving path's resilience tests. Production code registers named *injection
 // sites* — `serve.admission`, `serve.cache.leader`, `tileseek.rollout`,
-// `dpipe.candidate` — at the points where a real deployment fails: a stuck
-// evaluation, a panicking cache leader, a slow enumeration. A seeded
+// `dpipe.candidate`, and the persistent plan store's disk-fault sites
+// `store.write`, `store.read`, `store.fsync` — at the points where a real
+// deployment fails: a stuck evaluation, a panicking cache leader, a slow
+// enumeration, a torn record write. A seeded
 // *Injector* carried in the context arms a subset of those sites with a fault
 // schedule (latency, error, panic, or simulated context-cancel), and the
 // chaos test suite then runs the real daemon under the schedule asserting the
@@ -46,14 +48,33 @@ const (
 	SiteTileseekRollout = "tileseek.rollout"
 	// SiteDPipeCandidate fires once per candidate schedule evaluation.
 	SiteDPipeCandidate = "dpipe.candidate"
+	// SiteStoreWrite fires once per persistent-store record write, before
+	// the payload reaches the temp file (KindShortWrite here models a torn
+	// write: the store writes a truncated temp file and reports the error,
+	// exactly the on-disk state a crash mid-write leaves behind).
+	SiteStoreWrite = "store.write"
+	// SiteStoreRead fires once per persistent-store record read (errors
+	// here must degrade to a cache miss, never to a failed request).
+	SiteStoreRead = "store.read"
+	// SiteStoreFsync fires once per store fsync, between writing the temp
+	// file and the atomic rename (latency here holds a record mid-write —
+	// the window the kill-mid-write crash tests SIGKILL into).
+	SiteStoreFsync = "store.fsync"
 )
 
-// ErrInjected marks every chaos-injected error (Kind KindError); match with
-// errors.Is. Injected cancellations instead match faults.ErrCanceled (and
-// context.Canceled), and injected panics carry a descriptive string value —
-// each fault kind is deliberately indistinguishable from the real failure it
-// simulates, except for this sentinel on plain errors.
+// ErrInjected marks every chaos-injected error (Kinds KindError and
+// KindShortWrite); match with errors.Is. Injected cancellations instead match
+// faults.ErrCanceled (and context.Canceled), and injected panics carry a
+// descriptive string value — each fault kind is deliberately
+// indistinguishable from the real failure it simulates, except for this
+// sentinel on plain errors.
 var ErrInjected = errors.New("chaos: injected fault")
+
+// ErrShortWrite marks an injected short write (KindShortWrite): the
+// instrumented writer is expected to persist only a truncated prefix of the
+// record and surface this error, leaving the same torn bytes on disk a crash
+// mid-write would. It matches ErrInjected too.
+var ErrShortWrite = fmt.Errorf("short write: %w", ErrInjected)
 
 // Kind selects what an armed site injects when its schedule fires.
 type Kind int
@@ -72,6 +93,11 @@ const (
 	// context.Canceled without touching the context — simulating the
 	// caller's context dying at exactly this point.
 	KindCancel
+	// KindShortWrite returns an error matching ErrShortWrite (and
+	// ErrInjected). Only write-shaped sites give it meaning: the
+	// instrumented code reacts by leaving a truncated record behind,
+	// simulating a torn write / crash mid-write.
+	KindShortWrite
 )
 
 // String names the kind as the Parse grammar spells it.
@@ -85,6 +111,8 @@ func (k Kind) String() string {
 		return "panic"
 	case KindCancel:
 		return "cancel"
+	case KindShortWrite:
+		return "shortwrite"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -121,7 +149,7 @@ func (c SiteConfig) validate() error {
 	if c.Site == "" {
 		return fmt.Errorf("chaos: site config with empty site name")
 	}
-	if c.Kind < KindLatency || c.Kind > KindCancel {
+	if c.Kind < KindLatency || c.Kind > KindShortWrite {
 		return fmt.Errorf("chaos: site %s: unknown kind %d", c.Site, int(c.Kind))
 	}
 	if c.Kind == KindLatency && c.Latency <= 0 {
@@ -217,6 +245,8 @@ func (s *Site) Strike(ctx context.Context) error {
 		panic(fmt.Sprintf("chaos: injected panic at %s (hit %d)", s.cfg.Site, n))
 	case KindCancel:
 		return faults.Canceled(ctx)
+	case KindShortWrite:
+		return fmt.Errorf("chaos: injected short write at %s (hit %d): %w", s.cfg.Site, n, ErrShortWrite)
 	}
 	return nil
 }
@@ -336,7 +366,7 @@ func SiteFrom(ctx context.Context, name string) *Site {
 //
 //	spec    = clause *( ";" clause )
 //	clause  = site "=" kind [ ":" duration ] *( "@" key "=" value )
-//	kind    = "latency" | "error" | "panic" | "cancel"
+//	kind    = "latency" | "error" | "panic" | "cancel" | "shortwrite"
 //	key     = "every" | "p" | "after" | "limit"
 //
 // Example:
@@ -380,8 +410,10 @@ func Parse(spec string, seed uint64) (*Injector, error) {
 			cfg.Kind = KindPanic
 		case "cancel":
 			cfg.Kind = KindCancel
+		case "shortwrite":
+			cfg.Kind = KindShortWrite
 		default:
-			return nil, fmt.Errorf("chaos: clause %q: unknown kind %q (have latency, error, panic, cancel)", clause, kindName)
+			return nil, fmt.Errorf("chaos: clause %q: unknown kind %q (have latency, error, panic, cancel, shortwrite)", clause, kindName)
 		}
 		if cfg.Kind != KindLatency && hasArg {
 			return nil, fmt.Errorf("chaos: clause %q: kind %s takes no argument", clause, kindName)

@@ -107,6 +107,30 @@ func TestCancelKindMatchesTaxonomy(t *testing.T) {
 	}
 }
 
+func TestShortWriteKindMatchesSentinels(t *testing.T) {
+	in := mustNew(t, 1, SiteConfig{Site: "store.write", Kind: KindShortWrite, Every: 1})
+	err := in.Site("store.write").Strike(context.Background())
+	if !errors.Is(err, ErrShortWrite) {
+		t.Fatalf("shortwrite error %v does not match ErrShortWrite", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("shortwrite error %v does not match ErrInjected", err)
+	}
+
+	// The Parse grammar spells it "shortwrite", like Kind.String does.
+	parsed, perr := Parse("store.write=shortwrite@every=2", 1)
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	s := parsed.Site(SiteStoreWrite)
+	if s == nil || s.cfg.Kind != KindShortWrite || s.cfg.Every != 2 {
+		t.Fatalf("shortwrite clause misparsed: %+v", s)
+	}
+	if got := KindShortWrite.String(); got != "shortwrite" {
+		t.Fatalf("KindShortWrite.String() = %q", got)
+	}
+}
+
 func TestPanicKind(t *testing.T) {
 	in := mustNew(t, 1, SiteConfig{Site: "boom", Kind: KindPanic, Every: 1})
 	defer func() {

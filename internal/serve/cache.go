@@ -28,6 +28,7 @@ type planCache struct {
 
 	hits      *obs.Counter
 	misses    *obs.Counter
+	evictions *obs.Counter
 	inflightG *obs.Gauge
 	sizeG     *obs.Gauge
 }
@@ -58,6 +59,7 @@ func newPlanCache(max int, reg *obs.Registry) *planCache {
 
 		hits:      reg.Counter("serve.cache_hits"),
 		misses:    reg.Counter("serve.cache_misses"),
+		evictions: reg.Counter("serve.cache_evictions"),
 		inflightG: reg.Gauge("serve.cache_inflight"),
 		sizeG:     reg.Gauge("serve.cache_size"),
 	}
@@ -148,8 +150,18 @@ func (c *planCache) insert(key string, res transfusion.RunResult) {
 		tail := c.lru.Back()
 		c.lru.Remove(tail)
 		delete(c.byKey, tail.Value.(*cacheEntry).key)
+		c.evictions.Inc()
 	}
 	c.sizeG.Set(float64(c.lru.Len()))
+}
+
+// Put inserts a completed result directly — the warm-restart seed and the
+// disk-tier promotion path. It accounts no hit or miss: nobody requested the
+// key on this call.
+func (c *planCache) Put(key string, res transfusion.RunResult) {
+	c.mu.Lock()
+	c.insert(key, res)
+	c.mu.Unlock()
 }
 
 // Get peeks the completed cache for key without joining or starting an

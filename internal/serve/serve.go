@@ -4,7 +4,10 @@
 //
 //   - an LRU plan cache keyed by the canonical RunSpec key, with singleflight
 //     coalescing of identical in-flight requests (serve.cache_hits/misses/
-//     inflight metrics);
+//     inflight/size/evictions metrics), optionally layered over a durable
+//     disk tier (internal/store): memory hit -> disk hit -> search, with
+//     disk fills off the request path, warm restart seeding the memory
+//     cache from disk, and the answering tier surfaced as X-Plan-Source;
 //   - a bounded-concurrency admission controller with a depth-limited wait
 //     queue and a degradation ladder above it: as the queue fills, requests
 //     step down search-budget tiers (full search -> reduced budget ->
@@ -41,6 +44,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -48,6 +52,7 @@ import (
 	"github.com/fusedmindlab/transfusion/internal/chaos"
 	"github.com/fusedmindlab/transfusion/internal/faults"
 	"github.com/fusedmindlab/transfusion/internal/obs"
+	"github.com/fusedmindlab/transfusion/internal/store"
 )
 
 // Config tunes the serving layer; zero values take the defaults noted on
@@ -90,6 +95,16 @@ type Config struct {
 	// closing the listener on shutdown, giving load balancers a window to
 	// stop routing (default 0 — flip and drain immediately).
 	ReadyDelay time.Duration
+	// Store is the optional durable plan tier layered under the in-memory
+	// cache (memory hit -> disk hit -> search). Completed full-fidelity
+	// results are persisted to it off the request path; degraded results
+	// never are. nil disables the disk tier.
+	Store *store.Store
+	// ColdStart skips seeding the in-memory cache from Store at startup.
+	// The default (false) warm restart preloads the most recently used
+	// stored plans so a restarted daemon answers its previous working set
+	// from memory without re-searching.
+	ColdStart bool
 }
 
 func (c Config) withDefaults() Config {
@@ -148,9 +163,14 @@ type Server struct {
 	cfg      Config
 	reg      *obs.Registry
 	cache    *planCache
+	store    *store.Store // nil when the disk tier is disabled
 	adm      *admission
 	baseCtx  context.Context
 	draining atomic.Bool
+
+	// fills tracks in-flight asynchronous disk-tier writes so a drain can
+	// wait for completed searches to reach durable storage.
+	fills sync.WaitGroup
 
 	// ewmaBits holds the EWMA of recent plan evaluation latencies in
 	// milliseconds, as float64 bits (0 = no observation yet). It feeds the
@@ -182,14 +202,25 @@ func New(cfg Config, reg *obs.Registry, baseCtx context.Context) *Server {
 	if reg != nil {
 		baseCtx = obs.WithMetrics(baseCtx, reg)
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		reg:     reg,
 		cache:   newPlanCache(cfg.CacheEntries, reg),
+		store:   cfg.Store,
 		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, reg),
 		baseCtx: baseCtx,
 		ewmaG:   reg.Gauge("serve.plan_latency_ewma"),
 	}
+	if s.store != nil && !cfg.ColdStart {
+		// Warm restart: preload the most recently used stored plans so the
+		// previous working set answers from memory immediately. Only
+		// full-fidelity results are ever persisted, so nothing seeded here
+		// can shadow a clean entry with a degraded one.
+		for _, we := range s.store.WarmEntries(cfg.CacheEntries) {
+			s.cache.Put(we.Key, we.Result)
+		}
+	}
+	return s
 }
 
 // Handler returns the routed, metrics-instrumented handler.
@@ -246,8 +277,12 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		// srv.Serve returns ErrServerClosed the moment Shutdown is called,
 		// while the drain is still running. Block until Shutdown finishes (or
 		// DrainTimeout expires) so in-flight plans complete before we return.
-		return <-shutdownErr
+		err = <-shutdownErr
 	}
+	// Disk fills are asynchronous; drain them too, so a clean shutdown
+	// leaves every completed search durably persisted (each fill is bounded
+	// by RequestTimeout, so this cannot hang indefinitely).
+	s.fills.Wait()
 	return err
 }
 
@@ -273,6 +308,10 @@ type PlanResponse struct {
 	Cached bool `json:"cached"`
 	// Key is the canonical cache key the request resolved to.
 	Key string `json:"key"`
+	// Source names the tier that answered — "memory" (in-process cache),
+	// "disk" (persistent plan store), or "search" (a fresh evaluation) —
+	// mirrored in the X-Plan-Source response header.
+	Source string `json:"source"`
 	// ElapsedMS is the server-side handling time.
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
@@ -477,20 +516,40 @@ func (s *Server) applyLadder(spec transfusion.RunSpec) (transfusion.RunSpec, str
 	}
 }
 
-// evalPlan resolves one spec through the ladder/cache/admission stack,
-// returning the result, whether it came from cache, the canonical key it was
-// served under, and the degradation mode ("" for a full-fidelity answer).
-// reqCtx bounds only this caller's wait; the evaluation itself runs under the
-// server's own deadline so a disconnecting client cannot kill coalesced
-// peers, and its result is cached for the retry even if nobody is left to
-// read it.
-func (s *Server) evalPlan(reqCtx context.Context, spec transfusion.RunSpec) (transfusion.RunResult, bool, string, string, error) {
+// Plan-source labels for the X-Plan-Source response header: which tier of
+// the memory -> disk -> search stack answered.
+const (
+	sourceMemory = "memory"
+	sourceDisk   = "disk"
+	sourceSearch = "search"
+)
+
+// sourceOf maps a doEval outcome onto a plan-source label: cached means the
+// in-memory cache answered inside Do (the entry landed between the peek and
+// the call, or the degraded key was already cached); anything else waited on
+// an evaluation.
+func sourceOf(cached bool) string {
+	if cached {
+		return sourceMemory
+	}
+	return sourceSearch
+}
+
+// evalPlan resolves one spec through the ladder/cache/store/admission stack,
+// returning the result, whether it came from a cache tier without waiting on
+// any evaluation, the canonical key it was served under, the degradation mode
+// ("" for a full-fidelity answer), and the tier that answered
+// (memory|disk|search). reqCtx bounds only this caller's wait; the evaluation
+// itself runs under the server's own deadline so a disconnecting client
+// cannot kill coalesced peers, and its result is cached for the retry even if
+// nobody is left to read it.
+func (s *Server) evalPlan(reqCtx context.Context, spec transfusion.RunSpec) (transfusion.RunResult, bool, string, string, string, error) {
 	spec.Parallelism = s.cfg.Parallelism
 	fullKey := spec.CanonicalKey()
 	// Peek the full-fidelity cache before consulting the ladder: a complete
 	// cached answer beats a freshly computed degraded one at any load.
 	if res, ok := s.cache.Get(fullKey); ok {
-		return res, true, fullKey, "", nil
+		return res, true, fullKey, "", sourceMemory, nil
 	}
 	spec, mode := s.applyLadder(spec)
 	key := fullKey
@@ -498,9 +557,24 @@ func (s *Server) evalPlan(reqCtx context.Context, spec transfusion.RunSpec) (tra
 		key = spec.CanonicalKey()
 	}
 
+	// Disk tier: only full-fidelity keys can hit — degraded results are never
+	// persisted, so a ladder-rewritten key cannot exist on disk. A hit is
+	// promoted into the memory cache so the next request skips the disk.
+	// Every store failure (read fault, torn record, injected chaos) reports a
+	// clean miss and the request falls through to search.
+	if s.store != nil && mode == "" {
+		diskCtx, cancel := s.boundDiskCtx()
+		res, ok := s.store.Get(diskCtx, fullKey)
+		cancel()
+		if ok {
+			s.cache.Put(fullKey, res)
+			return res, true, fullKey, "", sourceDisk, nil
+		}
+	}
+
 	if s.cfg.WatchdogTimeout <= 0 {
 		res, cached, err := s.doEval(reqCtx, spec, key)
-		return res, cached, key, mode, err
+		return res, cached, key, mode, sourceOf(cached), err
 	}
 
 	type evalOut struct {
@@ -517,9 +591,9 @@ func (s *Server) evalPlan(reqCtx context.Context, spec transfusion.RunSpec) (tra
 	defer watchdog.Stop()
 	select {
 	case o := <-done:
-		return o.res, o.cached, key, mode, o.err
+		return o.res, o.cached, key, mode, sourceOf(o.cached), o.err
 	case <-reqCtx.Done():
-		return transfusion.RunResult{}, false, key, mode, faults.Canceled(reqCtx)
+		return transfusion.RunResult{}, false, key, mode, sourceSearch, faults.Canceled(reqCtx)
 	case <-watchdog.C:
 	}
 	if spec.HeuristicOnly {
@@ -527,9 +601,9 @@ func (s *Server) evalPlan(reqCtx context.Context, spec transfusion.RunSpec) (tra
 		// is nothing cheaper to step down to, so ride it out.
 		select {
 		case o := <-done:
-			return o.res, o.cached, key, mode, o.err
+			return o.res, o.cached, key, mode, sourceOf(o.cached), o.err
 		case <-reqCtx.Done():
-			return transfusion.RunResult{}, false, key, mode, faults.Canceled(reqCtx)
+			return transfusion.RunResult{}, false, key, mode, sourceSearch, faults.Canceled(reqCtx)
 		}
 	}
 	// Watchdog fired: serve a heuristic-only answer now instead of letting
@@ -549,9 +623,41 @@ func (s *Server) evalPlan(reqCtx context.Context, spec transfusion.RunSpec) (tra
 		return transfusion.RunContext(evalCtx, fspec)
 	})
 	if err != nil {
-		return transfusion.RunResult{}, false, fkey, mode, err
+		return transfusion.RunResult{}, false, fkey, mode, sourceSearch, err
 	}
-	return res, cached, fkey, degradeWatchdog, nil
+	return res, cached, fkey, degradeWatchdog, sourceOf(cached), nil
+}
+
+// boundDiskCtx derives the context for an on-request-path disk read: the
+// server's base context (which carries the chaos injector and metrics), time-
+// bounded so a slow or fault-injected disk degrades to a miss instead of
+// wedging the request. The watchdog timeout bounds it when configured — the
+// disk tier sits outside the watchdog, so it must not be allowed to consume
+// the whole request deadline on its own.
+func (s *Server) boundDiskCtx() (context.Context, context.CancelFunc) {
+	timeout := s.cfg.RequestTimeout
+	if s.cfg.WatchdogTimeout > 0 && s.cfg.WatchdogTimeout < timeout {
+		timeout = s.cfg.WatchdogTimeout
+	}
+	return context.WithTimeout(s.baseCtx, timeout)
+}
+
+// storeFillAsync persists a completed full-fidelity result to the disk tier
+// off the request path. Degraded results are never persisted: they encode a
+// transient load or fault condition, and the store must only ever hold
+// answers worth serving forever. Fill failures (including injected chaos)
+// cost durability, never correctness — the next restart re-searches.
+func (s *Server) storeFillAsync(key string, res transfusion.RunResult) {
+	if s.store == nil || res.Degraded {
+		return
+	}
+	s.fills.Add(1)
+	go func() {
+		defer s.fills.Done()
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
+		defer cancel()
+		s.store.Put(ctx, key, res) //nolint:errcheck // counted in store.put_errors
+	}()
 }
 
 // doEval is one pass through the cache/admission stack for a
@@ -578,6 +684,9 @@ func (s *Server) doEval(reqCtx context.Context, spec transfusion.RunSpec, key st
 		res, err = transfusion.RunContext(evalCtx, spec)
 		if err == nil {
 			s.observeLatency(time.Since(start))
+			// One durable fill per completed evaluation, spawned by the
+			// singleflight leader so coalesced joiners never duplicate it.
+			s.storeFillAsync(key, res)
 		}
 		return res, err
 	})
@@ -603,15 +712,16 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Arch: req.Arch, Model: req.Model, SeqLen: req.SeqLen, System: req.System,
 		Batch: req.Batch, SearchBudget: req.SearchBudget, Causal: req.Causal,
 	}
-	res, cached, key, mode, err := s.evalPlan(r.Context(), spec)
+	res, cached, key, mode, source, err := s.evalPlan(r.Context(), spec)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
+	w.Header().Set("X-Plan-Source", source)
 	s.markDegraded(w, &res, mode)
 	s.noteSuccess()
 	writeJSON(w, http.StatusOK, PlanResponse{
-		Result: res, Cached: cached, Key: key,
+		Result: res, Cached: cached, Key: key, Source: source,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
 	})
 }
@@ -667,7 +777,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			Arch: req.Arch, Model: req.Model, SeqLen: req.SeqLen, System: name,
 			Batch: req.Batch, SearchBudget: req.SearchBudget,
 		}
-		res, cached, _, mode, err := s.evalPlan(r.Context(), spec)
+		res, cached, _, mode, _, err := s.evalPlan(r.Context(), spec)
 		if err != nil {
 			s.writeError(w, err)
 			return
