@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"github.com/fusedmindlab/transfusion"
+	"github.com/fusedmindlab/transfusion/internal/obs"
 )
 
 // PlanRequest is the POST /v1/plan body; field semantics follow
@@ -61,6 +62,9 @@ type PlanResponse struct {
 	// when the server answered below full fidelity ("budget", "heuristic",
 	// "watchdog", or "search"), empty for a full-fidelity answer.
 	ServedDegraded string `json:"-"`
+	// TraceID mirrors the X-Trace-Id response header: the server-side trace
+	// that served this answer, quotable against the server's /debug/requests.
+	TraceID string `json:"-"`
 }
 
 // CompareRequest is the POST /v1/compare body.
@@ -78,6 +82,8 @@ type CompareResponse struct {
 	CachedResults  int                     `json:"cached_results"`
 	ElapsedMS      float64                 `json:"elapsed_ms"`
 	ServedDegraded string                  `json:"-"`
+	// TraceID mirrors the X-Trace-Id response header; see PlanResponse.
+	TraceID string `json:"-"`
 }
 
 // APIError is a non-2xx response from the server.
@@ -241,12 +247,17 @@ func (b *breaker) record(serverFault bool, now time.Time) {
 	}
 }
 
-// Plan evaluates one spec, retrying and (when configured) hedging.
+// Plan evaluates one spec, retrying and (when configured) hedging. A trace
+// span attached to ctx (obs.ContextWithSpan) gains a "client.plan" child
+// covering every attempt, with events for retries, hedge launches, and
+// breaker rejections, and the server's trace id as an attribute; the
+// outbound traceparent header links the server-side trace to this one.
 func (c *Client) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding plan request: %w", err)
 	}
+	ctx, sp := obs.StartSpan(ctx, "client.plan")
 	out, err := c.withRetries(ctx, func(ctx context.Context) (interface{}, *APIError, error) {
 		return c.hedged(ctx, func(ctx context.Context) (interface{}, *APIError, error) {
 			status, header, data, err := c.post(ctx, "/v1/plan", body)
@@ -256,23 +267,33 @@ func (c *Client) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, erro
 			resp, apiErr, err := decodePlanResponse(status, header.Get("Retry-After"), data)
 			if resp != nil {
 				resp.ServedDegraded = header.Get("Served-Degraded")
+				resp.TraceID = header.Get("X-Trace-Id")
 			}
 			return asAny(resp), apiErr, err
 		})
 	})
 	if err != nil {
+		sp.EndErr(err)
 		return nil, err
 	}
-	return out.(*PlanResponse), nil
+	resp := out.(*PlanResponse)
+	if sp != nil {
+		sp.SetAttr("server_trace", resp.TraceID)
+		sp.SetAttr("source", resp.Source)
+		sp.SetAttrBool("cached", resp.Cached)
+		sp.End()
+	}
+	return resp, nil
 }
 
 // Compare evaluates all five systems on one workload, retrying on transient
-// failures.
+// failures. Tracing mirrors Plan: a ctx span gains a "client.compare" child.
 func (c *Client) Compare(ctx context.Context, req CompareRequest) (*CompareResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding compare request: %w", err)
 	}
+	ctx, sp := obs.StartSpan(ctx, "client.compare")
 	out, err := c.withRetries(ctx, func(ctx context.Context) (interface{}, *APIError, error) {
 		status, header, data, err := c.post(ctx, "/v1/compare", body)
 		if err != nil {
@@ -281,13 +302,20 @@ func (c *Client) Compare(ctx context.Context, req CompareRequest) (*CompareRespo
 		resp, apiErr, err := decodeCompareResponse(status, header.Get("Retry-After"), data)
 		if resp != nil {
 			resp.ServedDegraded = header.Get("Served-Degraded")
+			resp.TraceID = header.Get("X-Trace-Id")
 		}
 		return asAny(resp), apiErr, err
 	})
 	if err != nil {
+		sp.EndErr(err)
 		return nil, err
 	}
-	return out.(*CompareResponse), nil
+	resp := out.(*CompareResponse)
+	if sp != nil {
+		sp.SetAttr("server_trace", resp.TraceID)
+		sp.End()
+	}
+	return resp, nil
 }
 
 // asAny keeps a typed nil pointer from becoming a non-nil interface.
@@ -311,6 +339,7 @@ func (c *Client) check(ctx context.Context, path string) error {
 	if err != nil {
 		return err
 	}
+	setTraceparent(ctx, req)
 	resp, err := c.opts.HTTPClient.Do(req)
 	if err != nil {
 		return err
@@ -330,9 +359,11 @@ type attemptFn func(ctx context.Context) (interface{}, *APIError, error)
 // and Temporary API errors back off (honouring Retry-After) and retry;
 // permanent API errors and successes return immediately.
 func (c *Client) withRetries(ctx context.Context, fn attemptFn) (interface{}, error) {
+	sp := obs.SpanFromContext(ctx)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if !c.brk.allow(time.Now()) {
+			sp.Event("breaker.open")
 			if lastErr != nil {
 				return nil, fmt.Errorf("%w (last error: %v)", ErrCircuitOpen, lastErr)
 			}
@@ -357,6 +388,7 @@ func (c *Client) withRetries(ctx context.Context, fn attemptFn) (interface{}, er
 		if attempt >= c.opts.MaxRetries {
 			return nil, lastErr
 		}
+		sp.Event("retry")
 		if err := c.sleepBackoff(ctx, attempt, retryAfterOf(lastErr)); err != nil {
 			return nil, err
 		}
@@ -427,6 +459,7 @@ func (c *Client) hedged(ctx context.Context, fn attemptFn) (interface{}, *APIErr
 			// This attempt failed but its twin is still in flight: let the
 			// twin decide the outcome.
 		case <-hedge.C:
+			obs.SpanFromContext(ctx).Event("hedge.launch")
 			launch()
 			launched = 2
 		case <-ctx.Done():
@@ -439,12 +472,25 @@ func (c *Client) hedged(ctx context.Context, fn attemptFn) (interface{}, *APIErr
 // replies are a few KB.
 const maxResponseBytes = 8 << 20
 
+// setTraceparent stamps the outbound W3C trace-context header: a traced
+// caller propagates its own trace id (the server adopts it, so one id follows
+// the request across both processes); an untraced caller sends a fresh id per
+// attempt so the server-side trace is still quotable from its X-Trace-Id.
+func setTraceparent(ctx context.Context, req *http.Request) {
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		req.Header.Set("traceparent", obs.FormatTraceparent(sp.TraceID(), sp.SpanID()))
+		return
+	}
+	req.Header.Set("traceparent", obs.NewTraceparent())
+}
+
 func (c *Client) post(ctx context.Context, path string, body []byte) (int, http.Header, []byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	setTraceparent(ctx, req)
 	resp, err := c.opts.HTTPClient.Do(req)
 	if err != nil {
 		return 0, nil, nil, err

@@ -328,3 +328,93 @@ func TestDecodePlanResponse(t *testing.T) {
 		t.Fatal("502 reported permanent")
 	}
 }
+
+// A traced caller's trace id must ride the outbound traceparent header (so
+// the server adopts it), the server's X-Trace-Id must land in the response
+// struct, and retries must show up as events on the "client.plan" span.
+func TestClientTracePropagation(t *testing.T) {
+	var gotTraceparent atomic.Value
+	var fails atomic.Int32
+	fails.Store(1) // first attempt 500s, the retry succeeds
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotTraceparent.Store(r.Header.Get("traceparent"))
+		if fails.Add(-1) >= 0 {
+			w.WriteHeader(http.StatusInternalServerError)
+			w.Write([]byte(`{"error":"transient","status":500}`))
+			return
+		}
+		w.Header().Set("X-Trace-Id", "5e77e76a5e77e76a5e77e76a5e77e76a")
+		w.Write([]byte(`{"result":{"Cycles":42},"cached":false,"key":"k","source":"search"}`))
+	}))
+	defer ts.Close()
+
+	trc := obs.NewTracer(obs.TracerConfig{})
+	trace, root := trc.StartRequest("client-test", "")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+
+	pr, err := New(ts.URL, fastOpts()).Plan(ctx, PlanRequest{Arch: "edge", Model: "bert", SeqLen: 512, System: "unfused"})
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if pr.TraceID != "5e77e76a5e77e76a5e77e76a5e77e76a" {
+		t.Fatalf("PlanResponse.TraceID = %q, want the server's X-Trace-Id", pr.TraceID)
+	}
+	tid, _, ok := obs.ParseTraceparent(gotTraceparent.Load().(string))
+	if !ok || tid != root.TraceID() {
+		t.Fatalf("outbound traceparent %q does not carry caller trace %s", gotTraceparent.Load(), root.TraceID())
+	}
+
+	root.End()
+	trc.Finish(trace)
+	exp, ok := trc.Export(root.TraceID())
+	if !ok {
+		t.Fatalf("trace %s not exportable", root.TraceID())
+	}
+	var plan *obs.SpanExport
+	var walk func(spans []*obs.SpanExport)
+	walk = func(spans []*obs.SpanExport) {
+		for _, s := range spans {
+			if s.Name == "client.plan" {
+				plan = s
+			}
+			walk(s.Children)
+		}
+	}
+	walk(exp.Spans)
+	if plan == nil {
+		t.Fatal("no client.plan span in exported trace")
+	}
+	retried := false
+	for _, ev := range plan.Events {
+		if ev.Name == "retry" {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Fatal("client.plan span has no retry event despite a 500 first attempt")
+	}
+	attrs := map[string]string{}
+	for _, a := range plan.Attrs {
+		attrs[a.K] = a.V
+	}
+	if attrs["server_trace"] != pr.TraceID || attrs["source"] != "search" {
+		t.Fatalf("client.plan attrs = %v, want server_trace and source", attrs)
+	}
+}
+
+// An untraced caller still stamps a fresh, valid traceparent on the wire so
+// the server-side trace exists and is quotable.
+func TestClientFreshTraceparentWhenUntraced(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("traceparent"))
+		w.Write([]byte(`{"result":{},"cached":false,"key":"k","source":"memory"}`))
+	}))
+	defer ts.Close()
+	if _, err := New(ts.URL, fastOpts()).Plan(context.Background(), PlanRequest{Arch: "edge", Model: "bert", SeqLen: 512, System: "unfused"}); err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if _, _, ok := obs.ParseTraceparent(got.Load().(string)); !ok {
+		t.Fatalf("untraced client sent invalid traceparent %q", got.Load())
+	}
+}

@@ -1,7 +1,11 @@
 // Command transfusiond serves the TransFusion analytical model over HTTP:
 // plan evaluations (POST /v1/plan), five-system comparisons (POST
 // /v1/compare), liveness (GET /healthz), readiness (GET /readyz), metrics
-// (GET /metrics), and DPipe schedule traces (GET /debug/trace). Identical
+// (GET /metrics, JSON / plain text / Prometheus under content negotiation),
+// DPipe schedule traces (GET /debug/trace), and request traces (GET
+// /debug/requests: recent, in-flight, and tail-sampled span trees; ?id= for
+// one trace, &format=chrome for a Perfetto-loadable export). Every response
+// carries X-Trace-Id; inbound W3C traceparent headers are adopted. Identical
 // requests are answered from an LRU plan cache with singleflight coalescing.
 // Overload steps requests down a degradation ladder (reduced search budget,
 // then heuristic-tile-only) before shedding with 503 + a computed
@@ -26,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,6 +39,7 @@ import (
 
 	"github.com/fusedmindlab/transfusion"
 	"github.com/fusedmindlab/transfusion/internal/chaos"
+	"github.com/fusedmindlab/transfusion/internal/obs"
 	"github.com/fusedmindlab/transfusion/internal/serve"
 	"github.com/fusedmindlab/transfusion/internal/store"
 )
@@ -64,6 +71,9 @@ func run() error {
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for probabilistic -chaos schedules (deterministic replay)")
 	logLevel := flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty disables; never exposed on the serving port)")
+	traceRing := flag.Int("trace-ring", 64, "request traces retained for /debug/requests, recent and tail-sampled rings each (0 disables tracing entirely)")
+	traceSlow := flag.Duration("trace-slow", time.Second, "latency at or above which a trace is always retained by tail sampling")
 	flag.Parse()
 
 	level, err := transfusion.ParseLogLevel(*logLevel)
@@ -87,6 +97,42 @@ func run() error {
 		logger.Warn("transfusiond: fault injection armed", "schedule", *chaosSpec, "seed", *chaosSeed)
 	}
 	metrics := transfusion.NewMetrics()
+
+	// Runtime health gauges (goroutines, heap, GC pauses) ride the ordinary
+	// /metrics exposition; one sample every 10s is plenty for a scraper and
+	// costs one ReadMemStats.
+	sampler := obs.StartRuntimeSampler(metrics, 10*time.Second)
+	defer sampler.Stop()
+
+	var tracer *obs.Tracer
+	if *traceRing > 0 {
+		tracer = obs.NewTracer(obs.TracerConfig{
+			Capacity:       *traceRing,
+			RetainCapacity: *traceRing,
+			SlowThreshold:  *traceSlow,
+		})
+	}
+
+	if *debugAddr != "" {
+		// pprof gets its own listener so profiling is reachable under
+		// overload (it skips admission control) and is never exposed on the
+		// serving address. The handlers are registered explicitly on a
+		// private mux — nothing here depends on http.DefaultServeMux.
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return err
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{Handler: dmux}
+		go dsrv.Serve(dl)
+		defer dsrv.Close()
+		logger.Info("transfusiond: debug listener up (pprof)", "addr", dl.Addr().String())
+	}
 
 	var planStore *store.Store
 	if *storeDir != "" {
@@ -119,6 +165,7 @@ func run() error {
 		ReadyDelay:      *readyDelay,
 		Store:           planStore,
 		ColdStart:       !*storeWarm,
+		Tracer:          tracer,
 	}, metrics, ctx)
 
 	l, err := net.Listen("tcp", *addr)

@@ -191,8 +191,21 @@ func Plan(p *Problem, spec arch.Spec, opts Options) (Result, error) {
 // Observability: a logger attached to ctx (obs.WithLogger) gets a debug line
 // per plan; a registry attached to ctx (obs.WithMetrics) accumulates
 // dpipe.plans, dpipe.enumerated, dpipe.bipartitions, dpipe.candidates,
-// dpipe.dp_cells, and the dpipe.plan_ms histogram.
+// dpipe.dp_cells, and the dpipe.plan_ms histogram. A request span attached
+// to ctx (obs.ContextWithSpan) gains one "dpipe.plan" child annotated with
+// the candidate count.
 func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) (Result, error) {
+	ctx, sp := obs.StartSpan(ctx, "dpipe.plan")
+	res, err := planContext(ctx, p, spec, opts)
+	if sp != nil {
+		sp.SetAttrInt("candidates", int64(res.Candidates))
+		sp.EndErr(err)
+	}
+	return res, err
+}
+
+// planContext is PlanContext's body; see there for the contract.
+func planContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}

@@ -47,27 +47,70 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
+// routeLatencyBuckets spans 0.1ms to ~13s in powers of two — tight enough at
+// the bottom to resolve cache hits, wide enough at the top to hold a full
+// search.
+var routeLatencyBuckets = ExpBuckets(0.1, 2, 18)
+
+// routeLabel sanitises a route path into a metric-name segment: "/v1/plan"
+// becomes "v1_plan".
+func routeLabel(route string) string {
+	var out []byte
+	for i := 0; i < len(route); i++ {
+		c := route[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			out = append(out, c)
+		default:
+			if len(out) > 0 && out[len(out)-1] != '_' {
+				out = append(out, '_')
+			}
+		}
+	}
+	for len(out) > 0 && out[len(out)-1] == '_' {
+		out = out[:len(out)-1]
+	}
+	if len(out) == 0 {
+		return "root"
+	}
+	return string(out)
+}
+
 // HTTPMetrics wraps a handler with request accounting into reg under the
 // given metric prefix (e.g. "http"):
 //
-//	<prefix>.requests        counter, one per completed request
-//	<prefix>.status_Nxx      counter per status class (2xx/4xx/5xx/...)
-//	<prefix>.inflight        gauge, requests currently being handled
-//	<prefix>.request_ms      histogram of wall-clock handling time
+//	<prefix>.requests             counter, one per completed request
+//	<prefix>.status_Nxx           counter per status class (2xx/4xx/5xx/...)
+//	<prefix>.inflight             gauge, requests currently being handled
+//	<prefix>.request_ms           histogram of wall-clock handling time
+//	<prefix>.latency.<route>      per-endpoint latency histogram (ms,
+//	                              exponential bounds) for each path in routes;
+//	                              unlisted paths land in .latency.other
 //
-// A nil registry passes the handler through untouched, so unconfigured
-// servers pay nothing.
-func HTTPMetrics(reg *Registry, prefix string, next http.Handler) http.Handler {
+// Routes are matched exactly against the request path, so the per-route set
+// is fixed at construction — an attacker probing random URLs cannot mint
+// unbounded metric names. A nil registry passes the handler through
+// untouched, so unconfigured servers pay nothing.
+func HTTPMetrics(reg *Registry, prefix string, routes []string, next http.Handler) http.Handler {
 	if reg == nil {
 		return next
 	}
 	requests := reg.Counter(prefix + ".requests")
 	inflight := reg.Gauge(prefix + ".inflight")
 	latency := reg.Histogram(prefix+".request_ms", nil)
+	byRoute := make(map[string]*Histogram, len(routes))
+	for _, route := range routes {
+		byRoute[route] = reg.Histogram(prefix+".latency."+routeLabel(route), routeLatencyBuckets)
+	}
+	other := reg.Histogram(prefix+".latency.other", routeLatencyBuckets)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		inflight.Add(1)
 		rec := &statusRecorder{ResponseWriter: w}
+		routeHist, ok := byRoute[r.URL.Path]
+		if !ok {
+			routeHist = other
+		}
 		defer func() {
 			inflight.Add(-1)
 			requests.Inc()
@@ -76,7 +119,9 @@ func HTTPMetrics(reg *Registry, prefix string, next http.Handler) http.Handler {
 				status = http.StatusOK
 			}
 			reg.Counter(fmt.Sprintf("%s.status_%dxx", prefix, status/100)).Inc()
-			latency.Observe(float64(time.Since(start).Microseconds()) / 1e3)
+			ms := float64(time.Since(start).Microseconds()) / 1e3
+			latency.Observe(ms)
+			routeHist.Observe(ms)
 		}()
 		next.ServeHTTP(rec, r)
 	})

@@ -8,7 +8,7 @@ import (
 
 func TestHTTPMetricsRecordsRequests(t *testing.T) {
 	reg := NewRegistry()
-	h := HTTPMetrics(reg, "http", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := HTTPMetrics(reg, "http", []string{"/ok", "/bad"}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
 		case "/ok":
 			w.Write([]byte("ok")) // implicit 200
@@ -42,6 +42,34 @@ func TestHTTPMetricsRecordsRequests(t *testing.T) {
 	if got := reg.Histogram("http.request_ms", nil).Count(); got != 4 {
 		t.Fatalf("http.request_ms count = %d, want 4", got)
 	}
+	// Per-route histograms: /ok and /bad are registered routes (one
+	// observation each); /boom and /silent fall into the .other bucket.
+	if got := reg.Histogram("http.latency.ok", nil).Count(); got != 1 {
+		t.Fatalf("http.latency.ok count = %d, want 1", got)
+	}
+	if got := reg.Histogram("http.latency.bad", nil).Count(); got != 1 {
+		t.Fatalf("http.latency.bad count = %d, want 1", got)
+	}
+	if got := reg.Histogram("http.latency.other", nil).Count(); got != 2 {
+		t.Fatalf("http.latency.other count = %d, want 2", got)
+	}
+}
+
+func TestRouteLabel(t *testing.T) {
+	cases := map[string]string{
+		"/v1/plan":        "v1_plan",
+		"/v1/compare":     "v1_compare",
+		"/healthz":        "healthz",
+		"/debug/requests": "debug_requests",
+		"/":               "root",
+		"":                "root",
+		"/a//b/":          "a_b",
+	}
+	for in, want := range cases {
+		if got := routeLabel(in); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
 }
 
 // The middleware must not strip the underlying writer's optional interfaces:
@@ -50,7 +78,7 @@ func TestHTTPMetricsRecordsRequests(t *testing.T) {
 // still records as the implicit 200.
 func TestHTTPMetricsForwardsFlush(t *testing.T) {
 	reg := NewRegistry()
-	h := HTTPMetrics(reg, "http", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := HTTPMetrics(reg, "http", nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		f, ok := w.(http.Flusher)
 		if !ok {
 			t.Error("middleware writer lost http.Flusher")
@@ -77,7 +105,7 @@ func TestHTTPMetricsForwardsFlush(t *testing.T) {
 // unconfigured path costs nothing.
 func TestHTTPMetricsNilRegistryPassthrough(t *testing.T) {
 	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(204) })
-	h := HTTPMetrics(nil, "http", inner)
+	h := HTTPMetrics(nil, "http", nil, inner)
 	rw := httptest.NewRecorder()
 	h.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/", nil))
 	if rw.Code != 204 {

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the registry, served
+// by transfusiond's /metrics under content negotiation. The registry's dotted
+// metric names ("serve.cache_hits") are sanitised into the Prometheus name
+// charset ("serve_cache_hits"); histograms are exported in full — cumulative
+// `_bucket{le="..."}` series per bound plus the `+Inf` bucket, `_sum`, and
+// `_count` — rather than the quantile summary the JSON snapshot carries,
+// because Prometheus computes quantiles server-side from the buckets.
+
+// PrometheusContentType is the Content-Type for the exposition format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitises a registry metric name into the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*: every other byte maps to '_', and a leading
+// digit is prefixed with '_'.
+func promName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	b := []byte(name)
+	for i := range b {
+		switch c := b[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			// Digits are valid anywhere but the first byte; a leading digit
+			// is kept and prefixed below.
+		default:
+			b[i] = '_'
+		}
+	}
+	if b[0] >= '0' && b[0] <= '9' {
+		return "_" + string(b)
+	}
+	return string(b)
+}
+
+// promFloat renders a float the way Prometheus expects, with infinities
+// spelled +Inf/-Inf.
+func promFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	switch s {
+	case "Inf", "+Inf":
+		return "+Inf"
+	case "-Inf":
+		return "-Inf"
+	}
+	return s
+}
+
+// WritePrometheus renders every instrument in Prometheus text exposition
+// format 0.0.4, sorted by metric name for stable output. A nil registry
+// writes nothing and returns nil.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// Copy the instrument sets under the lock, then read their atomic values
+	// outside it: exposition must not block Observe.
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(counters))
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[n].Value()); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(gauges[n].Value())); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		h := hists[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		// Cumulative bucket counts: each le bucket includes every bucket
+		// below it. The +Inf bucket and _count are derived from the same
+		// per-bucket reads, so concurrent Observes can never make the series
+		// decrease or _count disagree with +Inf within one scrape.
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)].Load() // overflow bucket
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum()), pn, cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}

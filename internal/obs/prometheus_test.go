@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/prometheus.golden from the current implementation")
+
+// goldenRegistry builds a registry with every instrument kind and fixed,
+// deterministic values.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("serve.requests").Add(42)
+	reg.Counter("serve.cache_hits").Add(7)
+	reg.Counter("9starts.with-digit").Inc()
+	reg.Gauge("serve.active").Set(3)
+	reg.Gauge("runtime.heap_bytes").Set(1.5e6)
+	h := reg.Histogram("plan.latency_ms", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.5, 1.5, 4, 100} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+// The exposition output is golden-filed: any formatting change — type lines,
+// bucket cumulation, float rendering, name sanitisation, ordering — must be
+// deliberate. Regenerate with -update.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+var promNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name  string
+	le    string // the le label for _bucket lines, "" otherwise
+	value float64
+}
+
+// parsePromText parses exposition output far enough to hold the writer to the
+// format: every line is a comment or `name[{le="..."}] value`.
+func parsePromText(t *testing.T, text string) []promSample {
+	t.Helper()
+	var out []promSample
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if k := parts[3]; k != "counter" && k != "gauge" && k != "histogram" {
+				t.Fatalf("unknown metric kind in %q", line)
+			}
+			continue
+		}
+		name, rest, found := strings.Cut(line, " ")
+		if !found {
+			t.Fatalf("sample line %q has no value", line)
+		}
+		s := promSample{name: name}
+		if open := strings.IndexByte(name, '{'); open >= 0 {
+			labels := name[open:]
+			s.name = name[:open]
+			if !strings.HasPrefix(labels, `{le="`) || !strings.HasSuffix(labels, `"}`) {
+				t.Fatalf("unexpected label set %q in %q", labels, line)
+			}
+			s.le = labels[len(`{le="`) : len(labels)-len(`"}`)]
+		}
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		s.value = v
+		out = append(out, s)
+	}
+	return out
+}
+
+// The output must scrape: valid name charset everywhere, and for every
+// histogram a full _bucket/_sum/_count triplet with ascending le bounds,
+// nondecreasing cumulative counts, a trailing +Inf bucket, and _count equal
+// to the +Inf bucket.
+func TestWritePrometheusParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	samples := parsePromText(t, buf.String())
+	if len(samples) == 0 {
+		t.Fatal("no samples in exposition output")
+	}
+
+	type histState struct {
+		les     []float64
+		counts  []float64
+		infSeen bool
+		sum     bool
+		count   float64
+		hasCnt  bool
+	}
+	hists := map[string]*histState{}
+	get := func(base string) *histState {
+		h := hists[base]
+		if h == nil {
+			h = &histState{}
+			hists[base] = h
+		}
+		return h
+	}
+	for _, s := range samples {
+		if !promNameRE.MatchString(s.name) {
+			t.Errorf("metric name %q outside the Prometheus charset", s.name)
+		}
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			h := get(strings.TrimSuffix(s.name, "_bucket"))
+			if s.le == "+Inf" {
+				h.infSeen = true
+				h.counts = append(h.counts, s.value)
+				break
+			}
+			if h.infSeen {
+				t.Errorf("%s: finite le=%q bucket after +Inf", s.name, s.le)
+			}
+			le, err := strconv.ParseFloat(s.le, 64)
+			if err != nil {
+				t.Errorf("%s: unparseable le %q", s.name, s.le)
+				break
+			}
+			h.les = append(h.les, le)
+			h.counts = append(h.counts, s.value)
+		case strings.HasSuffix(s.name, "_sum"):
+			get(strings.TrimSuffix(s.name, "_sum")).sum = true
+		case strings.HasSuffix(s.name, "_count"):
+			h := get(strings.TrimSuffix(s.name, "_count"))
+			h.count, h.hasCnt = s.value, true
+		}
+	}
+	if base := "plan_latency_ms"; hists[base] == nil {
+		t.Fatalf("histogram %s missing from exposition", base)
+	}
+	for base, h := range hists {
+		if len(h.les) == 0 {
+			continue // _sum/_count suffixes on a non-histogram name
+		}
+		if !h.infSeen || !h.sum || !h.hasCnt {
+			t.Errorf("%s: incomplete triplet (+Inf=%v _sum=%v _count=%v)", base, h.infSeen, h.sum, h.hasCnt)
+			continue
+		}
+		for i := 1; i < len(h.les); i++ {
+			if h.les[i] <= h.les[i-1] {
+				t.Errorf("%s: le bounds not ascending: %v", base, h.les)
+			}
+		}
+		for i := 1; i < len(h.counts); i++ {
+			if h.counts[i] < h.counts[i-1] {
+				t.Errorf("%s: cumulative bucket counts decrease: %v", base, h.counts)
+			}
+		}
+		if inf := h.counts[len(h.counts)-1]; h.count != inf {
+			t.Errorf("%s: _count %g != +Inf bucket %g", base, h.count, inf)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.cache_hits": "serve_cache_hits",
+		"http.latency.ok":  "http_latency_ok",
+		"9starts":          "_9starts",
+		"9starts.with":     "_9starts_with",
+		"ok":               "ok",
+		"":                 "_",
+		"a-b/c d":          "a_b_c_d",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+		if !promNameRE.MatchString(promName(in)) {
+			t.Errorf("promName(%q) = %q outside charset", in, promName(in))
+		}
+	}
+}
+
+// A nil registry must write nothing — the disabled-observability contract.
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	var r *Registry
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", buf.String(), err)
+	}
+}

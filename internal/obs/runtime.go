@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RuntimeSampler periodically snapshots Go runtime health into a Registry:
+//
+//	runtime.goroutines   gauge  current goroutine count
+//	runtime.heap_bytes   gauge  live heap (MemStats.HeapAlloc)
+//	runtime.gc_pause_p99 gauge  p99 GC stop-the-world pause, milliseconds,
+//	                            over the pauses observed so far
+//	runtime.num_gc       gauge  completed GC cycles since process start
+//
+// The gauges ride the ordinary exposition paths (/metrics JSON, text, and
+// Prometheus), so a scrape sees process health next to serving metrics
+// without a second collector. Stop is idempotent and waits for the sampling
+// goroutine to exit, so tests guarded by the chaos leak check can start and
+// stop a sampler freely.
+type RuntimeSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartRuntimeSampler samples reg every interval until Stop. A nil registry
+// or non-positive interval returns a sampler whose Stop is a no-op, so
+// callers need no conditional wiring. The first sample is taken immediately:
+// gauges are live from the moment the sampler exists, not one interval later.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) *RuntimeSampler {
+	s := &RuntimeSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	if reg == nil || interval <= 0 {
+		close(s.done)
+		return s
+	}
+	goroutines := reg.Gauge("runtime.goroutines")
+	heap := reg.Gauge("runtime.heap_bytes")
+	pauseP99 := reg.Gauge("runtime.gc_pause_p99")
+	numGC := reg.Gauge("runtime.num_gc")
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heap.Set(float64(ms.HeapAlloc))
+		numGC.Set(float64(ms.NumGC))
+		pauseP99.Set(gcPauseP99MS(&ms))
+	}
+	sample()
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sample()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// Stop halts sampling and waits for the goroutine to exit. Safe to call more
+// than once and on a sampler that never started.
+func (s *RuntimeSampler) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// gcPauseP99MS computes the 99th-percentile stop-the-world pause in
+// milliseconds from the runtime's 256-entry circular pause buffer. With no
+// completed GC yet it reports 0.
+func gcPauseP99MS(ms *runtime.MemStats) float64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]uint64, n)
+	copy(pauses, ms.PauseNs[:n])
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	// Nearest-rank p99: the smallest value with at least 99% of the sample
+	// at or below it.
+	idx := (99*n + 99) / 100
+	if idx > n {
+		idx = n
+	}
+	return float64(pauses[idx-1]) / 1e6
+}

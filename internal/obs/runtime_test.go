@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/fusedmindlab/transfusion/internal/chaos"
+)
+
+func TestRuntimeSamplerGauges(t *testing.T) {
+	runtime.GC() // guarantee at least one completed cycle and pause sample
+	reg := NewRegistry()
+	s := StartRuntimeSampler(reg, time.Millisecond)
+	defer s.Stop()
+	// The first sample is synchronous, so the gauges are live immediately.
+	if g := reg.Gauge("runtime.goroutines").Value(); g < 1 {
+		t.Fatalf("runtime.goroutines = %g, want >= 1", g)
+	}
+	if h := reg.Gauge("runtime.heap_bytes").Value(); h <= 0 {
+		t.Fatalf("runtime.heap_bytes = %g, want > 0", h)
+	}
+	if n := reg.Gauge("runtime.num_gc").Value(); n < 1 {
+		t.Fatalf("runtime.num_gc = %g, want >= 1 after forced GC", n)
+	}
+	if p := reg.Gauge("runtime.gc_pause_p99").Value(); p < 0 {
+		t.Fatalf("runtime.gc_pause_p99 = %g, want >= 0", p)
+	}
+}
+
+// The sampler goroutine must exit on Stop (held to the same goroutine-leak
+// bar as the serving path), Stop must be idempotent, and the disabled
+// constructions must be safe no-ops.
+func TestRuntimeSamplerStopsCleanly(t *testing.T) {
+	reg := NewRegistry()
+	s := StartRuntimeSampler(reg, time.Millisecond)
+	time.Sleep(5 * time.Millisecond) // let it tick at least once
+	s.Stop()
+	s.Stop() // idempotent
+
+	StartRuntimeSampler(nil, time.Millisecond).Stop() // nil registry
+	StartRuntimeSampler(reg, 0).Stop()                // disabled interval
+
+	if err := chaos.CheckLeaks(2 * time.Second); err != nil {
+		t.Fatalf("goroutine leak after sampler stop: %v", err)
+	}
+}
+
+func TestGCPauseP99(t *testing.T) {
+	var ms runtime.MemStats
+	if got := gcPauseP99MS(&ms); got != 0 {
+		t.Fatalf("p99 with no GC = %g, want 0", got)
+	}
+	ms.NumGC = 3
+	ms.PauseNs[0] = 1e6 // 1ms
+	ms.PauseNs[1] = 3e6
+	ms.PauseNs[2] = 2e6
+	if got := gcPauseP99MS(&ms); got != 3 {
+		t.Fatalf("p99 of {1,3,2}ms = %g, want 3", got)
+	}
+}

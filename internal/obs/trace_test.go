@@ -1,0 +1,468 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTracer(TracerConfig{Seed: 1})
+	trace, root := tr.StartRequest("POST /v1/plan", "")
+	if trace == nil || root == nil {
+		t.Fatal("StartRequest returned nil trace or root")
+	}
+	if len(trace.ID()) != 32 || !isLowerHex(trace.ID()) {
+		t.Fatalf("trace id %q is not 32 lowercase hex chars", trace.ID())
+	}
+
+	ctx := ContextWithSpan(context.Background(), root)
+	ctx, resolve := StartSpan(ctx, "plan.resolve")
+	_, mem := StartSpan(ctx, "cache.memory")
+	mem.SetAttrBool("hit", false)
+	mem.End()
+	_, disk := StartSpan(ctx, "store.read")
+	disk.SetAttr("outcome", "miss")
+	disk.EndErr(errors.New("read fault"))
+	resolve.Event("watchdog.fired")
+	resolve.End()
+	root.End()
+	tr.Finish(trace)
+
+	exp, ok := tr.Export(trace.ID())
+	if !ok {
+		t.Fatalf("Export(%q) not found", trace.ID())
+	}
+	if !exp.Error {
+		t.Error("trace with an errored span must be flagged Error")
+	}
+	if len(exp.Spans) != 1 {
+		t.Fatalf("want 1 root span, got %d", len(exp.Spans))
+	}
+	gotRoot := exp.Spans[0]
+	if gotRoot.Name != "POST /v1/plan" || len(gotRoot.Children) != 1 {
+		t.Fatalf("unexpected root %q with %d children", gotRoot.Name, len(gotRoot.Children))
+	}
+	res := gotRoot.Children[0]
+	if res.Name != "plan.resolve" || len(res.Children) != 2 {
+		t.Fatalf("unexpected resolve span %q with %d children", res.Name, len(res.Children))
+	}
+	if len(res.Events) != 1 || res.Events[0].Name != "watchdog.fired" {
+		t.Errorf("resolve events = %+v, want one watchdog.fired", res.Events)
+	}
+	var sawDisk bool
+	for _, c := range res.Children {
+		if c.Name == "store.read" {
+			sawDisk = true
+			if c.Error != "read fault" {
+				t.Errorf("store.read span error = %q, want %q", c.Error, "read fault")
+			}
+			if len(c.Attrs) != 1 || c.Attrs[0].K != "outcome" || c.Attrs[0].V != "miss" {
+				t.Errorf("store.read attrs = %+v", c.Attrs)
+			}
+		}
+	}
+	if !sawDisk {
+		t.Error("store.read span missing from tree")
+	}
+
+	// The errored trace must land in both rings.
+	dump := tr.Dump()
+	if len(dump.Recent) != 1 || len(dump.Retained) != 1 || len(dump.InFlight) != 0 {
+		t.Errorf("dump sizes = inflight %d recent %d retained %d, want 0/1/1",
+			len(dump.InFlight), len(dump.Recent), len(dump.Retained))
+	}
+
+	// And the whole document must survive JSON marshalling.
+	if _, err := json.Marshal(dump); err != nil {
+		t.Fatalf("marshal dump: %v", err)
+	}
+}
+
+func TestTracerTailSampling(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 4, RetainCapacity: 8, SlowThreshold: time.Hour, Seed: 2})
+
+	finish := func(errored bool) string {
+		trace, root := tr.StartRequest("req", "")
+		if errored {
+			root.SetError(errors.New("boom"))
+		}
+		root.End()
+		tr.Finish(trace)
+		return trace.ID()
+	}
+
+	erroredID := finish(true)
+	for i := 0; i < 10; i++ {
+		finish(false) // churn the recent ring far past its capacity
+	}
+
+	dump := tr.Dump()
+	if len(dump.Recent) != 4 {
+		t.Fatalf("recent ring holds %d, want capacity 4", len(dump.Recent))
+	}
+	for _, e := range dump.Recent {
+		if e.TraceID == erroredID {
+			t.Fatal("errored trace should have churned out of the recent ring")
+		}
+	}
+	if len(dump.Retained) != 1 || dump.Retained[0].TraceID != erroredID {
+		t.Fatalf("retained ring = %+v, want exactly the errored trace", dump.Retained)
+	}
+	// The retained copy must still be individually exportable.
+	if _, ok := tr.Export(erroredID); !ok {
+		t.Error("errored trace not findable by id after churn")
+	}
+}
+
+func TestTracerRetainsSlowAndDegraded(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 1, SlowThreshold: time.Nanosecond, Seed: 3})
+	trace, root := tr.StartRequest("slow", "")
+	time.Sleep(time.Millisecond)
+	root.End()
+	tr.Finish(trace)
+
+	tr2 := NewTracer(TracerConfig{Capacity: 1, Seed: 4})
+	dtrace, droot := tr2.StartRequest("degraded", "")
+	droot.MarkDegraded()
+	droot.End()
+	tr2.Finish(dtrace)
+
+	if d := tr.Dump(); len(d.Retained) != 1 || !d.Retained[0].Slow {
+		t.Errorf("slow trace not retained: %+v", d.Retained)
+	}
+	if d := tr2.Dump(); len(d.Retained) != 1 || !d.Retained[0].Degraded {
+		t.Errorf("degraded trace not retained: %+v", d.Retained)
+	}
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTracer(TracerConfig{MaxSpans: 4, Seed: 5})
+	trace, root := tr.StartRequest("capped", "")
+	ctx := ContextWithSpan(context.Background(), root)
+	for i := 0; i < 10; i++ {
+		_, sp := StartSpan(ctx, fmt.Sprintf("child-%d", i))
+		sp.End() // nil-safe past the cap
+	}
+	root.End()
+	tr.Finish(trace)
+
+	exp, _ := tr.Export(trace.ID())
+	if exp.DroppedSpans != 7 { // 10 children - 3 admitted (root took 1 of 4)
+		t.Errorf("dropped = %d, want 7", exp.DroppedSpans)
+	}
+	total := 0
+	var walk func(spans []*SpanExport)
+	walk = func(spans []*SpanExport) {
+		for _, s := range spans {
+			total++
+			walk(s.Children)
+		}
+	}
+	walk(exp.Spans)
+	if total != 4 {
+		t.Errorf("exported %d spans, want cap of 4", total)
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tid, pid, ok := ParseTraceparent(valid)
+	if !ok || tid != "4bf92f3577b34da6a3ce929d0e0e4736" || pid != "00f067aa0ba902b7" {
+		t.Fatalf("ParseTraceparent(%q) = %q, %q, %v", valid, tid, pid, ok)
+	}
+
+	bad := []string{
+		"",
+		"not-a-traceparent",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",       // 3 parts
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",    // reserved version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",    // zero trace-id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",    // zero parent-id
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",    // uppercase
+		"00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01",      // short trace-id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736zz-00f067aa0ba902b7-01",  // long trace-id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-02", // 5 parts
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902bg-01",    // non-hex
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", h)
+		}
+	}
+
+	// Round-trip: Format then Parse.
+	h := FormatTraceparent(tid, pid)
+	tid2, pid2, ok := ParseTraceparent(h)
+	if !ok || tid2 != tid || pid2 != pid {
+		t.Errorf("round trip %q -> %q, %q, %v", h, tid2, pid2, ok)
+	}
+
+	// NewTraceparent output must parse.
+	if _, _, ok := ParseTraceparent(NewTraceparent()); !ok {
+		t.Error("NewTraceparent produced an unparseable header")
+	}
+}
+
+func TestStartRequestAdoptsInboundTraceID(t *testing.T) {
+	tr := NewTracer(TracerConfig{Seed: 6})
+	inbound := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	trace, root := tr.StartRequest("req", inbound)
+	if trace.ID() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace id = %q, want the inbound trace-id", trace.ID())
+	}
+	root.End()
+	tr.Finish(trace)
+	exp, _ := tr.Export(trace.ID())
+	if exp.ParentSpan != "00f067aa0ba902b7" {
+		t.Errorf("parent span = %q, want the inbound parent-id", exp.ParentSpan)
+	}
+
+	// Malformed inbound headers fall back to a fresh id.
+	trace2, root2 := tr.StartRequest("req", "garbage")
+	if len(trace2.ID()) != 32 || trace2.ID() == trace.ID() {
+		t.Errorf("fallback trace id %q invalid", trace2.ID())
+	}
+	root2.End()
+	tr.Finish(trace2)
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer(TracerConfig{Seed: 7})
+	trace, root := tr.StartRequest("POST /v1/plan", "")
+	ctx := ContextWithSpan(context.Background(), root)
+	_, child := StartSpan(ctx, "tileseek.search")
+	child.SetAttr("layer", "mha")
+	child.Event("rollout.done")
+	child.End()
+	root.End()
+	tr.Finish(trace)
+
+	events, ok := tr.ChromeTrace(trace.ID())
+	if !ok {
+		t.Fatal("ChromeTrace not found")
+	}
+	var complete, meta int
+	for _, e := range events {
+		switch e.Phase {
+		case "X":
+			complete++
+		case "M":
+			meta++
+		}
+	}
+	// 2 spans + 1 span event as X; process name + 2 thread names as M.
+	if complete != 3 || meta != 3 {
+		t.Errorf("chrome trace has %d X and %d M events, want 3 and 3", complete, meta)
+	}
+	data, err := MarshalChromeTrace(events)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+}
+
+func TestTracerInFlightVisible(t *testing.T) {
+	tr := NewTracer(TracerConfig{Seed: 8})
+	trace, root := tr.StartRequest("inflight", "")
+	ctx := ContextWithSpan(context.Background(), root)
+	_, open := StartSpan(ctx, "still.running")
+
+	dump := tr.Dump()
+	if len(dump.InFlight) != 1 {
+		t.Fatalf("in-flight count = %d, want 1", len(dump.InFlight))
+	}
+	exp := dump.InFlight[0]
+	if !exp.InFlight {
+		t.Error("in-flight trace not flagged")
+	}
+	found := false
+	for _, s := range exp.Spans {
+		for _, c := range append([]*SpanExport{s}, s.Children...) {
+			if c.Name == "still.running" && c.Unfinished {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("open span not exported as unfinished")
+	}
+
+	open.End()
+	root.End()
+	tr.Finish(trace)
+	if d := tr.Dump(); len(d.InFlight) != 0 || len(d.Recent) != 1 {
+		t.Errorf("after finish: inflight %d recent %d", len(d.InFlight), len(d.Recent))
+	}
+}
+
+func TestNilTracerAndSpanAreNoops(t *testing.T) {
+	var tr *Tracer
+	trace, root := tr.StartRequest("x", "")
+	if trace != nil || root != nil {
+		t.Fatal("nil tracer must hand out nil trace and span")
+	}
+	// Every method must tolerate the nils.
+	root.End()
+	root.EndErr(errors.New("x"))
+	root.SetError(errors.New("x"))
+	root.SetAttr("k", "v")
+	root.SetAttrInt("k", 1)
+	root.SetAttrFloat("k", 1.5)
+	root.SetAttrBool("k", true)
+	root.Event("e")
+	root.MarkDegraded()
+	if root.TraceID() != "" || root.SpanID() != "" || trace.ID() != "" {
+		t.Error("nil ids must be empty")
+	}
+	tr.Finish(trace)
+	if d := tr.Dump(); len(d.InFlight)+len(d.Recent)+len(d.Retained) != 0 {
+		t.Error("nil tracer dump must be empty")
+	}
+	if _, ok := tr.Export("abc"); ok {
+		t.Error("nil tracer must not export")
+	}
+	if _, ok := tr.ChromeTrace("abc"); ok {
+		t.Error("nil tracer must not chrome-export")
+	}
+
+	ctx, sp := StartSpan(context.Background(), "untraced")
+	if sp != nil || ctx != context.Background() {
+		t.Error("StartSpan without a parent must return ctx unchanged and nil span")
+	}
+}
+
+// TestDisabledTracingZeroAlloc is the tentpole's zero-cost guarantee: on a
+// context with no span attached (tracing unconfigured), the full span API
+// surface must not allocate.
+func TestDisabledTracingZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	if avg := testing.AllocsPerRun(200, func() {
+		c, sp := StartSpan(ctx, "plan.resolve")
+		sp.SetAttr("key", "value")
+		sp.SetAttrInt("n", 42)
+		sp.SetAttrBool("hit", true)
+		sp.Event("watchdog.fired")
+		sp.EndErr(nil)
+		_, sp2 := StartSpan(c, "nested")
+		sp2.End()
+		_ = SpanFromContext(c)
+	}); avg != 0 {
+		t.Errorf("disabled tracing allocates %.1f per op, want 0", avg)
+	}
+}
+
+// TestDetachedContextZeroAlloc covers the span-flood suppression path: a
+// context explicitly detached with ContextWithSpan(ctx, nil) must behave like
+// the disabled path (the detach itself allocates once; the loop below must
+// not).
+func TestDetachedContextZeroAlloc(t *testing.T) {
+	tr := NewTracer(TracerConfig{Seed: 9})
+	trace, root := tr.StartRequest("req", "")
+	ctx := ContextWithSpan(ContextWithSpan(context.Background(), root), nil)
+	if avg := testing.AllocsPerRun(200, func() {
+		_, sp := StartSpan(ctx, "objective.eval")
+		sp.End()
+	}); avg != 0 {
+		t.Errorf("detached tracing allocates %.1f per op, want 0", avg)
+	}
+	root.End()
+	tr.Finish(trace)
+}
+
+func TestHTTPTrace(t *testing.T) {
+	tr := NewTracer(TracerConfig{Seed: 10})
+	var gotSpan *Span
+	h := HTTPTrace(tr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotSpan = SpanFromContext(r.Context())
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	inbound := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	req := httptest.NewRequest(http.MethodPost, "/v1/plan", nil)
+	req.Header.Set("traceparent", inbound)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	if gotSpan == nil {
+		t.Fatal("handler saw no span in its context")
+	}
+	if got := rec.Header().Get("X-Trace-Id"); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("X-Trace-Id = %q, want the inbound trace-id", got)
+	}
+	exp, ok := tr.Export("4bf92f3577b34da6a3ce929d0e0e4736")
+	if !ok {
+		t.Fatal("trace not finished into the tracer")
+	}
+	if exp.Spans[0].Name != "POST /v1/plan" {
+		t.Errorf("root span name = %q", exp.Spans[0].Name)
+	}
+	var status string
+	for _, a := range exp.Spans[0].Attrs {
+		if a.K == "http.status" {
+			status = a.V
+		}
+	}
+	if status != "200" {
+		t.Errorf("http.status attr = %q, want 200", status)
+	}
+
+	// 5xx responses mark the trace errored (and therefore retained).
+	boom := HTTPTrace(tr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	rec2 := httptest.NewRecorder()
+	boom.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/x", nil))
+	id := rec2.Header().Get("X-Trace-Id")
+	exp2, ok := tr.Export(id)
+	if !ok || !exp2.Error {
+		t.Errorf("5xx trace not flagged errored: ok=%v exp=%+v", ok, exp2)
+	}
+	if !strings.Contains(exp2.Spans[0].Error, "500") {
+		t.Errorf("root error = %q, want an http 500 note", exp2.Spans[0].Error)
+	}
+
+	// Nil tracer passes the handler through untouched.
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := HTTPTrace(nil, inner); fmt.Sprintf("%p", got) != fmt.Sprintf("%p", inner) {
+		t.Error("nil tracer must return next unchanged")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTracer(TracerConfig{MaxSpans: 4096, Seed: 11})
+	trace, root := tr.StartRequest("concurrent", "")
+	ctx := ContextWithSpan(context.Background(), root)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 50; j++ {
+				c, sp := StartSpan(ctx, fmt.Sprintf("worker-%d", i))
+				sp.SetAttrInt("j", int64(j))
+				_, inner := StartSpan(c, "inner")
+				inner.Event("tick")
+				inner.End()
+				sp.End()
+			}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	root.End()
+	tr.Finish(trace)
+	exp, _ := tr.Export(trace.ID())
+	if exp.DroppedSpans != 0 {
+		t.Errorf("dropped %d spans under a 4096 cap", exp.DroppedSpans)
+	}
+}

@@ -231,8 +231,19 @@ func EvaluateContext(ctx context.Context, w Workload, spec arch.Spec, sys System
 	innerOpts := opts
 	innerOpts.Parallelism = 1
 	innerOpts.DPipe.Parallelism = 1
+	// The objective runs once per rollout — hundreds of times per request —
+	// so it evaluates under a detached trace context: a span per rollout
+	// would blow straight through the per-trace cap and drown the request
+	// tree. The search itself gets one "tileseek.search" span; only the
+	// final evaluation of the winning tile (below) runs traced, so its
+	// per-sub-layer schedule spans appear exactly once. The conditional
+	// keeps the untraced path allocation-free.
+	objCtx := ctx
+	if obs.SpanFromContext(ctx) != nil {
+		objCtx = obs.ContextWithSpan(ctx, nil)
+	}
 	objective := func(c tiling.Config) (float64, bool) {
-		r, err := evaluateWithTile(ctx, w, spec, sys, c, innerOpts)
+		r, err := evaluateWithTile(objCtx, w, spec, sys, c, innerOpts)
 		if err != nil {
 			return 0, false
 		}
@@ -416,15 +427,28 @@ func evaluateWithTile(ctx context.Context, w Workload, spec arch.Spec, sys Syste
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	schedOne := func(name string) (dpipe.Result, error) {
+	schedOne := func(name string) (res dpipe.Result, err error) {
 		lp := probs[name]
+		// One span per sub-layer schedule. With workers > 1 these run on
+		// worker goroutines; the trace serialises span mutation internally,
+		// so concurrent sub-layer spans are safe and show up as overlapping
+		// lanes in the exported timeline.
+		sctx, sp := obs.StartSpan(ctx, "pipeline.schedule")
+		if sp != nil {
+			sp.SetAttr("layer", name)
+			sp.SetAttr("scheduler", lp.sched.String())
+			defer func() {
+				sp.SetAttrInt("candidates", int64(res.Candidates))
+				sp.EndErr(err)
+			}()
+		}
 		switch lp.sched {
 		case SchedSequential:
 			return dpipe.Sequential(lp.prob, spec, nil)
 		case SchedStatic:
 			return dpipe.StaticPipelined(lp.prob, spec, dpipe.FuseMaxAssignment(lp.prob, spec))
 		default:
-			return dpipe.PlanContext(ctx, lp.prob, spec, opts.DPipe)
+			return dpipe.PlanContext(sctx, lp.prob, spec, opts.DPipe)
 		}
 	}
 	scheds := make(map[string]schedOut, len(probs))

@@ -51,8 +51,21 @@ func (a *admission) pressure() int64 { return a.queued.Load() }
 // queue is past its hard cap, or one matching faults.ErrCanceled when ctx
 // expires while queued. A request whose context is already dead never
 // acquires a slot, even if one happens to be free the instant it joins the
-// race. A nil return must be paired with release.
+// race. A nil return must be paired with release. A traced caller gets an
+// "admission.wait" span with the queue depth it saw, so time spent waiting
+// for a slot is attributed in the request's trace.
 func (a *admission) acquire(ctx context.Context) error {
+	_, sp := obs.StartSpan(ctx, "admission.wait")
+	if sp != nil {
+		sp.SetAttrInt("queue_depth", a.pressure())
+	}
+	err := a.doAcquire(ctx)
+	sp.EndErr(err)
+	return err
+}
+
+// doAcquire is acquire's body; see there for the contract.
+func (a *admission) doAcquire(ctx context.Context) error {
 	if err := chaos.SiteFrom(ctx, chaos.SiteServeAdmission).Strike(ctx); err != nil {
 		return err
 	}

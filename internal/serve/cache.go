@@ -48,6 +48,10 @@ type planCall struct {
 	// complete is set once eval has returned; observed false in the deferred
 	// cleanup it means eval panicked out of the call.
 	complete bool
+	// leaderTrace is the trace id of the leader's request ("" when the
+	// leader is untraced); joiners stamp it on their "plan.join" span so the
+	// trace that actually ran the evaluation is one click away.
+	leaderTrace string
 }
 
 func newPlanCache(max int, reg *obs.Registry) *planCache {
@@ -94,16 +98,25 @@ func (c *planCache) Do(ctx context.Context, key string, retainDegraded bool, eva
 	if call, ok := c.calls[key]; ok {
 		c.mu.Unlock()
 		// A leader is already evaluating this key: joining shares its work,
-		// which is a hit for capacity purposes.
+		// which is a hit for capacity purposes. The wait is a span of its
+		// own — a traced joiner shows up as "plan.join" pointing at the
+		// leader's trace, not as an unexplained gap.
 		c.hits.Inc()
+		_, joinSp := obs.StartSpan(ctx, "plan.join")
+		if joinSp != nil && call.leaderTrace != "" {
+			joinSp.SetAttr("leader_trace", call.leaderTrace)
+		}
 		select {
 		case <-call.done:
+			joinSp.EndErr(call.err)
 			return call.res, false, call.err
 		case <-ctx.Done():
-			return transfusion.RunResult{}, false, faults.Canceled(ctx)
+			err := faults.Canceled(ctx)
+			joinSp.EndErr(err)
+			return transfusion.RunResult{}, false, err
 		}
 	}
-	call := &planCall{done: make(chan struct{})}
+	call := &planCall{done: make(chan struct{}), leaderTrace: obs.SpanFromContext(ctx).TraceID()}
 	c.calls[key] = call
 	c.mu.Unlock()
 	c.misses.Inc()

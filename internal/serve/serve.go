@@ -105,6 +105,13 @@ type Config struct {
 	// stored plans so a restarted daemon answers its previous working set
 	// from memory without re-searching.
 	ColdStart bool
+	// Tracer enables per-request tracing: every request gets a span tree
+	// (admission wait, ladder decision, cache tiers, singleflight role,
+	// search, store fills), an X-Trace-Id response header, and a slot in the
+	// /debug/requests ring buffers. nil disables tracing — the request path
+	// then carries no span and pays nothing (the obs span API is
+	// zero-allocation on a span-free context).
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -223,16 +230,23 @@ func New(cfg Config, reg *obs.Registry, baseCtx context.Context) *Server {
 	return s
 }
 
-// Handler returns the routed, metrics-instrumented handler.
+// Handler returns the routed, metrics- and trace-instrumented handler.
+// Ordering matters: metrics wrap tracing so the middleware's own cost is
+// inside the measured latency, and tracing wraps the panic boundary so a
+// recovered panic still finishes its trace (as a 500, and therefore
+// retained).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	routes := []string{"/v1/plan", "/v1/compare", "/healthz", "/readyz", "/metrics", "/debug/trace", "/debug/requests"}
 	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/v1/compare", s.handleCompare)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
-	return obs.HTTPMetrics(s.reg, "serve.http", s.recoverPanics(mux))
+	mux.HandleFunc("/debug/requests", s.handleRequests)
+	return obs.HTTPMetrics(s.reg, "serve.http", routes,
+		obs.HTTPTrace(s.cfg.Tracer, s.recoverPanics(mux)))
 }
 
 // recoverPanics is the handler-level panic boundary: a panic escaping a
@@ -257,7 +271,13 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 // finish. Liveness (/healthz) stays OK throughout — a draining process is
 // shutting down deliberately, not stuck.
 func (s *Server) Serve(ctx context.Context, l net.Listener) error {
-	srv := &http.Server{Handler: s.Handler()}
+	srv := &http.Server{
+		Handler: s.Handler(),
+		// Request contexts inherit the server's base context values (logger,
+		// metrics, chaos injector) so handlers see the same facilities
+		// whether driven through Serve or through Handler directly in tests.
+		BaseContext: func(net.Listener) context.Context { return s.baseCtx },
+	}
 	shutdownErr := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
@@ -543,15 +563,44 @@ func sourceOf(cached bool) string {
 // itself runs under the server's own deadline so a disconnecting client
 // cannot kill coalesced peers, and its result is cached for the retry even if
 // nobody is left to read it.
+//
+// When the request carries a trace, the resolution gets a "plan.resolve"
+// span annotated with the outcome — which tier answered, the cache key, and
+// the degradation mode — so a slow or degraded response is attributable at a
+// glance in /debug/requests.
 func (s *Server) evalPlan(reqCtx context.Context, spec transfusion.RunSpec) (transfusion.RunResult, bool, string, string, string, error) {
+	ctx, sp := obs.StartSpan(reqCtx, "plan.resolve")
+	res, cached, key, mode, source, err := s.resolvePlan(ctx, spec)
+	if sp != nil {
+		sp.SetAttr("key", key)
+		sp.SetAttr("source", source)
+		sp.SetAttrBool("cached", cached)
+		if mode != "" {
+			sp.SetAttr("degrade_mode", mode)
+			sp.MarkDegraded()
+		}
+		sp.EndErr(err)
+	}
+	return res, cached, key, mode, source, err
+}
+
+// resolvePlan is evalPlan's body; see there for the contract.
+func (s *Server) resolvePlan(reqCtx context.Context, spec transfusion.RunSpec) (transfusion.RunResult, bool, string, string, string, error) {
 	spec.Parallelism = s.cfg.Parallelism
 	fullKey := spec.CanonicalKey()
 	// Peek the full-fidelity cache before consulting the ladder: a complete
 	// cached answer beats a freshly computed degraded one at any load.
-	if res, ok := s.cache.Get(fullKey); ok {
+	_, memSp := obs.StartSpan(reqCtx, "cache.memory")
+	res, ok := s.cache.Get(fullKey)
+	memSp.SetAttrBool("hit", ok)
+	memSp.End()
+	if ok {
 		return res, true, fullKey, "", sourceMemory, nil
 	}
 	spec, mode := s.applyLadder(spec)
+	if sp := obs.SpanFromContext(reqCtx); sp != nil && mode != "" {
+		sp.SetAttr("ladder_mode", mode)
+	}
 	key := fullKey
 	if mode != "" {
 		key = spec.CanonicalKey()
@@ -561,9 +610,12 @@ func (s *Server) evalPlan(reqCtx context.Context, spec transfusion.RunSpec) (tra
 	// persisted, so a ladder-rewritten key cannot exist on disk. A hit is
 	// promoted into the memory cache so the next request skips the disk.
 	// Every store failure (read fault, torn record, injected chaos) reports a
-	// clean miss and the request falls through to search.
+	// clean miss and the request falls through to search. The store's own
+	// "store.read" span (it inherits the request span through diskCtx)
+	// carries the lookup's duration and error, so injected disk latency and
+	// faults are attributed to this tier in the trace.
 	if s.store != nil && mode == "" {
-		diskCtx, cancel := s.boundDiskCtx()
+		diskCtx, cancel := s.boundDiskCtx(reqCtx)
 		res, ok := s.store.Get(diskCtx, fullKey)
 		cancel()
 		if ok {
@@ -614,18 +666,26 @@ func (s *Server) evalPlan(reqCtx context.Context, spec transfusion.RunSpec) (tra
 	// very evaluations the watchdog is routing around, and the heuristic path
 	// is bounded, cheap work.
 	s.reg.Counter("serve.watchdog_fires").Inc()
+	obs.SpanFromContext(reqCtx).Event("watchdog.fired")
 	fspec := spec
 	fspec.HeuristicOnly = true
 	fkey := fspec.CanonicalKey()
-	res, cached, err := s.cache.Do(reqCtx, fkey, true, func() (transfusion.RunResult, error) {
+	wdRes, wdCached, err := s.cache.Do(reqCtx, fkey, true, func() (transfusion.RunResult, error) {
 		evalCtx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
 		defer cancel()
-		return transfusion.RunContext(evalCtx, fspec)
+		var wdSp *obs.Span
+		if sp := obs.SpanFromContext(reqCtx); sp != nil {
+			evalCtx = obs.ContextWithSpan(evalCtx, sp)
+			evalCtx, wdSp = obs.StartSpan(evalCtx, "plan.watchdog_rescue")
+		}
+		r, err := transfusion.RunContext(evalCtx, fspec)
+		wdSp.EndErr(err)
+		return r, err
 	})
 	if err != nil {
 		return transfusion.RunResult{}, false, fkey, mode, sourceSearch, err
 	}
-	return res, cached, fkey, degradeWatchdog, sourceOf(cached), nil
+	return wdRes, wdCached, fkey, degradeWatchdog, sourceOf(wdCached), nil
 }
 
 // boundDiskCtx derives the context for an on-request-path disk read: the
@@ -633,13 +693,19 @@ func (s *Server) evalPlan(reqCtx context.Context, spec transfusion.RunSpec) (tra
 // bounded so a slow or fault-injected disk degrades to a miss instead of
 // wedging the request. The watchdog timeout bounds it when configured — the
 // disk tier sits outside the watchdog, so it must not be allowed to consume
-// the whole request deadline on its own.
-func (s *Server) boundDiskCtx() (context.Context, context.CancelFunc) {
+// the whole request deadline on its own. The request's span (when tracing)
+// is re-attached so the store's "store.read" span lands in the request's
+// trace despite the detached cancellation.
+func (s *Server) boundDiskCtx(reqCtx context.Context) (context.Context, context.CancelFunc) {
 	timeout := s.cfg.RequestTimeout
 	if s.cfg.WatchdogTimeout > 0 && s.cfg.WatchdogTimeout < timeout {
 		timeout = s.cfg.WatchdogTimeout
 	}
-	return context.WithTimeout(s.baseCtx, timeout)
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	if sp := obs.SpanFromContext(reqCtx); sp != nil {
+		ctx = obs.ContextWithSpan(ctx, sp)
+	}
+	return ctx, cancel
 }
 
 // storeFillAsync persists a completed full-fidelity result to the disk tier
@@ -647,16 +713,29 @@ func (s *Server) boundDiskCtx() (context.Context, context.CancelFunc) {
 // transient load or fault condition, and the store must only ever hold
 // answers worth serving forever. Fill failures (including injected chaos)
 // cost durability, never correctness — the next restart re-searches.
-func (s *Server) storeFillAsync(key string, res transfusion.RunResult) {
+//
+// evalCtx donates only its span (when tracing): the fill appears in the
+// originating request's trace as an async "store.fill" span — typically
+// still open when the response goes out, exported as unfinished — but runs
+// under its own timeout detached from the request.
+func (s *Server) storeFillAsync(evalCtx context.Context, key string, res transfusion.RunResult) {
 	if s.store == nil || res.Degraded {
 		return
 	}
+	parent := obs.SpanFromContext(evalCtx)
 	s.fills.Add(1)
 	go func() {
 		defer s.fills.Done()
 		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
 		defer cancel()
-		s.store.Put(ctx, key, res) //nolint:errcheck // counted in store.put_errors
+		var sp *obs.Span
+		if parent != nil {
+			ctx = obs.ContextWithSpan(ctx, parent)
+			ctx, sp = obs.StartSpan(ctx, "store.fill")
+			sp.SetAttrBool("async", true)
+		}
+		err := s.store.Put(ctx, key, res) //nolint:errcheck // counted in store.put_errors
+		sp.EndErr(err)
 	}()
 }
 
@@ -673,6 +752,17 @@ func (s *Server) doEval(reqCtx context.Context, spec transfusion.RunSpec, key st
 		defer faults.Recover(&err)
 		evalCtx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
 		defer cancel()
+		// The evaluation runs under the server-owned evalCtx, which does not
+		// inherit the request context — re-attach the request's span so the
+		// singleflight leader's work ("plan.lead": admission wait, chaos
+		// strikes, the search itself) lands in the leader's trace. Joiners
+		// get a "plan.join" span inside planCache.Do instead.
+		var lead *obs.Span
+		if sp := obs.SpanFromContext(reqCtx); sp != nil {
+			evalCtx = obs.ContextWithSpan(evalCtx, sp)
+			evalCtx, lead = obs.StartSpan(evalCtx, "plan.lead")
+			defer func() { lead.EndErr(err) }()
+		}
 		if err := s.adm.acquire(evalCtx); err != nil {
 			return transfusion.RunResult{}, err
 		}
@@ -686,7 +776,7 @@ func (s *Server) doEval(reqCtx context.Context, spec transfusion.RunSpec, key st
 			s.observeLatency(time.Since(start))
 			// One durable fill per completed evaluation, spawned by the
 			// singleflight leader so coalesced joiners never duplicate it.
-			s.storeFillAsync(key, res)
+			s.storeFillAsync(evalCtx, key, res)
 		}
 		return res, err
 	})
@@ -718,7 +808,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("X-Plan-Source", source)
-	s.markDegraded(w, &res, mode)
+	s.markDegraded(r.Context(), w, &res, mode)
 	s.noteSuccess()
 	writeJSON(w, http.StatusOK, PlanResponse{
 		Result: res, Cached: cached, Key: key, Source: source,
@@ -732,8 +822,10 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 // responses on the wire), and the result's Degraded/DegradedReason fields are
 // set when the ladder — rather than the evaluation itself — was the cause.
 // mode "" with an undegraded result is the full-fidelity fast path: no
-// header, no counter.
-func (s *Server) markDegraded(w http.ResponseWriter, res *transfusion.RunResult, mode string) {
+// header, no counter. A degraded response also marks the request's trace
+// degraded, which guarantees its retention in the tracer's tail-sampling
+// ring.
+func (s *Server) markDegraded(ctx context.Context, w http.ResponseWriter, res *transfusion.RunResult, mode string) {
 	if mode == "" {
 		if !res.Degraded {
 			return
@@ -746,6 +838,7 @@ func (s *Server) markDegraded(w http.ResponseWriter, res *transfusion.RunResult,
 		res.Degraded = true
 		res.DegradedReason = "served degraded under load (" + mode + " tier)"
 	}
+	obs.SpanFromContext(ctx).MarkDegraded()
 	w.Header().Set("Served-Degraded", mode)
 	s.reg.Counter("serve.degraded." + mode).Inc()
 }
@@ -798,6 +891,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		if degradeMode == "" {
 			degradeMode = degradeSearch
 		}
+		obs.SpanFromContext(r.Context()).MarkDegraded()
 		w.Header().Set("Served-Degraded", degradeMode)
 		s.reg.Counter("serve.degraded." + degradeMode).Inc()
 	}
@@ -827,10 +921,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleMetrics serves the registry under content negotiation:
+// ?format=json keeps the legacy JSON snapshot, ?format=prometheus — or an
+// Accept header naming text/plain, which is what a Prometheus scraper
+// sends — serves text exposition format 0.0.4, and anything else gets the
+// legacy sorted name/value text.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.reg.Snapshot()
-	if r.URL.Query().Get("format") == "json" {
-		data, err := snap.JSON()
+	format := r.URL.Query().Get("format")
+	if format == "json" {
+		data, err := s.reg.Snapshot().JSON()
 		if err != nil {
 			s.writeError(w, err)
 			return
@@ -839,8 +938,50 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		w.Write(data) //nolint:errcheck
 		return
 	}
+	if format == "prometheus" || strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		s.reg.WritePrometheus(w) //nolint:errcheck
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	snap.WriteText(w) //nolint:errcheck
+	s.reg.Snapshot().WriteText(w) //nolint:errcheck
+}
+
+// handleRequests serves the request-trace ring buffers: the full dump
+// (in-flight + recent + retained span trees) by default, one trace by
+// ?id=<trace-id>, and a Chrome trace_event rendering of one trace by
+// ?id=<trace-id>&format=chrome (load it in Perfetto or chrome://tracing).
+// With tracing disabled the dump is present but empty, so dashboards can
+// poll unconditionally.
+func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	tracer := s.cfg.Tracer
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeJSON(w, http.StatusOK, tracer.Dump())
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		events, ok := tracer.ChromeTrace(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "serve: no trace " + id, Status: http.StatusNotFound})
+			return
+		}
+		data, err := obs.MarshalChromeTrace(events)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("inline; filename=%q", "request-trace.json"))
+		w.Write(data) //nolint:errcheck
+		return
+	}
+	exp, ok := tracer.Export(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "serve: no trace " + id, Status: http.StatusNotFound})
+		return
+	}
+	writeJSON(w, http.StatusOK, exp)
 }
 
 // handleTrace serves the Chrome trace_event export of the DPipe schedules for

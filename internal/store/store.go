@@ -346,10 +346,15 @@ func (s *Store) evictLocked() {
 // residue of a crash mid-write — which the next Open sweeps). ctx carries
 // the chaos injector and bounds injected latency.
 func (s *Store) Put(ctx context.Context, key string, res transfusion.RunResult) (err error) {
+	// A traced caller (the serving layer's async fill) sees the commit as a
+	// "store.write" span whose duration covers the whole
+	// write→fsync→rename pipeline, injected chaos latency included.
+	_, sp := obs.StartSpan(ctx, "store.write")
 	defer func() {
 		if err != nil {
 			s.putErrors.Inc()
 		}
+		sp.EndErr(err)
 	}()
 	if key == "" {
 		return errors.New("store: empty key")
@@ -429,13 +434,32 @@ func (s *Store) Put(ctx context.Context, key string, res transfusion.RunResult) 
 // can cost a re-search, never a wrong plan. A hit refreshes the entry's LRU
 // position and (best-effort) its file mtime, so access recency survives
 // restarts.
+//
+// A traced caller sees the lookup as a "store.read" span: its duration
+// covers the whole read (injected chaos latency included), its "outcome"
+// attr distinguishes a clean miss from a fault-induced one, and a fault's
+// error lands on the span even though the caller only ever observes a miss.
 func (s *Store) Get(ctx context.Context, key string) (transfusion.RunResult, bool) {
+	ctx, sp := obs.StartSpan(ctx, "store.read")
+	res, outcome, err := s.get(ctx, key)
+	if sp != nil {
+		sp.SetAttrBool("hit", outcome == "hit")
+		sp.SetAttr("outcome", outcome)
+		sp.EndErr(err)
+	}
+	return res, outcome == "hit"
+}
+
+// get is Get's body; outcome is "hit", "miss" (key unknown), or the failure
+// class behind a forced miss ("read_error", "quarantined"), with err carrying
+// the underlying fault for trace attribution.
+func (s *Store) get(ctx context.Context, key string) (transfusion.RunResult, string, error) {
 	s.mu.Lock()
 	el, ok := s.byKey[key]
 	if !ok {
 		s.mu.Unlock()
 		s.misses.Inc()
-		return transfusion.RunResult{}, false
+		return transfusion.RunResult{}, "miss", nil
 	}
 	file := el.Value.(*entry).file
 	s.mu.Unlock()
@@ -443,14 +467,14 @@ func (s *Store) Get(ctx context.Context, key string) (transfusion.RunResult, boo
 	if err := chaos.SiteFrom(ctx, chaos.SiteStoreRead).Strike(ctx); err != nil {
 		s.readErrors.Inc()
 		s.misses.Inc()
-		return transfusion.RunResult{}, false
+		return transfusion.RunResult{}, "read_error", err
 	}
 	data, err := os.ReadFile(filepath.Join(s.dir, file))
 	if err != nil {
 		// Concurrently evicted, or genuinely unreadable: a miss either way.
 		s.readErrors.Inc()
 		s.misses.Inc()
-		return transfusion.RunResult{}, false
+		return transfusion.RunResult{}, "read_error", err
 	}
 	rec, err := decodeRecord(data, file)
 	if err != nil || rec.Key != key {
@@ -460,7 +484,10 @@ func (s *Store) Get(ctx context.Context, key string) (transfusion.RunResult, boo
 		s.quarantined.Inc()
 		s.dropEntry(key)
 		s.misses.Inc()
-		return transfusion.RunResult{}, false
+		if err == nil {
+			err = fmt.Errorf("store: record %s carries key %q, want %q", file, rec.Key, key)
+		}
+		return transfusion.RunResult{}, "quarantined", err
 	}
 
 	s.mu.Lock()
@@ -471,7 +498,7 @@ func (s *Store) Get(ctx context.Context, key string) (transfusion.RunResult, boo
 	now := time.Now()
 	os.Chtimes(filepath.Join(s.dir, file), now, now) //nolint:errcheck // best-effort recency persistence
 	s.hits.Inc()
-	return rec.Result, true
+	return rec.Result, "hit", nil
 }
 
 // dropEntry removes key from the index (after its file was quarantined).

@@ -338,8 +338,24 @@ func backprop(n *node, reward float64) {
 // and end; opts.Progress streams per-rollout events (always from the master
 // goroutine, exactly once per rollout, at every parallelism level). With
 // none of the three configured the rollout loop allocates nothing it did not
-// already allocate.
+// already allocate. A request span attached to ctx (obs.ContextWithSpan)
+// gains one "tileseek.search" child covering the whole search, annotated
+// with the iteration budget and the evaluated/pruned/found outcome.
 func SearchWithOptions(ctx context.Context, space Space, objective Objective, opts Options) (Result, error) {
+	ctx, sp := obs.StartSpan(ctx, "tileseek.search")
+	res, err := searchWithOptions(ctx, space, objective, opts)
+	if sp != nil {
+		sp.SetAttrInt("iterations", int64(opts.Iterations))
+		sp.SetAttrInt("evaluated", int64(res.Evaluated))
+		sp.SetAttrInt("pruned", int64(res.Pruned))
+		sp.SetAttrBool("found", res.Found)
+		sp.EndErr(err)
+	}
+	return res, err
+}
+
+// searchWithOptions is SearchWithOptions' body; see there for the contract.
+func searchWithOptions(ctx context.Context, space Space, objective Objective, opts Options) (Result, error) {
 	if err := space.Validate(); err != nil {
 		return Result{}, err
 	}
