@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -86,6 +87,50 @@ type RunSpec struct {
 	// evaluation. 0 selects GOMAXPROCS; 1 forces the serial path. Results
 	// are bit-identical at every setting.
 	Parallelism int
+	// WarmHint, when non-nil, warm-starts the searches from a previously
+	// winning plan — typically the stored result for the nearest sequence
+	// length of the same spec family (see internal/store's Nearest).
+	// TileSeek pre-expands and pre-visits the hinted tile so its evaluation
+	// becomes the incumbent and primes the objective memo; DPipe evaluates
+	// the hinted (order, bipartition) first and uses its makespan to abort
+	// provably-worse candidate sweeps early. The hint never changes which
+	// plan wins a search it is part of: a warm result is deterministic given
+	// the hint and never worse than the hint's objective, so it is a
+	// full-fidelity answer and is deliberately excluded from CanonicalKey.
+	// An invalid or foreign hint is ignored; nil is exactly the cold search.
+	WarmHint *PlanSummary
+	// SpecChainSteps / SpecLookahead tune the speculative workers used by
+	// the tile search when Parallelism exceeds 1 (0 = the defaults of 8 and
+	// 256). Speculation only warms the objective memo, so these never change
+	// the result and are excluded from CanonicalKey.
+	SpecChainSteps int
+	SpecLookahead  int
+}
+
+// LayerPlan is one sub-layer's winning DPipe schedule in plain serialisable
+// form: the phase order, the first-subgraph of the winning bipartition
+// (empty when the winner is unpartitioned), and the epoch count it was
+// planned for.
+type LayerPlan struct {
+	Order  []string
+	First  []string
+	Epochs int64
+}
+
+// PlanSummary captures the winning search artifacts of a completed
+// evaluation — the outer tile configuration and each sub-layer's winning
+// DPipe schedule keyed by problem name ("qproj", "kvproj", "mha", "ln",
+// "ffn"). It rides RunResult into the plan store and back out as
+// RunSpec.WarmHint, which is how a near-miss request inherits the structure
+// of its nearest stored neighbour.
+type PlanSummary struct {
+	TileB  int
+	TileD  int
+	TileP  int
+	TileM0 int
+	TileM1 int
+	TileS  int
+	Layers map[string]LayerPlan
 }
 
 // CustomModel describes a Transformer outside the five-entry zoo by its
@@ -145,6 +190,11 @@ type RunResult struct {
 	Degraded bool
 	// DegradedReason says why, when Degraded is set.
 	DegradedReason string
+	// Plan is the winning tile and per-sub-layer schedule summary. It is
+	// what a warm-started search for a neighbouring spec reuses as
+	// RunSpec.WarmHint, and what the plan store persists alongside the
+	// metrics.
+	Plan *PlanSummary
 }
 
 // ArchNames lists the architecture presets.
@@ -208,7 +258,11 @@ func (s RunSpec) validate() error {
 // so a spec that spells the default explicitly keys identically to one that
 // leaves it zero. Progress and Parallelism are deliberately excluded: hooks
 // do not change the result, and results are bit-identical at every
-// parallelism setting.
+// parallelism setting. WarmHint and the speculation knobs are excluded too:
+// speculation never changes the result, and a warm-started result is a
+// full-fidelity answer for the spec — deterministic given the hint and never
+// worse than the hint's objective — so it may be cached and persisted under
+// the spec's key.
 func (s RunSpec) CanonicalKey() string {
 	batch := s.Batch
 	if batch == 0 {
@@ -226,6 +280,152 @@ func (s RunSpec) CanonicalKey() string {
 			cm.Name, cm.Heads, cm.HeadDim, cm.FFNHidden, cm.Layers, cm.Activation)
 	}
 	return b.String()
+}
+
+// ParseCanonicalKey inverts CanonicalKey: it reconstructs the RunSpec a key
+// renders from, with defaulted fields coming back normalised (Batch and
+// SearchBudget explicit) and the keyless fields (Progress, Parallelism,
+// WarmHint, the speculation knobs) zero. The boolean reports whether the key
+// parses; every true return round-trips, spec.CanonicalKey() == key. The
+// plan store uses it to group stored plans into warm-start families — the
+// same evaluation at different sequence lengths.
+func ParseCanonicalKey(key string) (RunSpec, bool) {
+	p := &keyParser{s: key, ok: true}
+	var spec RunSpec
+	spec.Arch = p.quoted("arch=")
+	spec.ArchFile = p.quoted("|archfile=")
+	spec.Model = p.quoted("|model=")
+	spec.SeqLen = p.num("|seq=")
+	spec.System = p.quoted("|sys=")
+	spec.Batch = p.num("|batch=")
+	spec.SearchBudget = p.num("|budget=")
+	spec.Causal = p.boolean("|causal=")
+	spec.SearchTimeout = p.duration("|timeout=")
+	spec.HeuristicOnly = p.boolean("|heur=")
+	if p.ok && strings.HasPrefix(p.s, "|custom=") {
+		cm := &CustomModel{}
+		cm.Name = p.quoted("|custom=")
+		cm.Heads = p.num("/")
+		cm.HeadDim = p.num("/")
+		cm.FFNHidden = p.num("/")
+		cm.Layers = p.num("/")
+		cm.Activation = p.quoted("/")
+		spec.CustomModel = cm
+	}
+	if !p.ok || p.s != "" {
+		return RunSpec{}, false
+	}
+	// The round trip is the correctness proof: a parse that does not
+	// re-render byte-identically (a malformed quote that happened to
+	// unquote, an un-normalised duration spelling) is rejected rather than
+	// trusted.
+	if spec.CanonicalKey() != key {
+		return RunSpec{}, false
+	}
+	return spec, true
+}
+
+// keyParser consumes a canonical key left to right; any failure sticks.
+type keyParser struct {
+	s  string
+	ok bool
+}
+
+func (p *keyParser) prefix(label string) bool {
+	if !p.ok || !strings.HasPrefix(p.s, label) {
+		p.ok = false
+		return false
+	}
+	p.s = p.s[len(label):]
+	return true
+}
+
+// quoted consumes label followed by a %q-quoted Go string: scan to the
+// closing unescaped quote, then let strconv undo the escaping.
+func (p *keyParser) quoted(label string) string {
+	if !p.prefix(label) {
+		return ""
+	}
+	if len(p.s) == 0 || p.s[0] != '"' {
+		p.ok = false
+		return ""
+	}
+	i := 1
+	for i < len(p.s) {
+		if p.s[i] == '\\' {
+			i += 2
+			continue
+		}
+		if p.s[i] == '"' {
+			break
+		}
+		i++
+	}
+	if i >= len(p.s) {
+		p.ok = false
+		return ""
+	}
+	v, err := strconv.Unquote(p.s[:i+1])
+	if err != nil {
+		p.ok = false
+		return ""
+	}
+	p.s = p.s[i+1:]
+	return v
+}
+
+func (p *keyParser) num(label string) int {
+	if !p.prefix(label) {
+		return 0
+	}
+	i := 0
+	if i < len(p.s) && p.s[i] == '-' {
+		i++
+	}
+	for i < len(p.s) && p.s[i] >= '0' && p.s[i] <= '9' {
+		i++
+	}
+	v, err := strconv.Atoi(p.s[:i])
+	if err != nil {
+		p.ok = false
+		return 0
+	}
+	p.s = p.s[i:]
+	return v
+}
+
+func (p *keyParser) boolean(label string) bool {
+	if !p.prefix(label) {
+		return false
+	}
+	switch {
+	case strings.HasPrefix(p.s, "true"):
+		p.s = p.s[4:]
+		return true
+	case strings.HasPrefix(p.s, "false"):
+		p.s = p.s[5:]
+		return false
+	default:
+		p.ok = false
+		return false
+	}
+}
+
+func (p *keyParser) duration(label string) time.Duration {
+	if !p.prefix(label) {
+		return 0
+	}
+	end := strings.IndexByte(p.s, '|')
+	if end < 0 {
+		end = len(p.s)
+	}
+	v, err := time.ParseDuration(p.s[:end])
+	if err != nil {
+		p.ok = false
+		return 0
+	}
+	p.s = p.s[end:]
+	return v
 }
 
 func (s RunSpec) resolve() (arch.Spec, model.Config, pipeline.System, pipeline.Options, int, error) {
@@ -269,13 +469,45 @@ func (s RunSpec) resolve() (arch.Spec, model.Config, pipeline.System, pipeline.O
 	opts.Progress = s.Progress
 	opts.Parallelism = s.Parallelism
 	opts.SkipSearch = s.HeuristicOnly
+	opts.WarmHint = s.WarmHint.toPipeline()
+	opts.SpecChainSteps = s.SpecChainSteps
+	opts.SpecLookahead = s.SpecLookahead
 	return spec, m, sys, opts, batch, nil
+}
+
+// toPipeline converts the serialisable hint into the engine's form; nil in,
+// nil out.
+func (p *PlanSummary) toPipeline() *pipeline.WarmHint {
+	if p == nil {
+		return nil
+	}
+	h := &pipeline.WarmHint{
+		Tile: tiling.Config{B: p.TileB, D: p.TileD, P: p.TileP, M0: p.TileM0, M1: p.TileM1, S: p.TileS},
+	}
+	if len(p.Layers) > 0 {
+		h.Layers = make(map[string]pipeline.LayerPlan, len(p.Layers))
+		for name, lp := range p.Layers {
+			h.Layers[name] = pipeline.LayerPlan{Order: lp.Order, First: lp.First, Epochs: lp.Epochs}
+		}
+	}
+	return h
 }
 
 func toRunResult(r pipeline.Result, batch int) RunResult {
 	layers := make(map[string]float64, 4)
 	for _, k := range pipeline.LayerKinds() {
 		layers[k.String()] = r.LayerCycles[k]
+	}
+	var plan *PlanSummary
+	if len(r.Plans) > 0 {
+		plan = &PlanSummary{
+			TileB: r.Tile.B, TileD: r.Tile.D, TileP: r.Tile.P,
+			TileM0: r.Tile.M0, TileM1: r.Tile.M1, TileS: r.Tile.S,
+			Layers: make(map[string]LayerPlan, len(r.Plans)),
+		}
+		for name, lp := range r.Plans {
+			plan.Layers[name] = LayerPlan{Order: lp.Order, First: lp.First, Epochs: lp.Epochs}
+		}
 	}
 	return RunResult{
 		Arch:    r.Arch,
@@ -297,6 +529,7 @@ func toRunResult(r pipeline.Result, batch int) RunResult {
 		TileSearchEvals: r.TileSearchEvals,
 		Degraded:        r.Degraded,
 		DegradedReason:  r.DegradedReason,
+		Plan:            plan,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestNameLists(t *testing.T) {
@@ -357,5 +358,42 @@ func TestCanonicalKeyNormalisesDefaults(t *testing.T) {
 	split := RunSpec{Arch: "a", ArchFile: "b", SeqLen: 4096, System: "transfusion", Model: "bert"}
 	if smuggled.CanonicalKey() == split.CanonicalKey() {
 		t.Fatalf("separator-smuggling specs collide: %s", smuggled.CanonicalKey())
+	}
+}
+
+func TestParseCanonicalKeyRoundTrip(t *testing.T) {
+	specs := []RunSpec{
+		{Arch: "edge", Model: "bert", SeqLen: 4096, System: "transfusion"},
+		{Arch: "cloud", Model: "llama3-70b", SeqLen: 65536, System: "fusemax", Batch: 8, SearchBudget: 32, Causal: true},
+		{Arch: "edge", Model: "t5", SeqLen: 1024, System: "transfusion", HeuristicOnly: true, SearchTimeout: 3 * time.Second},
+		{ArchFile: "/tmp/weird|arch=\"file\".json", Model: "bert", SeqLen: 2048, System: "transfusion"},
+		{Arch: "a|archfile=b", SeqLen: 4096, System: "transfusion", Model: "bert"},
+		{Arch: "edge", SeqLen: 4096, System: "transfusion",
+			CustomModel: &CustomModel{Name: "mini", Heads: 8, HeadDim: 64, FFNHidden: 2048, Layers: 4, Activation: "relu"}},
+	}
+	for i, spec := range specs {
+		key := spec.CanonicalKey()
+		got, ok := ParseCanonicalKey(key)
+		if !ok {
+			t.Fatalf("spec %d: own canonical key %q did not parse", i, key)
+		}
+		if got.CanonicalKey() != key {
+			t.Fatalf("spec %d: round-trip changed the key:\n in %s\nout %s", i, key, got.CanonicalKey())
+		}
+	}
+
+	// Malformed keys must be rejected, never mis-parsed.
+	for _, bad := range []string{
+		"",
+		"arch=edge",
+		"not a key at all",
+		`arch="edge|archfile=""|model="bert"|seq=x|sys="transfusion"|batch=64|budget=128|causal=false|timeout=0s|heur=false`,
+		`arch="edge"|model="bert"|archfile=""|seq=4096|sys="transfusion"|batch=64|budget=128|causal=false|timeout=0s|heur=false`,
+		`arch="edge"|archfile=""|model="bert"|seq=4096|sys="transfusion"|batch=64|budget=128|causal=maybe|timeout=0s|heur=false`,
+		`arch="edge"|archfile=""|model="bert"|seq=4096|sys="transfusion"|batch=64|budget=128|causal=false|timeout=0s|heur=false|trailing`,
+	} {
+		if spec, ok := ParseCanonicalKey(bad); ok {
+			t.Fatalf("malformed key %q parsed into %+v", bad, spec)
+		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"github.com/fusedmindlab/transfusion/internal/dpipe"
 	"github.com/fusedmindlab/transfusion/internal/experiments"
 	"github.com/fusedmindlab/transfusion/internal/model"
+	"github.com/fusedmindlab/transfusion/internal/obs"
 	"github.com/fusedmindlab/transfusion/internal/pipeline"
 	"github.com/fusedmindlab/transfusion/internal/tileseek"
 	"github.com/fusedmindlab/transfusion/internal/tiling"
@@ -229,6 +230,72 @@ func BenchmarkPlanParallel(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// Warm-started search: cold vs warm evaluations of the same workload, with
+// the hint taken from the neighbouring (half) seq_len's winning plan. The
+// headline metric is evals/op — tileseek.spec_evals + dpipe.dp_cells, the
+// host-independent objective-evaluation count — reported next to ns/op.
+
+func BenchmarkSearchWarm(b *testing.B) {
+	spec := cloudSpec()
+	w := pipeline.Workload{Model: model.Llama3(), SeqLen: model.SeqLength64K, Batch: model.EvalBatch}
+	neighbour := w
+	neighbour.SeqLen = w.SeqLen / 2
+	nres, err := pipeline.Evaluate(neighbour, spec, pipeline.TransFusion(), benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	hint := &pipeline.WarmHint{Tile: nres.Tile, Layers: nres.Plans}
+	for _, mode := range []string{"cold", "warm"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := benchOpts()
+			// Twice the suite-wide budget: enough rollouts that the warm
+			// reduction dominates the fixed per-evaluation overheads.
+			opts.TileSeekIterations = 16
+			if mode == "warm" {
+				opts.WarmHint = hint
+			}
+			reg := obs.NewRegistry()
+			ctx := obs.WithMetrics(context.Background(), reg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipeline.EvaluateContext(ctx, w, spec, pipeline.TransFusion(), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			evals := reg.Counter("tileseek.spec_evals").Value() + reg.Counter("dpipe.dp_cells").Value()
+			b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+		})
+	}
+}
+
+func BenchmarkPlanWarm(b *testing.B) {
+	probs := buildLlamaProblems(b)
+	prob := probs["mha"]
+	spec := cloudSpec()
+	cold, err := dpipe.Plan(prob, spec, dpipe.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	hint := dpipe.Hint{Order: cold.Order, First: cold.Bipartition.FirstSorted()}
+	for _, mode := range []string{"cold", "warm"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := dpipe.DefaultOptions()
+			if mode == "warm" {
+				opts.WarmHints = []dpipe.Hint{hint}
+			}
+			reg := obs.NewRegistry()
+			ctx := obs.WithMetrics(context.Background(), reg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dpipe.PlanContext(ctx, prob, spec, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(reg.Counter("dpipe.dp_cells").Value())/float64(b.N), "cells/op")
 		})
 	}
 }

@@ -13,7 +13,10 @@
 // SIGTERM flips /readyz to draining, waits -ready-delay, then drains
 // in-flight plans before exiting. With -store-dir, completed plans are
 // persisted to a crash-safe disk store and a restarted daemon warm-starts
-// from them (X-Plan-Source reports which tier answered).
+// from them (X-Plan-Source reports which tier answered). A request missing
+// both cache tiers is warm-started from the nearest stored plan of the same
+// workload family (X-Plan-Source: warm-search), and -warm-grid precomputes
+// plans for gaps in the stored seq-length grid at boot.
 //
 // Usage:
 //
@@ -67,6 +70,9 @@ func run() error {
 	storeDir := flag.String("store-dir", "", "directory for the durable plan store (empty disables the disk tier)")
 	storeMaxBytes := flag.Int64("store-max-bytes", 256<<20, "byte budget for the plan store directory, LRU-evicted (<= 0 unlimited)")
 	storeWarm := flag.Bool("store-warm", true, "seed the in-memory plan cache from the store at startup (warm restart)")
+	warmGrid := flag.Bool("warm-grid", false, "precompute plans for gaps in the store's seq-length grid at startup, warm-seeded from their nearest stored neighbours (requires -store-dir; runs off the serving path)")
+	specChain := flag.Int("spec-chain", 0, "speculation replay steps on the master PRNG stream in the parallel tile search (0 = default; never changes results)")
+	specLookahead := flag.Int("spec-lookahead", 0, "total speculation replay steps per snapshot in the parallel tile search (0 = default; never changes results)")
 	chaosSpec := flag.String("chaos", "", "fault-injection schedule, e.g. 'serve.cache.leader=latency:2s@every=5;serve.admission=error@p=0.01' (empty disables)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for probabilistic -chaos schedules (deterministic replay)")
 	logLevel := flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
@@ -159,6 +165,8 @@ func run() error {
 		MaxSeqLen:       *maxSeq,
 		MaxSearchBudget: *maxBudget,
 		Parallelism:     *parallelism,
+		SpecChainSteps:  *specChain,
+		SpecLookahead:   *specLookahead,
 		DrainTimeout:    *drainTimeout,
 		ReducedBudget:   *reducedBudget,
 		WatchdogTimeout: *watchdogTimeout,
@@ -167,6 +175,16 @@ func run() error {
 		ColdStart:       !*storeWarm,
 		Tracer:          tracer,
 	}, metrics, ctx)
+
+	if *warmGrid {
+		if planStore == nil {
+			return fmt.Errorf("-warm-grid requires -store-dir")
+		}
+		go func() {
+			n := srv.WarmGrid(ctx, 0)
+			logger.Info("transfusiond: warm grid precompute done", "plans", n)
+		}()
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -170,6 +170,69 @@ type Options struct {
 	// after the bipartition/ordering enumeration of each plan. Leave nil to
 	// pay nothing.
 	Progress obs.ProgressFunc
+	// WarmHints, when non-empty, are previously winning (order, first-set)
+	// candidates — typically from the stored plan for the nearest sequence
+	// length — inserted at the head of the deterministic candidate frontier.
+	// Valid hints are evaluated first, unbounded; the best hinted total then
+	// bounds every remaining candidate's DP sweep, which aborts as soon as a
+	// sound lower bound of its extrapolated total exceeds the hinted
+	// incumbent. The winning schedule is unchanged: pruned candidates are
+	// provably worse than the incumbent, and because the bound is fixed
+	// before the fan-out (never tightened mid-flight) the per-candidate DP
+	// cell counts are deterministic at every Parallelism. Hints that do not
+	// match the problem's DAG are ignored; with no valid hint planning is
+	// bit-identical to a cold plan.
+	WarmHints []Hint
+}
+
+// Hint is one warm-start candidate for Options.WarmHints: a previously
+// winning per-epoch order and the first-subgraph of its bipartition (empty
+// First = the unpartitioned schedule).
+type Hint struct {
+	Order []string
+	First []string
+}
+
+// bipartition validates a hint against the problem and rebuilds its
+// Bipartition. A hint is valid when Order is a permutation of the DAG's
+// nodes and First is a strict, duplicate-free subset of them; anything else
+// (a hint from a structurally different layer) reports false and is
+// ignored. Dependency violations need no checking here: an order that
+// breaks the DAG earns an infinite makespan from the DP and simply never
+// becomes the incumbent.
+func (h Hint) bipartition(p *Problem) (graph.Bipartition, bool) {
+	if len(h.Order) != len(p.Deps.Nodes()) {
+		return graph.Bipartition{}, false
+	}
+	seen := make(map[string]bool, len(h.Order))
+	for _, n := range h.Order {
+		if !p.Deps.HasNode(n) || seen[n] {
+			return graph.Bipartition{}, false
+		}
+		seen[n] = true
+	}
+	if len(h.First) == 0 {
+		return graph.Bipartition{}, true
+	}
+	part := graph.Bipartition{
+		First:  make(map[string]bool, len(h.First)),
+		Second: make(map[string]bool, len(h.Order)-len(h.First)),
+	}
+	for _, n := range h.First {
+		if !seen[n] || part.First[n] {
+			return graph.Bipartition{}, false
+		}
+		part.First[n] = true
+	}
+	for _, n := range h.Order {
+		if !part.First[n] {
+			part.Second[n] = true
+		}
+	}
+	if len(part.Second) == 0 {
+		return graph.Bipartition{}, false // both sides of a bipartition are non-empty
+	}
+	return part, true
 }
 
 // DefaultOptions are the bounds used throughout the evaluation.
@@ -199,6 +262,9 @@ func PlanContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 	res, err := planContext(ctx, p, spec, opts)
 	if sp != nil {
 		sp.SetAttrInt("candidates", int64(res.Candidates))
+		if len(opts.WarmHints) > 0 {
+			sp.SetAttrBool("warm", true)
+		}
 		sp.EndErr(err)
 	}
 	return res, err
@@ -236,6 +302,18 @@ func planContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 	// which skips (and counts) canonical-key duplicates — see its doc for
 	// why the current enumeration never produces any.
 	cs := newCandidateSet(reg.Counter("dpipe.dedup_skipped"))
+
+	// Warm start: validated hints occupy the head of the candidate list, so
+	// they are evaluated before the enumerated frontier and their best total
+	// becomes the pruning bound for everything after them. The dedup set
+	// absorbs the enumeration regenerating a hinted candidate (the one case
+	// dedup_skipped legitimately fires).
+	for _, h := range opts.WarmHints {
+		if part, ok := h.bipartition(p); ok {
+			cs.add(h.Order, part)
+		}
+	}
+	nHints := len(cs.list)
 
 	canonical, err := p.Deps.TopoSort()
 	if err != nil {
@@ -319,11 +397,40 @@ func planContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 	// both the serial and the pooled path; nil (a single branch) when no
 	// injector is attached to ctx.
 	chaosSite := chaos.SiteFrom(ctx, chaos.SiteDPipeCandidate)
-	workers := resolveParallelism(opts.Parallelism)
-	if workers > len(cs.list) {
-		workers = len(cs.list)
-	}
 	results := make([]Result, len(cs.list))
+
+	// Hinted candidates run first, serially and unbounded — their totals
+	// must be exact, both because one of them is probably the winner and
+	// because the minimum becomes the pruning bound. The bound is fixed here
+	// and never tightened during the fan-out: an improving bound would make
+	// per-candidate cell counts depend on evaluation order and break the
+	// cross-parallelism determinism of dpipe.dp_cells. The relative slack
+	// keeps a candidate whose exact total ties the incumbent from being
+	// pruned by floating-point noise in the mid-sweep lower bound, so the
+	// deterministic tie-break reduction sees exactly the same finite totals
+	// a cold plan would compute.
+	bound := math.Inf(1)
+	for i := 0; i < nHints; i++ {
+		if ctx.Err() != nil {
+			return Result{}, faults.Canceled(ctx)
+		}
+		if err := chaosSite.Strike(ctx); err != nil {
+			return Result{}, fmt.Errorf("dpipe: problem %s: %w", p.Name, err)
+		}
+		c := cs.list[i]
+		results[i] = evaluate(p, spec, c.order, c.part.First, opts.ExplicitEpochs, nil, cells, math.Inf(1))
+		if t := results[i].TotalCycles; t < bound {
+			bound = t
+		}
+	}
+	if !math.IsInf(bound, 1) {
+		bound *= 1 + 1e-9
+	}
+
+	workers := resolveParallelism(opts.Parallelism)
+	if workers > len(cs.list)-nHints {
+		workers = len(cs.list) - nHints
+	}
 	if workers > 1 {
 		// Fan the candidate evaluations (pure DP sweeps) across a bounded
 		// pool. Each result lands in its candidate's slot, so the reduction
@@ -348,7 +455,7 @@ func planContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 					}
 				}()
 				for {
-					i := int(next.Add(1)) - 1
+					i := int(next.Add(1)) - 1 + nHints
 					// Cancellation is checked per candidate schedule, as on
 					// the serial path.
 					if i >= len(cs.list) || ctx.Err() != nil {
@@ -363,7 +470,7 @@ func planContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 						return
 					}
 					c := cs.list[i]
-					results[i] = evaluate(p, spec, c.order, c.part.First, opts.ExplicitEpochs, nil, cells)
+					results[i] = evaluate(p, spec, c.order, c.part.First, opts.ExplicitEpochs, nil, cells, bound)
 				}
 			}()
 		}
@@ -378,7 +485,7 @@ func planContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 			return Result{}, fmt.Errorf("dpipe: problem %s: %w", p.Name, injected)
 		}
 	} else {
-		for i, c := range cs.list {
+		for i := nHints; i < len(cs.list); i++ {
 			// Cancellation is checked per candidate schedule: a canceled plan
 			// returns promptly instead of finishing the DP sweep.
 			if ctx.Err() != nil {
@@ -387,7 +494,8 @@ func planContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 			if err := chaosSite.Strike(ctx); err != nil {
 				return Result{}, fmt.Errorf("dpipe: problem %s: %w", p.Name, err)
 			}
-			results[i] = evaluate(p, spec, c.order, c.part.First, opts.ExplicitEpochs, nil, cells)
+			c := cs.list[i]
+			results[i] = evaluate(p, spec, c.order, c.part.First, opts.ExplicitEpochs, nil, cells, bound)
 		}
 	}
 
@@ -400,7 +508,10 @@ func planContext(ctx context.Context, p *Problem, spec arch.Spec, opts Options) 
 	found := false
 	for i, c := range cs.list {
 		res := results[i]
-		if math.IsInf(res.TotalCycles, 1) {
+		// Pruned sweeps report +Inf; a dependency-violating hint evaluated
+		// cold can extrapolate Inf-Inf into NaN. Neither is a schedule, and a
+		// NaN reaching `best` first would poison every later < comparison.
+		if math.IsInf(res.TotalCycles, 1) || math.IsNaN(res.TotalCycles) {
 			continue
 		}
 		if !found || res.TotalCycles < best.TotalCycles ||
@@ -477,7 +588,7 @@ func StaticPipelined(p *Problem, spec arch.Spec, assign map[string]perf.ArrayKin
 	if err != nil {
 		return Result{}, fmt.Errorf("dpipe: problem %s: %w", p.Name, err)
 	}
-	res := evaluate(p, spec, order, nil, 12, assign, nil)
+	res := evaluate(p, spec, order, nil, 12, assign, nil, math.Inf(1))
 	res.Order = order
 	return res, nil
 }
@@ -543,7 +654,13 @@ func FuseMaxAssignment(p *Problem, spec arch.Spec) map[string]perf.ArrayKind {
 // yields plain epoch-major sequencing. When fixedAssign is non-nil each op
 // is pinned to its assigned array; otherwise the DP chooses per Eq. 45.
 // cells, when non-nil, counts DP instance placements.
-func evaluate(p *Problem, spec arch.Spec, order []string, first map[string]bool, explicitEpochs int, fixedAssign map[string]perf.ArrayKind, cells *obs.Counter) Result {
+//
+// bound, when finite, is a warm-start incumbent total: the sweeps abort
+// with +Inf as soon as a sound lower bound of this candidate's final
+// extrapolated total exceeds it (see sweepBound). An infinite bound runs
+// the exact historical cold path — same sweeps, same order, same upfront
+// cell accounting.
+func evaluate(p *Problem, spec arch.Spec, order []string, first map[string]bool, explicitEpochs int, fixedAssign map[string]perf.ArrayKind, cells *obs.Counter, bound float64) Result {
 	k := explicitEpochs
 	if int64(k) > p.Epochs {
 		k = int(p.Epochs)
@@ -551,9 +668,16 @@ func evaluate(p *Problem, spec arch.Spec, order []string, first map[string]bool,
 	if k < 1 {
 		k = 1
 	}
+	warm := !math.IsInf(bound, 1)
 
-	mkAll, busyAll, assign := schedule(p, spec, buildSequence(order, first, k), fixedAssign, cells)
 	if int64(k) >= p.Epochs {
+		// All epochs explicit: the makespan is the total, so the incumbent
+		// bounds the sweep directly (scale 0 = no extrapolation term).
+		var sb *sweepBound
+		if warm {
+			sb = &sweepBound{limit: bound}
+		}
+		mkAll, busyAll, assign := schedule(p, spec, buildSequence(order, first, k), fixedAssign, cells, sb)
 		return Result{
 			TotalCycles: mkAll,
 			Busy1D:      busyAll[perf.PE1D],
@@ -569,18 +693,101 @@ func evaluate(p *Problem, spec arch.Spec, order []string, first map[string]bool,
 	if base < 1 {
 		base = 1
 	}
-	mkBase, busyBase, _ := schedule(p, spec, buildSequence(order, first, base), fixedAssign, cells)
 	span := float64(k - base)
+	rest := float64(p.Epochs - int64(k))
+
+	if !warm {
+		mkAll, busyAll, assign := schedule(p, spec, buildSequence(order, first, k), fixedAssign, cells, nil)
+		mkBase, busyBase, _ := schedule(p, spec, buildSequence(order, first, base), fixedAssign, cells, nil)
+		deltaMk := (mkAll - mkBase) / span
+		delta1 := (busyAll[perf.PE1D] - busyBase[perf.PE1D]) / span
+		delta2 := (busyAll[perf.PE2D] - busyBase[perf.PE2D]) / span
+		return Result{
+			TotalCycles: mkAll + deltaMk*rest,
+			Busy1D:      busyAll[perf.PE1D] + delta1*rest,
+			Busy2D:      busyAll[perf.PE2D] + delta2*rest,
+			Assignment:  assign,
+		}
+	}
+
+	if len(first) == 0 {
+		// Epoch-major sequences nest: the base window is a strict prefix of
+		// the full sequence and the DP is a deterministic left-to-right
+		// recurrence, so one bounded sweep with a checkpoint at the base
+		// boundary recovers bit-identical (mkBase, busyBase) values to the
+		// cold path's separate base sweep — at two thirds of its cells, plus
+		// whatever the bound aborts.
+		sb := &sweepBound{limit: bound, scale: rest / span, checkpoint: base * len(order)}
+		mkAll, busyAll, assign := schedule(p, spec, buildSequence(order, nil, k), fixedAssign, cells, sb)
+		if math.IsInf(mkAll, 1) {
+			return Result{TotalCycles: math.Inf(1), Busy1D: busyAll[perf.PE1D], Busy2D: busyAll[perf.PE2D], Assignment: assign}
+		}
+		deltaMk := (mkAll - sb.ckMk) / span
+		delta1 := (busyAll[perf.PE1D] - sb.ckBusy1) / span
+		delta2 := (busyAll[perf.PE2D] - sb.ckBusy2) / span
+		return Result{
+			TotalCycles: mkAll + deltaMk*rest,
+			Busy1D:      busyAll[perf.PE1D] + delta1*rest,
+			Busy2D:      busyAll[perf.PE2D] + delta2*rest,
+			Assignment:  assign,
+		}
+	}
+
+	// Bipartition sequences do not nest (the base window interleaves
+	// differently), and greedy list-scheduling anomalies mean mkAll >= mkBase
+	// is unproven — so the base sweep runs unbounded, exactly as cold, and
+	// only the full sweep gets the slope-aware bound seeded with the exact
+	// mkBase.
+	mkBase, busyBase, _ := schedule(p, spec, buildSequence(order, first, base), fixedAssign, cells, nil)
+	if math.IsInf(mkBase, 1) {
+		// The order violates a dependency; the full sweep would be +Inf too.
+		// Return a clean +Inf rather than extrapolating Inf-Inf into NaN.
+		return Result{TotalCycles: math.Inf(1), Busy1D: busyBase[perf.PE1D], Busy2D: busyBase[perf.PE2D]}
+	}
+	sb := &sweepBound{limit: bound, mkBase: mkBase, scale: rest / span}
+	mkAll, busyAll, assign := schedule(p, spec, buildSequence(order, first, k), fixedAssign, cells, sb)
+	if math.IsInf(mkAll, 1) {
+		return Result{TotalCycles: math.Inf(1), Busy1D: busyAll[perf.PE1D], Busy2D: busyAll[perf.PE2D], Assignment: assign}
+	}
 	deltaMk := (mkAll - mkBase) / span
 	delta1 := (busyAll[perf.PE1D] - busyBase[perf.PE1D]) / span
 	delta2 := (busyAll[perf.PE2D] - busyBase[perf.PE2D]) / span
-	rest := float64(p.Epochs - int64(k))
 	return Result{
 		TotalCycles: mkAll + deltaMk*rest,
 		Busy1D:      busyAll[perf.PE1D] + delta1*rest,
 		Busy2D:      busyAll[perf.PE2D] + delta2*rest,
 		Assignment:  assign,
 	}
+}
+
+// sweepBound arms one schedule sweep with a warm-start abort: the sweep
+// stops, returning +Inf, as soon as lb(m) > limit, where m is the monotone
+// prefix makespan and lb is a provable lower bound of the candidate's final
+// extrapolated total. Soundness:
+//
+//   - Before the checkpoint of a nesting (epoch-major) sweep, and whenever
+//     no extrapolation applies (scale 0), lb = m: the final makespan is at
+//     least any prefix makespan, and the extrapolated total adds a
+//     non-negative term.
+//   - Past the checkpoint (or with mkBase supplied), lb = f(m) =
+//     m + (m-mkBase)*scale. f is increasing in m (scale >= 0) and the final
+//     total equals f(final makespan) with final makespan >= m, so
+//     f(m) <= total.
+//
+// Because the limit carries a relative slack, a candidate whose exact total
+// ties the incumbent is never aborted by rounding in f — warm pruning only
+// removes candidates that are strictly worse than the hinted incumbent.
+type sweepBound struct {
+	limit  float64 // abort threshold (the hinted incumbent total, plus slack)
+	mkBase float64 // base-window makespan for the extrapolated bound (bipartition sweeps)
+	scale  float64 // rest/span extrapolation factor; 0 disables the slope term
+	// checkpoint, when positive, is the instance index ending the base
+	// window of a nesting sweep; the DP state there is recorded below and
+	// stands in for the cold path's separate base sweep.
+	checkpoint int
+	ckMk       float64
+	ckBusy1    float64
+	ckBusy2    float64
 }
 
 // buildSequence constructs the global instance processing sequence for the
@@ -628,17 +835,25 @@ type instance struct {
 // Eq. 44 adds the op latency per array, Eq. 45 selects the earliest
 // completion, and Eq. 46 commits the chosen array's timeline. Returns the
 // makespan, per-array busy cycles, and the last epoch's array assignment.
-// cells is credited with one increment per instance placed (nil-safe, a
-// single amortised Add so the inner loop stays allocation-free).
-func schedule(p *Problem, spec arch.Spec, seq []instance, fixedAssign map[string]perf.ArrayKind, cells *obs.Counter) (float64, map[perf.ArrayKind]float64, map[string]perf.ArrayKind) {
-	cells.Add(int64(len(seq)))
+// cells is credited with one increment per instance placed (nil-safe; on a
+// cold sweep a single upfront Add covering the whole sequence, so the inner
+// loop stays allocation-free; on a bounded sweep the instances actually
+// placed, credited when the sweep ends or aborts).
+//
+// sb, when non-nil, arms the warm-start abort (see sweepBound): the sweep
+// returns +Inf as soon as the candidate provably cannot beat sb.limit. A
+// nil sb is the exact historical sweep.
+func schedule(p *Problem, spec arch.Spec, seq []instance, fixedAssign map[string]perf.ArrayKind, cells *obs.Counter, sb *sweepBound) (float64, map[perf.ArrayKind]float64, map[string]perf.ArrayKind) {
+	if sb == nil {
+		cells.Add(int64(len(seq)))
+	}
 	timeline := map[perf.ArrayKind]float64{perf.PE2D: 0, perf.PE1D: 0}
 	busy := map[perf.ArrayKind]float64{perf.PE2D: 0, perf.PE1D: 0}
 	endT := make(map[instance]float64, len(seq))
 	assign := make(map[string]perf.ArrayKind, len(p.Ops))
 	makespan := 0.0
 
-	for _, inst := range seq {
+	for i, inst := range seq {
 		name, epoch := inst.name, inst.epoch
 		op := p.Ops[name]
 		// Latest dependency completion: intra-epoch predecessors plus
@@ -651,6 +866,9 @@ func schedule(p *Problem, spec arch.Spec, seq []instance, fixedAssign map[string
 		for _, pred := range p.Deps.Pred(name) {
 			e, ok := endT[instance{pred, epoch}]
 			if !ok {
+				if sb != nil {
+					cells.Add(int64(i + 1))
+				}
 				return math.Inf(1), busy, assign
 			}
 			if e > depEnd {
@@ -664,6 +882,9 @@ func schedule(p *Problem, spec arch.Spec, seq []instance, fixedAssign map[string
 				}
 				e, ok := endT[instance{se.From, epoch - 1}]
 				if !ok {
+					if sb != nil {
+						cells.Add(int64(i + 1))
+					}
 					return math.Inf(1), busy, assign
 				}
 				if e > depEnd {
@@ -694,6 +915,31 @@ func schedule(p *Problem, spec arch.Spec, seq []instance, fixedAssign map[string
 		if bestEnd > makespan {
 			makespan = bestEnd
 		}
+
+		if sb != nil {
+			if i+1 == sb.checkpoint {
+				sb.ckMk = makespan
+				sb.ckBusy1 = busy[perf.PE1D]
+				sb.ckBusy2 = busy[perf.PE2D]
+			}
+			// Lower-bound the final extrapolated total (see sweepBound's
+			// soundness note) and abort once it clears the incumbent.
+			lb := makespan
+			if sb.scale > 0 && (sb.checkpoint == 0 || i+1 > sb.checkpoint) {
+				mb := sb.mkBase
+				if sb.checkpoint > 0 {
+					mb = sb.ckMk
+				}
+				lb = makespan + (makespan-mb)*sb.scale
+			}
+			if lb > sb.limit {
+				cells.Add(int64(i + 1))
+				return math.Inf(1), busy, assign
+			}
+		}
+	}
+	if sb != nil {
+		cells.Add(int64(len(seq)))
 	}
 	return makespan, busy, assign
 }

@@ -136,7 +136,7 @@ func TestScheduleMatchesDPOracle(t *testing.T) {
 				t.Fatal(err)
 			}
 			epochs := int(p.Epochs)
-			res := evaluate(p, spec, order, nil, epochs, nil, nil)
+			res := evaluate(p, spec, order, nil, epochs, nil, nil, math.Inf(1))
 			wantMk, want1, want2 := refDP(p, spec, order, epochs)
 			if res.TotalCycles != wantMk {
 				t.Fatalf("%s case %d (%s): makespan %v, oracle %v", spec.Name, i, p.Name, res.TotalCycles, wantMk)
@@ -167,7 +167,7 @@ func TestEvaluateExtrapolationBounds(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := evaluate(p, spec, order, nil, explicit, nil, nil)
+		got := evaluate(p, spec, order, nil, explicit, nil, nil, math.Inf(1))
 		windowMk, _, _ := refDP(p, spec, order, explicit)
 		exactMk, _, _ := refDP(p, spec, order, int(p.Epochs))
 		serial := p.SerialLoadCycles(spec)
@@ -194,7 +194,7 @@ func TestEvaluateExtrapolationExactOnCleanPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := evaluate(p, spec, order, nil, 12, nil, nil)
+	got := evaluate(p, spec, order, nil, 12, nil, nil, math.Inf(1))
 	exactMk, _, _ := refDP(p, spec, order, 400)
 	if rel := math.Abs(got.TotalCycles-exactMk) / exactMk; rel > 0.01 {
 		t.Errorf("extrapolated makespan %v vs exact %v (%.2f%% off)", got.TotalCycles, exactMk, rel*100)

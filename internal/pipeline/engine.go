@@ -77,6 +77,26 @@ type Options struct {
 	SkipSearch bool
 	// DPipe bounds the per-layer schedule search.
 	DPipe dpipe.Options
+	// WarmHint, when non-nil, seeds the searches from a previously winning
+	// plan for a neighbouring workload: Tile warm-starts TileSeek's MCTS
+	// (pre-expanding and crediting the hinted path so its objective becomes
+	// the incumbent) and each Layers entry warm-starts the matching
+	// sub-layer's DPipe enumeration (hinted candidates go to the head of the
+	// frontier and their makespan prunes the fan-out). Hints are advisory:
+	// entries that do not validate against the current space or DAG are
+	// ignored, a warm evaluation is deterministic given the hint, and its
+	// objective is never worse than the hint's own. A valid hint also shrinks
+	// the TileSeek rollout budget (see warmBudgetDivisor) — the incumbent
+	// replaces most of the exploration a cold search pays for. With WarmHint
+	// nil the evaluation is bit-identical to today's cold path.
+	WarmHint *WarmHint
+	// SpecChainSteps, SpecLookahead and SpecMaxFresh override the parallel
+	// tile search's speculation tuning (see tileseek.Options); zero keeps
+	// each default. Speculation only warms the objective memo cache, so no
+	// setting changes the search result.
+	SpecChainSteps int
+	SpecLookahead  int
+	SpecMaxFresh   int
 	// Parallelism sets the evaluation's concurrency budget: 0 selects
 	// GOMAXPROCS, 1 the fully serial path, n > 1 parallel execution. It
 	// drives the tile search's speculative workers, concurrent sub-layer
@@ -94,6 +114,18 @@ type Options struct {
 	// locking.
 	Progress obs.ProgressFunc
 }
+
+// A warm-hinted evaluation runs TileSeek on a reduced rollout budget: the
+// hint supplies a near-optimal incumbent, so the search only needs enough
+// rollouts to explore its neighbourhood. The divisor keeps the warm budget
+// proportional to the requested one; the floor keeps tiny budgets exploring
+// at all. Correctness never depends on the budget — the hint is consumed as
+// the incumbent before the first rollout, so the warm result's objective is
+// never worse than the hint's at any setting.
+const (
+	warmBudgetDivisor = 4
+	warmBudgetFloor   = 4
+)
 
 // DefaultOptions is the evaluation configuration used by the experiment
 // harness.
@@ -281,12 +313,31 @@ func EvaluateContext(ctx context.Context, w Workload, spec arch.Spec, sys System
 	}
 	opts.Progress.Emit(obs.PhaseStart{Phase: "tileseek"})
 	searchStart := time.Now()
-	search, serr := tileseek.SearchWithOptions(searchCtx, space, objective, tileseek.Options{
-		Iterations:  opts.TileSeekIterations,
-		Seed:        opts.TileSeekSeed,
-		Parallelism: opts.Parallelism,
-		Progress:    opts.Progress,
-	})
+	tsOpts := tileseek.Options{
+		Iterations:     opts.TileSeekIterations,
+		Seed:           opts.TileSeekSeed,
+		Parallelism:    opts.Parallelism,
+		Progress:       opts.Progress,
+		SpecChainSteps: opts.SpecChainSteps,
+		SpecLookahead:  opts.SpecLookahead,
+		SpecMaxFresh:   opts.SpecMaxFresh,
+	}
+	if opts.WarmHint != nil {
+		// Copy so the search cannot alias the caller's hint.
+		tile := opts.WarmHint.Tile
+		tsOpts.Hint = &tile
+		// A warm search starts from a known-good incumbent, so it spends a
+		// fraction of the cold rollout budget — this is where near-miss
+		// requests get an order of magnitude cheaper. Never-worse-than-hint
+		// holds at any budget: the hint is consumed before the first rollout.
+		if it := opts.TileSeekIterations / warmBudgetDivisor; it < tsOpts.Iterations {
+			if it < warmBudgetFloor {
+				it = warmBudgetFloor
+			}
+			tsOpts.Iterations = it
+		}
+	}
+	search, serr := tileseek.SearchWithOptions(searchCtx, space, objective, tsOpts)
 	searchDur := time.Since(searchStart)
 	opts.Progress.Emit(obs.PhaseEnd{Phase: "tileseek", Duration: searchDur})
 	if reg != nil {
@@ -448,7 +499,13 @@ func evaluateWithTile(ctx context.Context, w Workload, spec arch.Spec, sys Syste
 		case SchedStatic:
 			return dpipe.StaticPipelined(lp.prob, spec, dpipe.FuseMaxAssignment(lp.prob, spec))
 		default:
-			return dpipe.PlanContext(sctx, lp.prob, spec, opts.DPipe)
+			dopts := opts.DPipe
+			if opts.WarmHint != nil {
+				if lh, ok := opts.WarmHint.Layers[name]; ok && len(lh.Order) > 0 {
+					dopts.WarmHints = []dpipe.Hint{{Order: lh.Order, First: lh.First}}
+				}
+			}
+			return dpipe.PlanContext(sctx, lp.prob, spec, dopts)
 		}
 	}
 	scheds := make(map[string]schedOut, len(probs))
@@ -653,11 +710,20 @@ func evaluateWithTile(ctx context.Context, w Workload, spec arch.Spec, sys Syste
 
 	// Roofline each phase and accumulate over layers.
 	layers := int64(m.Layers)
+	plans := make(map[string]LayerPlan, len(scheds))
+	for name, so := range scheds {
+		plans[name] = LayerPlan{
+			Order:  so.res.Order,
+			First:  so.res.Bipartition.FirstSorted(),
+			Epochs: so.lp.prob.Epochs,
+		}
+	}
 	res := Result{
 		System:   sys.Name,
 		Arch:     spec.Name,
 		Workload: w,
 		Tile:     tile,
+		Plans:    plans,
 	}
 	for i := range phases {
 		ph := &phases[i]

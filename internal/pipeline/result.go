@@ -99,6 +99,32 @@ type Result struct {
 	Degraded bool
 	// DegradedReason says why, when Degraded is set.
 	DegradedReason string
+	// Plans records each sub-layer problem's winning schedule under the
+	// final tile, keyed by problem name ("qproj", "kvproj", "mha", "ln",
+	// "ffn"). Together with Tile it is everything a warm-started search for
+	// a neighbouring workload needs (Options.WarmHint).
+	Plans map[string]LayerPlan
+}
+
+// LayerPlan is one sub-layer's winning schedule: the phase order, the
+// first-subgraph of the winning bipartition (empty when unpartitioned), and
+// the epoch count it was planned for.
+type LayerPlan struct {
+	Order  []string
+	First  []string
+	Epochs int64
+}
+
+// WarmHint seeds the searches from a previously winning plan for a
+// neighbouring workload: Tile warm-starts TileSeek (on a reduced rollout
+// budget, with the hint consumed as the incumbent), Layers warm-starts each
+// sub-layer's DPipe enumeration (hinted candidates lead the frontier and
+// their makespan prunes the fan-out without changing the winner). Invalid or
+// foreign entries are ignored, a warm evaluation is deterministic given the
+// hint, and its objective is never worse than the hint's own.
+type WarmHint struct {
+	Tile   tiling.Config
+	Layers map[string]LayerPlan
 }
 
 // Utilization1D is the 1D array's busy fraction of total latency.

@@ -42,6 +42,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -79,6 +80,12 @@ type Config struct {
 	// GOMAXPROCS). Results are bit-identical at every setting, so it is not
 	// part of the cache key.
 	Parallelism int
+	// SpecChainSteps and SpecLookahead tune the parallel tile search's
+	// speculation (see tileseek.Options); zero keeps each default. They are
+	// passed through to every evaluation's RunSpec and, like Parallelism,
+	// never change results, so they are not part of the cache key.
+	SpecChainSteps int
+	SpecLookahead  int
 	// DrainTimeout bounds graceful shutdown (default 30s).
 	DrainTimeout time.Duration
 	// ReducedBudget is the search budget the degradation ladder's middle
@@ -223,9 +230,10 @@ func New(cfg Config, reg *obs.Registry, baseCtx context.Context) *Server {
 		// previous working set answers from memory immediately. Only
 		// full-fidelity results are ever persisted, so nothing seeded here
 		// can shadow a clean entry with a degraded one.
-		for _, we := range s.store.WarmEntries(cfg.CacheEntries) {
+		s.store.WarmEntries(cfg.CacheEntries, func(we store.WarmEntry) bool {
 			s.cache.Put(we.Key, we.Result)
-		}
+			return true
+		})
 	}
 	return s
 }
@@ -329,8 +337,9 @@ type PlanResponse struct {
 	// Key is the canonical cache key the request resolved to.
 	Key string `json:"key"`
 	// Source names the tier that answered — "memory" (in-process cache),
-	// "disk" (persistent plan store), or "search" (a fresh evaluation) —
-	// mirrored in the X-Plan-Source response header.
+	// "disk" (persistent plan store), "warm-search" (a fresh evaluation
+	// seeded from the nearest stored plan), or "search" (a fresh cold
+	// evaluation) — mirrored in the X-Plan-Source response header.
 	Source string `json:"source"`
 	// ElapsedMS is the server-side handling time.
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -541,6 +550,7 @@ func (s *Server) applyLadder(spec transfusion.RunSpec) (transfusion.RunSpec, str
 const (
 	sourceMemory = "memory"
 	sourceDisk   = "disk"
+	sourceWarm   = "warm-search"
 	sourceSearch = "search"
 )
 
@@ -587,6 +597,8 @@ func (s *Server) evalPlan(reqCtx context.Context, spec transfusion.RunSpec) (tra
 // resolvePlan is evalPlan's body; see there for the contract.
 func (s *Server) resolvePlan(reqCtx context.Context, spec transfusion.RunSpec) (transfusion.RunResult, bool, string, string, string, error) {
 	spec.Parallelism = s.cfg.Parallelism
+	spec.SpecChainSteps = s.cfg.SpecChainSteps
+	spec.SpecLookahead = s.cfg.SpecLookahead
 	fullKey := spec.CanonicalKey()
 	// Peek the full-fidelity cache before consulting the ladder: a complete
 	// cached answer beats a freshly computed degraded one at any load.
@@ -624,9 +636,43 @@ func (s *Server) resolvePlan(reqCtx context.Context, spec transfusion.RunSpec) (
 		}
 	}
 
+	// Warm tier: both exact tiers missed, so seed the search from the nearest
+	// stored plan in the same workload family (same arch/model/system and
+	// knobs, closest seq_len). The hint rides inside the spec — it is
+	// excluded from the canonical key, so the result still lands in the
+	// full-fidelity cache slot — and makes a near-miss request dramatically
+	// cheaper: the warm search is deterministic given the store's state,
+	// returns a full-fidelity result, and is never worse than the hint it
+	// started from. Degraded records are never persisted, so a hint can never
+	// carry degraded fidelity; heuristic-only requests run no search and have
+	// nothing to warm.
+	warmed := false
+	if s.store != nil && mode == "" && !spec.HeuristicOnly {
+		diskCtx, cancel := s.boundDiskCtx(reqCtx)
+		ne, ok := s.store.Nearest(diskCtx, fullKey)
+		cancel()
+		if ok && ne.Result.Plan != nil {
+			spec.WarmHint = ne.Result.Plan
+			warmed = true
+			s.reg.Counter("serve.warm_hits").Inc()
+			if sp := obs.SpanFromContext(reqCtx); sp != nil {
+				sp.SetAttr("warm_from", ne.Key)
+			}
+		}
+	}
+	// src maps a doEval outcome to the plan-source label, distinguishing a
+	// warm-seeded evaluation from a cold one; a cache hit inside Do is a
+	// memory answer regardless of the hint.
+	src := func(cached bool) string {
+		if !cached && warmed {
+			return sourceWarm
+		}
+		return sourceOf(cached)
+	}
+
 	if s.cfg.WatchdogTimeout <= 0 {
 		res, cached, err := s.doEval(reqCtx, spec, key)
-		return res, cached, key, mode, sourceOf(cached), err
+		return res, cached, key, mode, src(cached), err
 	}
 
 	type evalOut struct {
@@ -643,7 +689,7 @@ func (s *Server) resolvePlan(reqCtx context.Context, spec transfusion.RunSpec) (
 	defer watchdog.Stop()
 	select {
 	case o := <-done:
-		return o.res, o.cached, key, mode, sourceOf(o.cached), o.err
+		return o.res, o.cached, key, mode, src(o.cached), o.err
 	case <-reqCtx.Done():
 		return transfusion.RunResult{}, false, key, mode, sourceSearch, faults.Canceled(reqCtx)
 	case <-watchdog.C:
@@ -653,7 +699,7 @@ func (s *Server) resolvePlan(reqCtx context.Context, spec transfusion.RunSpec) (
 		// is nothing cheaper to step down to, so ride it out.
 		select {
 		case o := <-done:
-			return o.res, o.cached, key, mode, sourceOf(o.cached), o.err
+			return o.res, o.cached, key, mode, src(o.cached), o.err
 		case <-reqCtx.Done():
 			return transfusion.RunResult{}, false, key, mode, sourceSearch, faults.Canceled(reqCtx)
 		}
@@ -706,6 +752,96 @@ func (s *Server) boundDiskCtx(reqCtx context.Context) (context.Context, context.
 		ctx = obs.ContextWithSpan(ctx, sp)
 	}
 	return ctx, cancel
+}
+
+// WarmGrid precomputes plans for gaps in the store's seq-length grid, warm-
+// seeding each from its nearest stored neighbour. Stored keys are grouped
+// into workload families (same arch/model/system and knobs, seq_len
+// ignored); between each adjacent stored pair (lo, hi) the power-of-two
+// lengths lo*2, lo*4, ... < hi are planned, skipping any already cached or
+// stored. Completed plans land in both the memory cache and the store, and
+// count in serve.warm_grid_plans. maxPlans > 0 bounds the total work; 0
+// walks the whole grid. It runs off the serving path — call it from a
+// goroutine at boot — and returns the number of plans computed (ctx
+// cancellation stops it early).
+func (s *Server) WarmGrid(ctx context.Context, maxPlans int) int {
+	if s.store == nil {
+		return 0
+	}
+	byFamily := make(map[string][]transfusion.RunSpec)
+	for _, key := range s.store.Keys() {
+		spec, ok := transfusion.ParseCanonicalKey(key)
+		if !ok || spec.HeuristicOnly {
+			continue
+		}
+		fam := spec
+		fam.SeqLen = 0
+		fk := fam.CanonicalKey()
+		byFamily[fk] = append(byFamily[fk], spec)
+	}
+	fams := make([]string, 0, len(byFamily))
+	for f := range byFamily {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	planned := 0
+	for _, f := range fams {
+		specs := byFamily[f]
+		sort.Slice(specs, func(i, j int) bool { return specs[i].SeqLen < specs[j].SeqLen })
+		for i := 0; i+1 < len(specs); i++ {
+			for q := specs[i].SeqLen * 2; q < specs[i+1].SeqLen; q *= 2 {
+				if ctx.Err() != nil || (maxPlans > 0 && planned >= maxPlans) {
+					return planned
+				}
+				spec := specs[i]
+				spec.SeqLen = q
+				if s.warmGridPlan(ctx, spec) {
+					planned++
+				}
+			}
+		}
+	}
+	return planned
+}
+
+// warmGridPlan fills one grid gap: skip if either exact tier already has the
+// key, otherwise evaluate with the nearest stored plan as the warm hint and
+// persist the completed result. Reports whether a plan was computed.
+func (s *Server) warmGridPlan(ctx context.Context, spec transfusion.RunSpec) bool {
+	spec.Parallelism = s.cfg.Parallelism
+	spec.SpecChainSteps = s.cfg.SpecChainSteps
+	spec.SpecLookahead = s.cfg.SpecLookahead
+	key := spec.CanonicalKey()
+	if _, ok := s.cache.Get(key); ok {
+		return false
+	}
+	getCtx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
+	res, ok := s.store.Get(getCtx, key)
+	cancel()
+	if ok {
+		s.cache.Put(key, res)
+		return false
+	}
+	neCtx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
+	ne, ok := s.store.Nearest(neCtx, key)
+	cancel()
+	if ok {
+		spec.WarmHint = ne.Result.Plan
+	}
+	evalCtx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
+	defer cancel()
+	res, err := transfusion.RunContext(evalCtx, spec)
+	if err != nil || res.Degraded {
+		// Degraded results are never persisted (nor worth pre-seeding the
+		// cache with); the gap stays open for a real request to fill.
+		return false
+	}
+	s.cache.Put(key, res)
+	putCtx, cancel2 := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
+	defer cancel2()
+	s.store.Put(putCtx, key, res) //nolint:errcheck // counted in store.put_errors
+	s.reg.Counter("serve.warm_grid_plans").Inc()
+	return true
 }
 
 // storeFillAsync persists a completed full-fidelity result to the disk tier

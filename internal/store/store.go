@@ -94,8 +94,16 @@ var SchemaVersion = func() uint32 {
 	}
 	h := fnv.New32a()
 	h.Write([]byte(sentinel.CanonicalKey())) //nolint:errcheck // fnv never fails
+	h.Write([]byte(recordLayout))            //nolint:errcheck // fnv never fails
 	return h.Sum32()
 }()
+
+// recordLayout salts SchemaVersion with the record payload's layout, so
+// changes to the stored RunResult shape retire old records the same way key
+// format changes do. v2 added the PlanSummary (the warm-start hint): a
+// pre-hint record would decode cleanly but silently carry no plan, so the
+// version bump routes it through the quarantine path instead.
+const recordLayout = "|record=v2-plan-summary"
 
 // record is the on-disk payload (JSON inside the versioned binary envelope).
 type record struct {
@@ -294,7 +302,15 @@ func (s *Store) recover() error {
 	}
 	// Oldest first, so pushing to the LRU front leaves the most recently
 	// touched record at the front (first to warm-start, last to evict).
-	sort.Slice(valid, func(i, j int) bool { return valid[i].mtime.Before(valid[j].mtime) })
+	// Records sharing an mtime (coarse filesystem clocks make this common
+	// for a burst of writes) tie-break on file name, so warm-restart MRU
+	// order is deterministic across boots.
+	sort.Slice(valid, func(i, j int) bool {
+		if valid[i].mtime.Equal(valid[j].mtime) {
+			return valid[i].e.file < valid[j].e.file
+		}
+		return valid[i].mtime.Before(valid[j].mtime)
+	})
 	s.mu.Lock()
 	for i := range valid {
 		e := valid[i].e
@@ -519,19 +535,21 @@ type WarmEntry struct {
 	Result transfusion.RunResult
 }
 
-// WarmEntries reads and decodes up to max records, most recently used first
-// — the warm-restart seed for an in-memory cache layered above the store.
+// WarmEntries streams up to max records, most recently used first, to fn,
+// stopping early when fn returns false — the warm-restart seed for an
+// in-memory cache layered above the store. Records are read and decoded
+// lazily, one at a time, so a consumer that stops early (a cache smaller
+// than the store) never pays decode cost for payloads it will not keep.
 // Records failing re-verification are skipped (and quarantined by the Get
 // machinery on their next touch); a short read here costs warmth, not
 // correctness.
-func (s *Store) WarmEntries(max int) []WarmEntry {
+func (s *Store) WarmEntries(max int, fn func(WarmEntry) bool) {
 	s.mu.Lock()
 	files := make([]string, 0, max)
 	for el := s.lru.Front(); el != nil && len(files) < max; el = el.Next() {
 		files = append(files, el.Value.(*entry).file)
 	}
 	s.mu.Unlock()
-	out := make([]WarmEntry, 0, len(files))
 	for _, file := range files {
 		data, err := os.ReadFile(filepath.Join(s.dir, file))
 		if err != nil {
@@ -541,9 +559,88 @@ func (s *Store) WarmEntries(max int) []WarmEntry {
 		if err != nil {
 			continue
 		}
-		out = append(out, WarmEntry{Key: rec.Key, Result: rec.Result})
+		if !fn(WarmEntry{Key: rec.Key, Result: rec.Result}) {
+			return
+		}
 	}
+}
+
+// Keys returns every committed record's canonical key, sorted — the input
+// to offline walks of the stored plan grid (the serving layer's -warm-grid
+// precompute).
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	out := make([]string, 0, len(s.byKey))
+	for k := range s.byKey {
+		out = append(out, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
 	return out
+}
+
+// NearestEntry is the warm-start neighbour returned by Nearest.
+type NearestEntry struct {
+	// Key is the neighbour's canonical key.
+	Key string
+	// SeqLen is the neighbour's sequence length.
+	SeqLen int
+	// Result is the neighbour's stored evaluation (Plan non-nil).
+	Result transfusion.RunResult
+}
+
+// Nearest returns the stored plan nearest to the spec behind key: the same
+// canonical key on every field except SeqLen (the warm-start family —
+// distance is derived from the parsed CanonicalKey fields), minimising
+// |SeqLen - want| with ties broken towards the smaller sequence so the
+// choice is deterministic. The exact key itself is never a candidate: exact
+// hits belong to the memory and disk tiers, which are consulted before any
+// warm-start lookup. Records whose result carries no plan summary or is
+// degraded are skipped — degraded results are never persisted in the first
+// place, and a hint must never launder one back into a search. The chosen
+// record is read through the same verify-or-quarantine machinery as Get
+// (and counts in store.hits like any read), so a torn neighbour degrades to
+// "no hint", never to a wrong hint.
+func (s *Store) Nearest(ctx context.Context, key string) (NearestEntry, bool) {
+	want, ok := transfusion.ParseCanonicalKey(key)
+	if !ok {
+		return NearestEntry{}, false
+	}
+	wantSeq := want.SeqLen
+	want.SeqLen = 0
+	family := want.CanonicalKey()
+
+	bestKey, bestSeq := "", 0
+	bestDist := int64(-1)
+	for _, k := range s.Keys() {
+		if k == key {
+			continue
+		}
+		spec, ok := transfusion.ParseCanonicalKey(k)
+		if !ok {
+			continue
+		}
+		seq := spec.SeqLen
+		spec.SeqLen = 0
+		if spec.CanonicalKey() != family {
+			continue
+		}
+		d := int64(seq) - int64(wantSeq)
+		if d < 0 {
+			d = -d
+		}
+		if bestDist < 0 || d < bestDist || (d == bestDist && seq < bestSeq) {
+			bestDist, bestSeq, bestKey = d, seq, k
+		}
+	}
+	if bestKey == "" {
+		return NearestEntry{}, false
+	}
+	res, outcome, _ := s.get(ctx, bestKey)
+	if outcome != "hit" || res.Degraded || res.Plan == nil {
+		return NearestEntry{}, false
+	}
+	return NearestEntry{Key: bestKey, SeqLen: bestSeq, Result: res}, true
 }
 
 // Len returns the number of committed records indexed.

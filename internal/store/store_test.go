@@ -7,6 +7,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -83,7 +84,12 @@ func TestPutGetRoundTripAndReopen(t *testing.T) {
 	if !ok || got2.Cycles != want.Cycles || got2.Tile != want.Tile {
 		t.Fatalf("reopened store answer (%v, %+v) diverged", ok, got2)
 	}
-	if warm := s2.WarmEntries(10); len(warm) != 1 || warm[0].Key != key || warm[0].Result.Cycles != want.Cycles {
+	var warm []WarmEntry
+	s2.WarmEntries(10, func(we WarmEntry) bool {
+		warm = append(warm, we)
+		return true
+	})
+	if len(warm) != 1 || warm[0].Key != key || warm[0].Result.Cycles != want.Cycles {
 		t.Fatalf("WarmEntries = %+v", warm)
 	}
 }
@@ -430,4 +436,152 @@ func TestConcurrentPutGet(t *testing.T) {
 func appendChecksum(body []byte) []byte {
 	sum := sha256.Sum256(body)
 	return append(body, sum[:]...)
+}
+
+// specKey builds a canonical key for an arbitrary model/seq in the test
+// family (testKey is the "bert" shorthand).
+func specKey(model string, seq int) string {
+	return transfusion.RunSpec{Arch: "edge", Model: model, SeqLen: seq, System: "transfusion", SearchBudget: 8}.CanonicalKey()
+}
+
+// testPlanResult is a full-fidelity result carrying the plan summary the
+// serving layer persists — the payload a warm-start hint is built from.
+func testPlanResult(seq int) transfusion.RunResult {
+	r := testResult(seq)
+	r.Plan = &transfusion.PlanSummary{
+		TileB: 1, TileD: 64, TileP: 64, TileM0: 64, TileM1: 256, TileS: 64,
+		Layers: map[string]transfusion.LayerPlan{
+			"mha": {Order: []string{"QK", "SM", "AV"}, First: []string{"QK"}, Epochs: 4},
+		},
+	}
+	return r
+}
+
+// Warm-restart MRU order must be deterministic across boots even when a
+// burst of writes lands every record on one coarse filesystem mtime: ties
+// break on file name.
+func TestWarmEntriesMRUDeterministicOnEqualMtime(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, 0)
+	ctx := context.Background()
+	seqs := []int{1024, 2048, 4096}
+	files := make([]string, 0, len(seqs))
+	for _, seq := range seqs {
+		if err := s.Put(ctx, testKey(seq), testResult(seq)); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, FileName(testKey(seq)))
+	}
+	stamp := time.Now().Add(-time.Hour)
+	for _, f := range files {
+		if err := os.Chtimes(filepath.Join(dir, f), stamp, stamp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order := func() []string {
+		s2, _ := mustOpen(t, dir, 0)
+		var keys []string
+		s2.WarmEntries(10, func(we WarmEntry) bool {
+			keys = append(keys, we.Key)
+			return true
+		})
+		return keys
+	}
+	first := order()
+	if len(first) != len(seqs) {
+		t.Fatalf("warm entries %d, want %d", len(first), len(seqs))
+	}
+	// Equal mtimes load in file-name order onto the LRU front, so the
+	// warm stream is file-name descending — and identical across boots.
+	wantFiles := append([]string(nil), files...)
+	sort.Sort(sort.Reverse(sort.StringSlice(wantFiles)))
+	for i, k := range first {
+		if FileName(k) != wantFiles[i] {
+			t.Fatalf("warm order[%d] = %s, want file %s", i, FileName(k), wantFiles[i])
+		}
+	}
+	for boot := 0; boot < 3; boot++ {
+		got := order()
+		if len(got) != len(first) {
+			t.Fatalf("warm order length changed across boots: %v vs %v", got, first)
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("warm order changed across boots: %v vs %v", got, first)
+			}
+		}
+	}
+	// The stream is lazy: a consumer stopping after the first record is
+	// handed exactly one.
+	s3, _ := mustOpen(t, dir, 0)
+	n := 0
+	s3.WarmEntries(10, func(WarmEntry) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early-stopped stream delivered %d records, want 1", n)
+	}
+}
+
+func TestNearestEdgeCases(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, 0)
+	ctx := context.Background()
+	for _, seq := range []int{1024, 2048} {
+		if err := s.Put(ctx, specKey("bert", seq), testPlanResult(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A different model is a different warm-start family: no candidate.
+	if _, ok := s.Nearest(ctx, specKey("llama3", 1536)); ok {
+		t.Fatal("Nearest crossed model families")
+	}
+
+	// The exact key is never its own neighbour — exact hits belong to the
+	// memory and disk tiers, which are consulted first.
+	solo, _ := mustOpen(t, t.TempDir(), 0)
+	if err := solo.Put(ctx, specKey("bert", 1024), testPlanResult(1024)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := solo.Nearest(ctx, specKey("bert", 1024)); ok {
+		t.Fatal("Nearest offered the exact key as its own neighbour")
+	}
+
+	// Equidistant neighbours (1024 and 2048 are both 512 away from 1536)
+	// tie-break deterministically towards the smaller sequence.
+	ne, ok := s.Nearest(ctx, specKey("bert", 1536))
+	if !ok || ne.SeqLen != 1024 {
+		t.Fatalf("Nearest(1536) = (%+v, %v), want the deterministic smaller neighbour 1024", ne, ok)
+	}
+	if ne.Result.Plan == nil {
+		t.Fatal("nearest hint lost its plan summary")
+	}
+
+	// Even when the queried seq itself is stored, the neighbour is the
+	// other record — never the exact key.
+	ne, ok = s.Nearest(ctx, specKey("bert", 2048))
+	if !ok || ne.SeqLen != 1024 || ne.Key != specKey("bert", 1024) {
+		t.Fatalf("Nearest(2048) = (%+v, %v), want the 1024 record", ne, ok)
+	}
+
+	// A record with no plan summary can never hint.
+	noPlan, _ := mustOpen(t, t.TempDir(), 0)
+	if err := noPlan.Put(ctx, specKey("bert", 1024), testResult(1024)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := noPlan.Nearest(ctx, specKey("bert", 2048)); ok {
+		t.Fatal("plan-less record used as a warm hint")
+	}
+
+	// A degraded record must never launder into a hint, even if one somehow
+	// reaches the store (the serving layer never persists them).
+	deg, _ := mustOpen(t, t.TempDir(), 0)
+	dres := testPlanResult(1024)
+	dres.Degraded = true
+	dres.DegradedReason = "injected for test"
+	if err := deg.Put(ctx, specKey("bert", 1024), dres); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := deg.Nearest(ctx, specKey("bert", 2048)); ok {
+		t.Fatal("degraded record used as a warm hint")
+	}
 }

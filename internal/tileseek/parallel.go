@@ -103,16 +103,45 @@ func (c *objCache) fill(e *cacheEntry, obj Objective, cfg tiling.Config) (float6
 	return e.cost, e.ok
 }
 
-// Speculation tuning. The chain prefix replays the master's PRNG verbatim
-// (maximum-likelihood prediction of its next configs); past it the worker
-// flips to its explorer stream so mispredicted hypotheses cannot steer a
-// long wasted chain, and the cache fills with samples from the current
-// rollout distribution instead.
+// Speculation tuning defaults. The chain prefix replays the master's PRNG
+// verbatim (maximum-likelihood prediction of its next configs); past it the
+// worker flips to its explorer stream so mispredicted hypotheses cannot
+// steer a long wasted chain, and the cache fills with samples from the
+// current rollout distribution instead. Options.SpecChainSteps /
+// SpecLookahead / SpecMaxFresh override these per search so speculation can
+// be tuned against measured overlap; since speculation only warms the memo
+// cache, no setting changes the search result.
 const (
-	specChainSteps = 8   // replay steps on the master's PRNG stream
-	specLookahead  = 256 // total replay steps per snapshot before re-syncing
-	specMaxFresh   = 16  // evaluations per snapshot before re-syncing
+	defaultSpecChainSteps = 8   // replay steps on the master's PRNG stream
+	defaultSpecLookahead  = 256 // total replay steps per snapshot before re-syncing
+	defaultSpecMaxFresh   = 16  // evaluations per snapshot before re-syncing
 )
+
+// specTuning is the resolved speculation configuration.
+type specTuning struct {
+	chainSteps int
+	lookahead  int
+	maxFresh   int
+}
+
+// tuning resolves the Options speculation knobs, zeroes meaning defaults.
+func (o Options) tuning() specTuning {
+	t := specTuning{
+		chainSteps: defaultSpecChainSteps,
+		lookahead:  defaultSpecLookahead,
+		maxFresh:   defaultSpecMaxFresh,
+	}
+	if o.SpecChainSteps > 0 {
+		t.chainSteps = o.SpecChainSteps
+	}
+	if o.SpecLookahead > 0 {
+		t.lookahead = o.SpecLookahead
+	}
+	if o.SpecMaxFresh > 0 {
+		t.maxFresh = o.SpecMaxFresh
+	}
+	return t
+}
 
 // clone deep-copies the subtree rooted at n, attaching it to parent.
 func (n *node) clone(parent *node) *node {
@@ -142,6 +171,7 @@ type speculator struct {
 	levels [][]int
 	obj    Objective
 	cache  *objCache
+	tune   specTuning
 
 	hitsC   *obs.Counter // master consumed a cached / in-flight value
 	missesC *obs.Counter // master had to evaluate itself
@@ -161,12 +191,13 @@ type speculator struct {
 	panicVal any
 }
 
-func newSpeculator(space Space, obj Objective, seed uint64, workers int, hitsC, missesC, evalsC *obs.Counter) *speculator {
+func newSpeculator(space Space, obj Objective, seed uint64, workers int, tune specTuning, hitsC, missesC, evalsC *obs.Counter) *speculator {
 	sp := &speculator{
 		space:  space,
 		levels: space.levels(),
 		obj:    obj,
 		cache:  newObjCache(),
+		tune:   tune,
 		hitsC:  hitsC, missesC: missesC, evalsC: evalsC,
 	}
 	sp.cond = sync.NewCond(&sp.mu)
@@ -278,11 +309,11 @@ func (sp *speculator) speculate(snap *specSnapshot, gen int64, explorer *rng) {
 		mean = w.root.reward / float64(w.root.visits)
 	}
 	fresh := 0
-	for step := 0; step < specLookahead; step++ {
+	for step := 0; step < sp.tune.lookahead; step++ {
 		if sp.stoppedA.Load() || sp.genA.Load() != gen {
 			return // newer truth available: re-sync
 		}
-		if step == specChainSteps {
+		if step == sp.tune.chainSteps {
 			w.r = explorer
 		}
 		cur, cfg, _, feasible := w.step()
@@ -303,7 +334,7 @@ func (sp *speculator) speculate(snap *specSnapshot, gen int64, explorer *rng) {
 			}
 		}
 		backprop(cur, reward)
-		if fresh >= specMaxFresh {
+		if fresh >= sp.tune.maxFresh {
 			return
 		}
 	}

@@ -203,6 +203,24 @@ type Options struct {
 	// rollout. Leave nil to pay nothing: the event is neither constructed
 	// nor boxed when unset.
 	Progress obs.ProgressFunc
+	// Hint, when non-nil, warm-starts the search from a previously winning
+	// configuration (typically the stored result for the nearest sequence
+	// length): the MCTS path to the hint is pre-expanded and pre-visited, so
+	// its evaluation becomes the incumbent best — a warm search can never
+	// return a worse objective than the hint's — and primes the objective
+	// memo. A hint whose values do not appear in the space, or which fails
+	// the buffer constraint, is ignored. With no hint the search is
+	// bit-identical to the unhinted one; with a hint the objective must be
+	// pure even at Parallelism 1, because the warm path memoises it
+	// (tileseek.cache_hits/cache_misses count the memo there too).
+	Hint *tiling.Config
+	// SpecChainSteps / SpecLookahead / SpecMaxFresh override the speculative
+	// workers' tuning when Parallelism exceeds 1 (0 = the defaults of 8,
+	// 256, and 16). Speculation only warms the objective memo, so these
+	// never change the search result.
+	SpecChainSteps int
+	SpecLookahead  int
+	SpecMaxFresh   int
 }
 
 // Search runs MCTS for the given number of iterations and returns the best
@@ -327,6 +345,90 @@ func backprop(n *node, reward float64) {
 	}
 }
 
+// warmSeed pre-expands and pre-visits the MCTS path to a hinted
+// configuration before the first rollout: children along the path are
+// created in exactly the expansion order the serial loop uses (largest
+// candidate first, dead-marking infeasible siblings via the same lower
+// bound), the hint is evaluated through consume — priming the objective
+// memo — and its reward is backpropagated from the leaf. The hint's cost
+// thereby becomes the incumbent Result.Best before any rollout, which is
+// what makes a warm search never worse than its hint. A hint outside the
+// space or failing the buffer constraint is rejected before touching the
+// tree, leaving the search identical to a cold one. Reports success on the
+// tileseek.warm_seeds counter.
+func warmSeed(w *walker, hint tiling.Config, consume func(tiling.Config) (float64, bool), res *Result, scale *float64, warmC, evaluatedC, prunedC *obs.Counter) bool {
+	choices := []int{hint.B, hint.D, hint.P, hint.M0, hint.M1, hint.S}
+	idxs := make([]int, len(w.levels))
+	for l, cands := range w.levels {
+		idxs[l] = -1
+		for i, v := range cands {
+			if v == choices[l] {
+				idxs[l] = i
+				break
+			}
+		}
+		if idxs[l] < 0 {
+			return false
+		}
+	}
+	if !tiling.Feasible(hint, w.space.Workload, w.space.Spec) {
+		return false
+	}
+	cur := w.root
+	values := make([]int, 0, len(w.levels))
+	for cur.level < len(w.levels) {
+		cands := w.levels[cur.level]
+		hi := idxs[cur.level]
+		// The hinted child is created once the children list spans index hi
+		// in expansion order (idx = len(cands)-1-position, so position
+		// len(cands)-1-hi); expanding any further would deviate from the
+		// prefix invariant the serial loop's expansion relies on.
+		for len(cur.children) < len(cands)-hi {
+			idx := len(cands) - 1 - len(cur.children)
+			child := &node{level: cur.level + 1, choice: idx, parent: cur}
+			if !w.space.partialFeasible(append(values, cands[idx])) {
+				child.dead = true
+				res.Pruned++
+				prunedC.Inc()
+			}
+			cur.children = append(cur.children, child)
+		}
+		var next *node
+		for _, ch := range cur.children {
+			if ch.choice == hi {
+				next = ch
+				break
+			}
+		}
+		if next == nil || next.dead {
+			// Unreachable while the buffer formulas stay monotone (a feasible
+			// full hint implies every prefix's minimal completion fits), but a
+			// dead hint child must not be visited: bail and let the search run
+			// from the partially expanded tree, which is still a valid state.
+			return false
+		}
+		values = append(values, cands[hi])
+		cur = next
+	}
+	cost, ok := consume(hint)
+	if !ok || cost <= 0 {
+		return false
+	}
+	res.Evaluated++
+	evaluatedC.Inc()
+	if math.IsNaN(*scale) {
+		*scale = cost
+	}
+	if cost < res.BestCost {
+		res.BestCost = cost
+		res.Best = hint
+		res.Found = true
+	}
+	backprop(cur, *scale/cost)
+	warmC.Inc()
+	return true
+}
+
 // SearchWithOptions is SearchContext with explicit Options, the full-fidelity
 // entry point.
 //
@@ -349,6 +451,9 @@ func SearchWithOptions(ctx context.Context, space Space, objective Objective, op
 		sp.SetAttrInt("evaluated", int64(res.Evaluated))
 		sp.SetAttrInt("pruned", int64(res.Pruned))
 		sp.SetAttrBool("found", res.Found)
+		if opts.Hint != nil {
+			sp.SetAttrBool("warm", true)
+		}
 		sp.EndErr(err)
 	}
 	return res, err
@@ -397,11 +502,36 @@ func searchWithOptions(ctx context.Context, space Space, objective Objective, op
 	// trajectory — and therefore the Result — is bit-identical to serial.
 	consume := objective
 	if workers > 1 {
-		sp := newSpeculator(space, objective, opts.Seed, workers-1, hitsC, missesC, reg.Counter("tileseek.spec_evals"))
+		sp := newSpeculator(space, objective, opts.Seed, workers-1, opts.tuning(), hitsC, missesC, reg.Counter("tileseek.spec_evals"))
 		defer sp.stop()
 		consume = func(cfg tiling.Config) (float64, bool) {
 			return sp.consume(cfg, w, scale)
 		}
+	} else if opts.Hint != nil {
+		// A warm serial search memoises the (pure, per the Hint contract)
+		// objective, mirroring the parallel engine's cache: the pre-visited
+		// hint biases the trajectory toward its own neighbourhood, so repeat
+		// configurations become free instead of re-paying the evaluation.
+		// Cold serial searches keep the historical direct-call path exactly.
+		type memoEntry struct {
+			cost float64
+			ok   bool
+		}
+		memo := make(map[tiling.Config]memoEntry)
+		consume = func(cfg tiling.Config) (float64, bool) {
+			if e, hit := memo[cfg]; hit {
+				hitsC.Inc()
+				return e.cost, e.ok
+			}
+			missesC.Inc()
+			cost, ok := objective(cfg)
+			memo[cfg] = memoEntry{cost: cost, ok: ok}
+			return cost, ok
+		}
+	}
+
+	if opts.Hint != nil {
+		warmSeed(w, *opts.Hint, consume, &res, &scale, reg.Counter("tileseek.warm_seeds"), evaluatedC, prunedC)
 	}
 
 	// Fault-injection site, struck once per rollout on the master trajectory.

@@ -151,30 +151,58 @@ type ExperimentReport struct {
 // independent grid cells, tile-search speculation, and DPipe candidate
 // evaluation (0 selects GOMAXPROCS, 1 forces the serial path); the rendered
 // tables are bit-identical at every setting.
-func RunExperimentReportContext(ctx context.Context, id string, searchBudget, parallelism int, csv bool) (rep ExperimentReport, err error) {
+func RunExperimentReportContext(ctx context.Context, id string, searchBudget, parallelism int, csv bool) (ExperimentReport, error) {
+	return RunExperimentReportOptions(ctx, id, ExperimentRunOptions{
+		SearchBudget: searchBudget, Parallelism: parallelism, CSV: csv,
+	})
+}
+
+// ExperimentRunOptions tunes one artifact regeneration; the zero value takes
+// every default.
+type ExperimentRunOptions struct {
+	// SearchBudget overrides the TileSeek rollout budget (0 = default).
+	SearchBudget int
+	// Parallelism bounds the worker pools used across the run (0 selects
+	// GOMAXPROCS, 1 forces the serial path); the rendered tables are
+	// bit-identical at every setting.
+	Parallelism int
+	// SpecChainSteps and SpecLookahead tune the parallel tile search's
+	// speculation (see RunSpec); zero keeps each default, and no setting
+	// changes the rendered tables.
+	SpecChainSteps int
+	SpecLookahead  int
+	// CSV selects CSV output instead of the rendered table.
+	CSV bool
+}
+
+// RunExperimentReportOptions is RunExperimentReportContext with the full
+// option set.
+func RunExperimentReportOptions(ctx context.Context, id string, o ExperimentRunOptions) (rep ExperimentReport, err error) {
 	defer faults.Recover(&err)
-	if searchBudget < 0 {
-		return ExperimentReport{}, faults.Invalidf("transfusion: negative search budget %d", searchBudget)
+	if o.SearchBudget < 0 {
+		return ExperimentReport{}, faults.Invalidf("transfusion: negative search budget %d", o.SearchBudget)
 	}
-	if parallelism < 0 {
-		return ExperimentReport{}, faults.Invalidf("transfusion: negative parallelism %d (0 selects GOMAXPROCS)", parallelism)
+	if o.Parallelism < 0 {
+		return ExperimentReport{}, faults.Invalidf("transfusion: negative parallelism %d (0 selects GOMAXPROCS)", o.Parallelism)
 	}
 	e, err := experiments.ByID(id)
 	if err != nil {
 		return ExperimentReport{}, err
 	}
 	opts := pipeline.DefaultOptions()
-	if searchBudget > 0 {
-		opts.TileSeekIterations = searchBudget
+	if o.SearchBudget > 0 {
+		opts.TileSeekIterations = o.SearchBudget
 	}
-	opts.Parallelism = parallelism
+	opts.Parallelism = o.Parallelism
+	opts.SpecChainSteps = o.SpecChainSteps
+	opts.SpecLookahead = o.SpecLookahead
 	runner := experiments.NewRunnerContext(ctx, opts)
 	table, err := e.Run(runner)
 	if err != nil {
 		return ExperimentReport{}, err
 	}
 	rep = ExperimentReport{ID: id, Notes: runner.Notes()}
-	if csv {
+	if o.CSV {
 		rep.Output = table.CSV()
 	} else {
 		rep.Output = table.Render()
