@@ -247,20 +247,41 @@ func (b *breaker) record(serverFault bool, now time.Time) {
 	}
 }
 
+// PeerPlanPath is transfusiond's internal replica-to-replica plan-fetch
+// route. It shares the /v1/plan wire shapes, but the server refuses it while
+// draining or degraded — a peer would rather search locally than serve a
+// below-fidelity answer fetched across the cluster.
+const PeerPlanPath = "/v1/peer/plan"
+
 // Plan evaluates one spec, retrying and (when configured) hedging. A trace
 // span attached to ctx (obs.ContextWithSpan) gains a "client.plan" child
 // covering every attempt, with events for retries, hedge launches, and
 // breaker rejections, and the server's trace id as an attribute; the
 // outbound traceparent header links the server-side trace to this one.
 func (c *Client) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, error) {
+	return c.plan(ctx, "/v1/plan", "client.plan", req)
+}
+
+// PeerPlan evaluates one spec through the server's internal peer-fetch route
+// (PeerPlanPath) — the transport transfusiond replicas use to fetch a plan
+// from the key's owner. Retries, hedging, and the breaker behave exactly as
+// Plan's; a 503 (the owner is draining, overloaded, or would answer
+// degraded) surfaces as a Temporary *APIError the caller falls back from.
+func (c *Client) PeerPlan(ctx context.Context, req PlanRequest) (*PlanResponse, error) {
+	return c.plan(ctx, PeerPlanPath, "client.peer_plan", req)
+}
+
+// plan is the shared body of Plan and PeerPlan: one idempotent plan-shaped
+// POST to path under the retry/hedge/breaker stack.
+func (c *Client) plan(ctx context.Context, path, spanName string, req PlanRequest) (*PlanResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding plan request: %w", err)
 	}
-	ctx, sp := obs.StartSpan(ctx, "client.plan")
+	ctx, sp := obs.StartSpan(ctx, spanName)
 	out, err := c.withRetries(ctx, func(ctx context.Context) (interface{}, *APIError, error) {
 		return c.hedged(ctx, func(ctx context.Context) (interface{}, *APIError, error) {
-			status, header, data, err := c.post(ctx, "/v1/plan", body)
+			status, header, data, err := c.post(ctx, path, body)
 			if err != nil {
 				return nil, nil, err
 			}

@@ -1,4 +1,8 @@
-package client
+// These tests live in an external package (with a dot-import for brevity)
+// because they exercise the client against a real serve.Server — and serve
+// now imports client for its cluster peer tier, which would be an import
+// cycle from an in-package test.
+package client_test
 
 import (
 	"context"
@@ -9,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	. "github.com/fusedmindlab/transfusion/client"
 	"github.com/fusedmindlab/transfusion/internal/obs"
 	"github.com/fusedmindlab/transfusion/internal/serve"
 )
@@ -234,51 +239,6 @@ func TestClientHedgingTrimsTailLatency(t *testing.T) {
 	}
 }
 
-func TestParseRetryAfter(t *testing.T) {
-	cases := []struct {
-		in   string
-		want time.Duration
-	}{
-		{"", 0},
-		{"1", time.Second},
-		{" 2 ", 2 * time.Second},
-		{"0", 0},
-		{"-3", 0},
-		{"nonsense", 0},
-		{"Wed, 21 Oct 2015 07:28:00 GMT", 0}, // valid HTTP-date, but in the past
-		{"Wed, 21 Oct 2015 07:28:00", 0},     // date missing its zone: unparseable
-		{"99999", 300 * time.Second},
-	}
-	for _, tc := range cases {
-		if got := parseRetryAfter(tc.in); got != tc.want {
-			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
-		}
-	}
-}
-
-// Regression: a proxy rewriting delta-seconds into an HTTP-date must still
-// produce a real backoff, not fall through to 0 (the pre-fix behaviour).
-func TestParseRetryAfterHTTPDate(t *testing.T) {
-	future := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
-	got := parseRetryAfter(future)
-	if got < 8*time.Second || got > 10*time.Second {
-		t.Fatalf("parseRetryAfter(%q) = %v, want ~10s", future, got)
-	}
-	// All three RFC 9110 date formats parse.
-	when := time.Now().Add(30 * time.Second).UTC()
-	for _, layout := range []string{http.TimeFormat, "Monday, 02-Jan-06 15:04:05 MST", time.ANSIC} {
-		v := when.Format(layout)
-		if got := parseRetryAfter(v); got < 25*time.Second || got > 30*time.Second {
-			t.Errorf("parseRetryAfter(%q) = %v, want ~30s", v, got)
-		}
-	}
-	// A far-future date clamps to the same 5-minute cap as delta-seconds.
-	far := time.Now().Add(24 * time.Hour).UTC().Format(http.TimeFormat)
-	if got := parseRetryAfter(far); got != 300*time.Second {
-		t.Fatalf("parseRetryAfter(far future) = %v, want the 5m cap", got)
-	}
-}
-
 // End to end: a 503 carrying a date-form Retry-After holds the retry back.
 func TestClientHonoursHTTPDateRetryAfter(t *testing.T) {
 	var calls atomic.Int64
@@ -305,27 +265,6 @@ func TestClientHonoursHTTPDateRetryAfter(t *testing.T) {
 	// fall-through to the millisecond-scale default backoff).
 	if gap := time.Duration(secondAt.Load() - firstAt.Load()); gap < 100*time.Millisecond {
 		t.Fatalf("retry arrived %v after the 503 — the date-form Retry-After was ignored", gap)
-	}
-}
-
-func TestDecodePlanResponse(t *testing.T) {
-	pr, apiErr, err := decodePlanResponse(200, "", []byte(`{"result":{"Cycles":42},"cached":true,"key":"k"}`))
-	if err != nil || apiErr != nil || pr == nil || pr.Result.Cycles != 42 || !pr.Cached {
-		t.Fatalf("good 200 decode = %+v, %v, %v", pr, apiErr, err)
-	}
-	if _, _, err := decodePlanResponse(200, "", []byte(`<html>gateway error</html>`)); err == nil {
-		t.Fatal("undecodable 200 body produced no error")
-	}
-	_, apiErr, err = decodePlanResponse(503, "7", []byte(`{"error":"overloaded","status":503}`))
-	if err != nil || apiErr == nil || apiErr.Status != 503 || apiErr.RetryAfter != 7*time.Second || apiErr.Message != "overloaded" {
-		t.Fatalf("503 decode = %+v, %v", apiErr, err)
-	}
-	_, apiErr, _ = decodePlanResponse(502, "", []byte("Bad Gateway"))
-	if apiErr == nil || apiErr.Status != 502 || apiErr.Message == "" {
-		t.Fatalf("non-JSON 502 decode = %+v", apiErr)
-	}
-	if !apiErr.Temporary() {
-		t.Fatal("502 reported permanent")
 	}
 }
 

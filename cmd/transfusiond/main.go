@@ -16,7 +16,13 @@
 // from them (X-Plan-Source reports which tier answered). A request missing
 // both cache tiers is warm-started from the nearest stored plan of the same
 // workload family (X-Plan-Source: warm-search), and -warm-grid precomputes
-// plans for gaps in the stored seq-length grid at boot.
+// plans for gaps in the stored seq-length grid at boot. With -peers/-self,
+// replicas shard the plan-key space over a consistent-hash ring: a replica
+// that misses locally fetches from the key's owner (X-Plan-Source: peer), so
+// the owner's singleflight computes each plan once cluster-wide; an
+// unreachable or degraded owner falls back to a local search. POST
+// /v1/plan/batch resolves many plan requests in one round trip with
+// per-entry status and source.
 //
 // Usage:
 //
@@ -37,11 +43,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/fusedmindlab/transfusion"
 	"github.com/fusedmindlab/transfusion/internal/chaos"
+	"github.com/fusedmindlab/transfusion/internal/cluster"
 	"github.com/fusedmindlab/transfusion/internal/obs"
 	"github.com/fusedmindlab/transfusion/internal/serve"
 	"github.com/fusedmindlab/transfusion/internal/store"
@@ -73,6 +81,10 @@ func run() error {
 	warmGrid := flag.Bool("warm-grid", false, "precompute plans for gaps in the store's seq-length grid at startup, warm-seeded from their nearest stored neighbours (requires -store-dir; runs off the serving path)")
 	specChain := flag.Int("spec-chain", 0, "speculation replay steps on the master PRNG stream in the parallel tile search (0 = default; never changes results)")
 	specLookahead := flag.Int("spec-lookahead", 0, "total speculation replay steps per snapshot in the parallel tile search (0 = default; never changes results)")
+	peers := flag.String("peers", "", "comma-separated base URLs of every replica, self included (e.g. 'http://a:8080,http://b:8080'; empty disables clustering)")
+	self := flag.String("self", "", "this replica's own base URL, exactly as listed in -peers (required with -peers)")
+	peerVNodes := flag.Int("peer-vnodes", 0, "virtual nodes per replica on the consistent-hash ring (0 = default)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "bound on one peer plan fetch before falling back to local search (0 = default)")
 	chaosSpec := flag.String("chaos", "", "fault-injection schedule, e.g. 'serve.cache.leader=latency:2s@every=5;serve.admission=error@p=0.01' (empty disables)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for probabilistic -chaos schedules (deterministic replay)")
 	logLevel := flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
@@ -157,6 +169,31 @@ func run() error {
 			"warm", *storeWarm)
 	}
 
+	var clust *cluster.Cluster
+	if *peers != "" {
+		if *self == "" {
+			return fmt.Errorf("-peers requires -self")
+		}
+		var list []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				list = append(list, p)
+			}
+		}
+		clust, err = cluster.New(cluster.Config{
+			Self:         *self,
+			Peers:        list,
+			VNodes:       *peerVNodes,
+			FetchTimeout: *peerTimeout,
+		})
+		if err != nil {
+			return err
+		}
+		logger.Info("transfusiond: clustering enabled",
+			"self", clust.Self(),
+			"members", len(clust.Members()))
+	}
+
 	srv := serve.New(serve.Config{
 		MaxConcurrent:   *maxConcurrent,
 		MaxQueue:        *maxQueue,
@@ -174,6 +211,7 @@ func run() error {
 		Store:           planStore,
 		ColdStart:       !*storeWarm,
 		Tracer:          tracer,
+		Cluster:         clust,
 	}, metrics, ctx)
 
 	if *warmGrid {

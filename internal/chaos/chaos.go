@@ -1,9 +1,10 @@
 // Package chaos is the deterministic fault-injection framework behind the
 // serving path's resilience tests. Production code registers named *injection
-// sites* — `serve.admission`, `serve.cache.leader`, `tileseek.rollout`,
-// `dpipe.candidate`, and the persistent plan store's disk-fault sites
-// `store.write`, `store.read`, `store.fsync` — at the points where a real
-// deployment fails: a stuck evaluation, a panicking cache leader, a slow
+// sites* — `serve.admission`, `serve.cache.leader`, `serve.peer.fetch`,
+// `tileseek.rollout`, `dpipe.candidate`, and the persistent plan store's
+// disk-fault sites `store.write`, `store.read`, `store.fsync` — at the points
+// where a real deployment fails: a stuck evaluation, a panicking cache
+// leader, a partitioned cluster peer, a slow
 // enumeration, a torn record write. A seeded
 // *Injector* carried in the context arms a subset of those sites with a fault
 // schedule (latency, error, panic, or simulated context-cancel), and the
@@ -60,6 +61,12 @@ const (
 	// file and the atomic rename (latency here holds a record mid-write —
 	// the window the kill-mid-write crash tests SIGKILL into).
 	SiteStoreFsync = "store.fsync"
+	// SiteServePeerFetch fires once per cluster peer plan fetch, on the
+	// requesting (non-owner) replica before the RPC goes out. Errors and
+	// cancels here must degrade to a local search — never to a failed
+	// request — and latency models a slow or partitioned owner (bounded by
+	// the fetch context, so it converts to the same local fallback).
+	SiteServePeerFetch = "serve.peer.fetch"
 )
 
 // ErrInjected marks every chaos-injected error (Kinds KindError and

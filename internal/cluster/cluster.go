@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"github.com/fusedmindlab/transfusion/client"
+)
+
+// Config describes one replica's view of the cluster.
+type Config struct {
+	// Self is this replica's own advertised base URL, exactly as it appears
+	// in Peers (e.g. "http://10.0.0.3:8080").
+	Self string
+	// Peers is the full static member list, Self included. Every replica must
+	// be configured with the same list (order irrelevant) for ownership to
+	// agree cluster-wide.
+	Peers []string
+	// VNodes is the virtual-node count per member (<= 0 takes DefaultVNodes).
+	VNodes int
+	// FetchTimeout bounds one peer plan fetch, retries included (default 10s).
+	// On expiry the caller falls back to a local search, so this is the most
+	// extra latency a cluster miss can add to a request.
+	FetchTimeout time.Duration
+	// ClientOptions tunes the per-peer transport (retries, breaker, hedging).
+	// Zero values take the client package defaults, except MaxRetries, which
+	// defaults to 1 here: a struggling peer is better answered by the local
+	// fallback search than by a long retry ladder.
+	ClientOptions client.Options
+}
+
+// Cluster is one replica's handle on the sharded plan space: ownership
+// lookups over the ring plus the per-peer fetch transport. It is immutable
+// after New and safe for concurrent use.
+type Cluster struct {
+	self         string
+	ring         *Ring
+	pool         *client.Pool
+	fetchTimeout time.Duration
+}
+
+// normalizeURL validates and canonicalises one peer URL (scheme+host only,
+// trailing slash trimmed).
+func normalizeURL(raw string) (string, error) {
+	raw = strings.TrimRight(strings.TrimSpace(raw), "/")
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("cluster: bad peer URL %q: %v", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("cluster: peer URL %q must be http(s)", raw)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("cluster: peer URL %q has no host", raw)
+	}
+	return raw, nil
+}
+
+// New builds a Cluster. Self must appear in Peers; duplicates are collapsed.
+// A single-member cluster (just Self) is valid and owns every key — the
+// degenerate case lets one -peers flag template cover every replica count.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers configured")
+	}
+	self, err := normalizeURL(cfg.Self)
+	if err != nil {
+		return nil, err
+	}
+	peers := make([]string, 0, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		n, err := normalizeURL(p)
+		if err != nil {
+			return nil, err
+		}
+		peers = append(peers, n)
+	}
+	ring := NewRing(cfg.VNodes, peers...)
+	if !ring.Has(self) {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list %v", self, ring.Members())
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = 10 * time.Second
+	}
+	opts := cfg.ClientOptions
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 1
+	}
+	if opts.HTTPClient == nil {
+		// The pool default (90s overall timeout) is tuned for external
+		// callers riding out a full search; a peer fetch is bounded by
+		// FetchTimeout via the context, so the transport cap just needs to
+		// be above it.
+		opts.HTTPClient = &http.Client{Timeout: cfg.FetchTimeout + 5*time.Second}
+	}
+	return &Cluster{
+		self:         self,
+		ring:         ring,
+		pool:         client.NewPool(opts),
+		fetchTimeout: cfg.FetchTimeout,
+	}, nil
+}
+
+// Self returns this replica's own normalised URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Members returns the normalised member list, sorted.
+func (c *Cluster) Members() []string { return c.ring.Members() }
+
+// Owner returns the member owning key.
+func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+
+// IsSelf reports whether member is this replica.
+func (c *Cluster) IsSelf(member string) bool { return member == c.self }
+
+// FetchTimeout is the configured bound on one peer fetch.
+func (c *Cluster) FetchTimeout() time.Duration { return c.fetchTimeout }
+
+// Fetch asks owner for a plan over the internal peer route. The owner's
+// breaker/retry state is isolated per peer (client.Pool), so a dead owner
+// fails fast here without poisoning fetches to other members. Callers treat
+// any error as "compute locally instead" — a fetch failure must never fail
+// the user's request.
+func (c *Cluster) Fetch(ctx context.Context, owner string, req client.PlanRequest) (*client.PlanResponse, error) {
+	if owner == c.self {
+		return nil, fmt.Errorf("cluster: fetch from self")
+	}
+	if !c.ring.Has(owner) {
+		return nil, fmt.Errorf("cluster: %q is not a member", owner)
+	}
+	return c.pool.For(owner).PeerPlan(ctx, req)
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/fusedmindlab/transfusion/client"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Self: "http://a:1"}); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if _, err := New(Config{Self: "http://c:1", Peers: []string{"http://a:1", "http://b:1"}}); err == nil {
+		t.Fatal("self outside the peer list accepted")
+	}
+	if _, err := New(Config{Self: "ftp://a:1", Peers: []string{"ftp://a:1"}}); err == nil {
+		t.Fatal("non-http scheme accepted")
+	}
+	if _, err := New(Config{Self: "http://", Peers: []string{"http://"}}); err == nil {
+		t.Fatal("hostless URL accepted")
+	}
+}
+
+// Trailing slashes and duplicates must not split one replica into two ring
+// identities — flag typos should normalise away, not skew ownership.
+func TestNewNormalises(t *testing.T) {
+	c, err := New(Config{
+		Self:  "http://a:1/",
+		Peers: []string{"http://a:1", "http://a:1/", "http://b:1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Members(); len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:1" {
+		t.Fatalf("members = %v, want [http://a:1 http://b:1]", got)
+	}
+	if !c.IsSelf("http://a:1") || c.IsSelf("http://b:1") {
+		t.Fatalf("self resolution broken: self=%q", c.Self())
+	}
+}
+
+// The degenerate single-member cluster is valid and owns every key — one
+// -peers template can cover every replica count.
+func TestSingleMemberOwnsEverything(t *testing.T) {
+	c, err := New(Config{Self: "http://only:1", Peers: []string{"http://only:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(100, 5) {
+		if owner := c.Owner(k); !c.IsSelf(owner) {
+			t.Fatalf("single-member cluster gave key %q to %q", k, owner)
+		}
+	}
+}
+
+func TestFetchRejectsSelfAndStrangers(t *testing.T) {
+	c, err := New(Config{Self: "http://a:1", Peers: []string{"http://a:1", "http://b:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fetch(context.Background(), "http://a:1", client.PlanRequest{}); err == nil || !strings.Contains(err.Error(), "self") {
+		t.Fatalf("fetch from self: err = %v, want self-fetch error", err)
+	}
+	if _, err := c.Fetch(context.Background(), "http://z:1", client.PlanRequest{}); err == nil || !strings.Contains(err.Error(), "member") {
+		t.Fatalf("fetch from non-member: err = %v, want membership error", err)
+	}
+}

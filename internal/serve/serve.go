@@ -50,7 +50,9 @@ import (
 	"time"
 
 	"github.com/fusedmindlab/transfusion"
+	"github.com/fusedmindlab/transfusion/client"
 	"github.com/fusedmindlab/transfusion/internal/chaos"
+	"github.com/fusedmindlab/transfusion/internal/cluster"
 	"github.com/fusedmindlab/transfusion/internal/faults"
 	"github.com/fusedmindlab/transfusion/internal/obs"
 	"github.com/fusedmindlab/transfusion/internal/store"
@@ -119,6 +121,15 @@ type Config struct {
 	// then carries no span and pays nothing (the obs span API is
 	// zero-allocation on a span-free context).
 	Tracer *obs.Tracer
+	// Cluster enables the peer tier: a consistent-hash ring shards the
+	// canonical-key space across replicas, and a request missing the local
+	// memory and disk tiers on a non-owner replica is fetched from the
+	// key's owner (X-Plan-Source: peer) instead of searched locally — the
+	// owner's singleflight then guarantees each plan is computed at most
+	// once cluster-wide. Every fetch failure falls back to the local search
+	// tiers; degraded results never cross replicas (owners answer 503
+	// rather than ship one). nil disables the tier.
+	Cluster *cluster.Cluster
 }
 
 func (c Config) withDefaults() Config {
@@ -247,6 +258,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	routes := []string{"/v1/plan", "/v1/compare", "/healthz", "/readyz", "/metrics", "/debug/trace", "/debug/requests"}
 	mux.HandleFunc("/v1/plan", s.handlePlan)
+	mux.HandleFunc("/v1/plan/batch", s.handlePlanBatch)
+	mux.HandleFunc("/v1/peer/plan", s.handlePeerPlan)
 	mux.HandleFunc("/v1/compare", s.handleCompare)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
@@ -337,9 +350,10 @@ type PlanResponse struct {
 	// Key is the canonical cache key the request resolved to.
 	Key string `json:"key"`
 	// Source names the tier that answered — "memory" (in-process cache),
-	// "disk" (persistent plan store), "warm-search" (a fresh evaluation
-	// seeded from the nearest stored plan), or "search" (a fresh cold
-	// evaluation) — mirrored in the X-Plan-Source response header.
+	// "disk" (persistent plan store), "peer" (fetched from the key's owning
+	// replica), "warm-search" (a fresh evaluation seeded from the nearest
+	// stored plan), or "search" (a fresh cold evaluation) — mirrored in the
+	// X-Plan-Source response header.
 	Source string `json:"source"`
 	// ElapsedMS is the server-side handling time.
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -546,10 +560,11 @@ func (s *Server) applyLadder(spec transfusion.RunSpec) (transfusion.RunSpec, str
 }
 
 // Plan-source labels for the X-Plan-Source response header: which tier of
-// the memory -> disk -> search stack answered.
+// the memory -> disk -> peer -> search stack answered.
 const (
 	sourceMemory = "memory"
 	sourceDisk   = "disk"
+	sourcePeer   = "peer"
 	sourceWarm   = "warm-search"
 	sourceSearch = "search"
 )
@@ -565,22 +580,25 @@ func sourceOf(cached bool) string {
 	return sourceSearch
 }
 
-// evalPlan resolves one spec through the ladder/cache/store/admission stack,
-// returning the result, whether it came from a cache tier without waiting on
-// any evaluation, the canonical key it was served under, the degradation mode
-// ("" for a full-fidelity answer), and the tier that answered
-// (memory|disk|search). reqCtx bounds only this caller's wait; the evaluation
-// itself runs under the server's own deadline so a disconnecting client
-// cannot kill coalesced peers, and its result is cached for the retry even if
-// nobody is left to read it.
+// evalPlan resolves one spec through the ladder/cache/store/cluster/
+// admission stack, returning the result, whether it came from a cache tier
+// without waiting on any evaluation, the canonical key it was served under,
+// the degradation mode ("" for a full-fidelity answer), and the tier that
+// answered (memory|disk|peer|warm-search|search). reqCtx bounds only this
+// caller's wait; the evaluation itself runs under the server's own deadline
+// so a disconnecting client cannot kill coalesced peers, and its result is
+// cached for the retry even if nobody is left to read it. allowPeer gates
+// the cluster tier: the internal peer-fetch handler clears it so a fetch can
+// never re-forward (two replicas that momentarily disagree about ownership
+// during a topology change must degrade to local work, not loop).
 //
 // When the request carries a trace, the resolution gets a "plan.resolve"
 // span annotated with the outcome — which tier answered, the cache key, and
 // the degradation mode — so a slow or degraded response is attributable at a
 // glance in /debug/requests.
-func (s *Server) evalPlan(reqCtx context.Context, spec transfusion.RunSpec) (transfusion.RunResult, bool, string, string, string, error) {
+func (s *Server) evalPlan(reqCtx context.Context, spec transfusion.RunSpec, allowPeer bool) (transfusion.RunResult, bool, string, string, string, error) {
 	ctx, sp := obs.StartSpan(reqCtx, "plan.resolve")
-	res, cached, key, mode, source, err := s.resolvePlan(ctx, spec)
+	res, cached, key, mode, source, err := s.resolvePlan(ctx, spec, allowPeer)
 	if sp != nil {
 		sp.SetAttr("key", key)
 		sp.SetAttr("source", source)
@@ -595,7 +613,7 @@ func (s *Server) evalPlan(reqCtx context.Context, spec transfusion.RunSpec) (tra
 }
 
 // resolvePlan is evalPlan's body; see there for the contract.
-func (s *Server) resolvePlan(reqCtx context.Context, spec transfusion.RunSpec) (transfusion.RunResult, bool, string, string, string, error) {
+func (s *Server) resolvePlan(reqCtx context.Context, spec transfusion.RunSpec, allowPeer bool) (transfusion.RunResult, bool, string, string, string, error) {
 	spec.Parallelism = s.cfg.Parallelism
 	spec.SpecChainSteps = s.cfg.SpecChainSteps
 	spec.SpecLookahead = s.cfg.SpecLookahead
@@ -633,6 +651,27 @@ func (s *Server) resolvePlan(reqCtx context.Context, spec transfusion.RunSpec) (
 		if ok {
 			s.cache.Put(fullKey, res)
 			return res, true, fullKey, "", sourceDisk, nil
+		}
+	}
+
+	// Peer tier: the consistent-hash ring names one replica the key's owner;
+	// a non-owner that missed its exact local tiers fetches from the owner
+	// instead of searching, so the owner's singleflight makes each plan a
+	// compute-at-most-once resource cluster-wide. Any failure — partition,
+	// dead or draining owner, owner under load, injected chaos — falls
+	// through to the local search tiers below: the cluster is a work-sharing
+	// optimisation, never a correctness or availability dependency. A
+	// fetched plan fills the local memory cache and, asynchronously, the
+	// local disk tier. Owners refuse to ship degraded results (503), and a
+	// degraded body that arrives anyway is discarded, so degraded plans
+	// cannot cross replicas. Degraded (ladder-rewritten) requests and specs
+	// not expressible on the wire never forward.
+	if cl := s.cfg.Cluster; cl != nil && allowPeer && mode == "" && !spec.HeuristicOnly &&
+		!s.draining.Load() && peerForwardable(spec) {
+		if owner := cl.Owner(fullKey); owner != "" && !cl.IsSelf(owner) {
+			if res, ok := s.peerFetch(reqCtx, owner, spec, fullKey); ok {
+				return res, false, fullKey, "", sourcePeer, nil
+			}
 		}
 	}
 
@@ -752,6 +791,61 @@ func (s *Server) boundDiskCtx(reqCtx context.Context) (context.Context, context.
 		ctx = obs.ContextWithSpan(ctx, sp)
 	}
 	return ctx, cancel
+}
+
+// peerForwardable reports whether spec can be expressed as a wire-level
+// PlanRequest. Specs carrying local-only inputs (an architecture file path, a
+// custom model) never arise from the HTTP handlers, but a direct library
+// caller could build one — those always resolve locally.
+func peerForwardable(spec transfusion.RunSpec) bool {
+	return spec.ArchFile == "" && spec.CustomModel == nil
+}
+
+// peerFetch asks the key's owner for the plan over the internal peer RPC,
+// returning (result, true) on a usable full-fidelity answer. It runs under
+// its own timeout derived from the server's base context — like the disk
+// tier, it must not consume the whole request deadline, and it must carry
+// the chaos injector so the serve.peer.fetch site can strike. The fetched
+// result fills the local memory cache immediately and the local disk tier
+// asynchronously (off the request path), so subsequent requests for the key
+// on this replica answer locally. On any failure it reports (zero, false)
+// and the caller falls through to local search — serve.peer.hits +
+// serve.peer.fallbacks always sums to serve.peer.forwards.
+func (s *Server) peerFetch(reqCtx context.Context, owner string, spec transfusion.RunSpec, fullKey string) (transfusion.RunResult, bool) {
+	s.reg.Counter("serve.peer.forwards").Inc()
+	cl := s.cfg.Cluster
+	ctx, cancel := context.WithTimeout(s.baseCtx, cl.FetchTimeout())
+	defer cancel()
+	if sp := obs.SpanFromContext(reqCtx); sp != nil {
+		ctx = obs.ContextWithSpan(ctx, sp)
+	}
+	ctx, sp := obs.StartSpan(ctx, "cluster.fetch")
+	sp.SetAttr("owner", owner)
+	var resp *client.PlanResponse
+	err := chaos.SiteFrom(ctx, chaos.SiteServePeerFetch).Strike(ctx)
+	if err == nil {
+		resp, err = cl.Fetch(ctx, owner, client.PlanRequest{
+			Arch: spec.Arch, Model: spec.Model, SeqLen: spec.SeqLen, System: spec.System,
+			Batch: spec.Batch, SearchBudget: spec.SearchBudget, Causal: spec.Causal,
+		})
+	}
+	if err == nil && resp.Result.Degraded {
+		// Owners answer 503 rather than ship a degraded plan; a body that
+		// carries one anyway (a version-skewed or misbehaving peer) is
+		// treated as a failed fetch so it can never enter a local cache.
+		err = faults.Invalidf("serve: peer %s returned a degraded result", owner)
+	}
+	if err != nil {
+		s.reg.Counter("serve.peer.fallbacks").Inc()
+		sp.EndErr(err)
+		return transfusion.RunResult{}, false
+	}
+	s.reg.Counter("serve.peer.hits").Inc()
+	sp.SetAttr("peer_source", resp.Source)
+	sp.End()
+	s.cache.Put(fullKey, resp.Result)
+	s.storeFillAsync(ctx, fullKey, resp.Result)
+	return resp.Result, true
 }
 
 // WarmGrid precomputes plans for gaps in the store's seq-length grid, warm-
@@ -938,7 +1032,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Arch: req.Arch, Model: req.Model, SeqLen: req.SeqLen, System: req.System,
 		Batch: req.Batch, SearchBudget: req.SearchBudget, Causal: req.Causal,
 	}
-	res, cached, key, mode, source, err := s.evalPlan(r.Context(), spec)
+	res, cached, key, mode, source, err := s.evalPlan(r.Context(), spec, true)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -946,6 +1040,66 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Plan-Source", source)
 	s.markDegraded(r.Context(), w, &res, mode)
 	s.noteSuccess()
+	writeJSON(w, http.StatusOK, PlanResponse{
+		Result: res, Cached: cached, Key: key, Source: source,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
+// handlePeerPlan answers the internal peer-fetch route (/v1/peer/plan): a
+// sibling replica that does not own a key forwards the request here so this
+// replica's singleflight computes the plan once for the whole cluster. The
+// contract differs from /v1/plan in two ways. First, evalPlan runs with
+// allowPeer=false — an owner never re-forwards, so topology disagreement
+// during a membership change can bounce a request at most once. Second,
+// degraded results never cross replicas: while draining, while the local
+// ladder is engaged, or when the evaluation itself degraded, the owner
+// answers 503 and the requester falls back to its own local search. A
+// degraded plan in a peer response would otherwise be cached remotely and
+// outlive the load spike that caused it.
+func (s *Server) handlePeerPlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only", Status: http.StatusMethodNotAllowed})
+		return
+	}
+	start := time.Now()
+	if s.draining.Load() {
+		s.reg.Counter("serve.peer.rejects").Inc()
+		s.writeError(w, faults.Overloadedf("serve: draining; peer fetches refused"))
+		return
+	}
+	var req PlanRequest
+	if err := decodeStrict(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := s.validateLimits(req.SeqLen, req.SearchBudget); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if s.degradeTier() > 0 {
+		s.reg.Counter("serve.peer.rejects").Inc()
+		s.writeError(w, faults.Overloadedf("serve: overloaded; peer fetch would degrade"))
+		return
+	}
+	spec := transfusion.RunSpec{
+		Arch: req.Arch, Model: req.Model, SeqLen: req.SeqLen, System: req.System,
+		Batch: req.Batch, SearchBudget: req.SearchBudget, Causal: req.Causal,
+	}
+	res, cached, key, mode, source, err := s.evalPlan(r.Context(), spec, false)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if mode != "" || res.Degraded {
+		s.reg.Counter("serve.peer.rejects").Inc()
+		s.writeError(w, faults.Overloadedf("serve: degraded result withheld from peer fetch"))
+		return
+	}
+	s.reg.Counter("serve.peer.serves").Inc()
+	s.noteSuccess()
+	w.Header().Set("X-Plan-Source", source)
 	writeJSON(w, http.StatusOK, PlanResponse{
 		Result: res, Cached: cached, Key: key, Source: source,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
@@ -974,6 +1128,14 @@ func (s *Server) markDegraded(ctx context.Context, w http.ResponseWriter, res *t
 		res.Degraded = true
 		res.DegradedReason = "served degraded under load (" + mode + " tier)"
 	}
+	s.markDegradedResponse(ctx, w, mode)
+}
+
+// markDegradedResponse applies the on-the-wire degradation stamp shared by
+// every handler: trace marked for tail-sampling retention, Served-Degraded
+// header, and exactly one serve.degraded.<mode> counter increment per
+// response.
+func (s *Server) markDegradedResponse(ctx context.Context, w http.ResponseWriter, mode string) {
 	obs.SpanFromContext(ctx).MarkDegraded()
 	w.Header().Set("Served-Degraded", mode)
 	s.reg.Counter("serve.degraded." + mode).Inc()
@@ -1006,7 +1168,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			Arch: req.Arch, Model: req.Model, SeqLen: req.SeqLen, System: name,
 			Batch: req.Batch, SearchBudget: req.SearchBudget,
 		}
-		res, cached, _, mode, _, err := s.evalPlan(r.Context(), spec)
+		res, cached, _, mode, _, err := s.evalPlan(r.Context(), spec, true)
 		if err != nil {
 			s.writeError(w, err)
 			return
@@ -1027,9 +1189,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		if degradeMode == "" {
 			degradeMode = degradeSearch
 		}
-		obs.SpanFromContext(r.Context()).MarkDegraded()
-		w.Header().Set("Served-Degraded", degradeMode)
-		s.reg.Counter("serve.degraded." + degradeMode).Inc()
+		s.markDegradedResponse(r.Context(), w, degradeMode)
 	}
 	s.noteSuccess()
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
