@@ -95,6 +95,12 @@ type APIError struct {
 	Message string
 	// RetryAfter is the server's Retry-After hint, 0 when absent.
 	RetryAfter time.Duration
+	// WarmHint is the server's nearest stored plan recipe, attached to peer
+	// route refusals and cache-only misses (transfusiond's replica-aware
+	// warm hints). A requester that falls back to a local search can seed it
+	// into RunSpec.WarmHint so the search starts warm instead of cold. Nil
+	// when the server had nothing nearby.
+	WarmHint *transfusion.PlanSummary
 }
 
 // Error renders the status and message.
@@ -253,6 +259,13 @@ func (b *breaker) record(serverFault bool, now time.Time) {
 // below-fidelity answer fetched across the cluster.
 const PeerPlanPath = "/v1/peer/plan"
 
+// PeerCachedPath is transfusiond's internal cache-only peer route: the server
+// answers from its memory or disk tiers and never starts a search. Replicas
+// use it for the one-hop previous-owner fetch after a ring change — cheap
+// enough to try before a local search, and a miss (404) still carries the
+// owner's nearest stored recipe as a warm hint.
+const PeerCachedPath = "/v1/peer/cached"
+
 // Plan evaluates one spec, retrying and (when configured) hedging. A trace
 // span attached to ctx (obs.ContextWithSpan) gains a "client.plan" child
 // covering every attempt, with events for retries, hedge launches, and
@@ -269,6 +282,14 @@ func (c *Client) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, erro
 // degraded) surfaces as a Temporary *APIError the caller falls back from.
 func (c *Client) PeerPlan(ctx context.Context, req PlanRequest) (*PlanResponse, error) {
 	return c.plan(ctx, PeerPlanPath, "client.peer_plan", req)
+}
+
+// PeerCached asks the server for a plan from its caches only (PeerCachedPath);
+// the server never searches on this route. A miss is a permanent 404 *APIError
+// — no retries burn on it — whose WarmHint, when non-nil, carries the server's
+// nearest stored recipe for seeding the caller's own search.
+func (c *Client) PeerCached(ctx context.Context, req PlanRequest) (*PlanResponse, error) {
+	return c.plan(ctx, PeerCachedPath, "client.peer_cached", req)
 }
 
 // plan is the shared body of Plan and PeerPlan: one idempotent plan-shaped
@@ -524,10 +545,12 @@ func (c *Client) post(ctx context.Context, path string, body []byte) (int, http.
 	return resp.StatusCode, resp.Header, data, nil
 }
 
-// errorBody is the server's JSON error shape.
+// errorBody is the server's JSON error shape. WarmHint rides only on peer
+// route refusals and cache-only misses.
 type errorBody struct {
-	Error  string `json:"error"`
-	Status int    `json:"status"`
+	Error    string                   `json:"error"`
+	Status   int                      `json:"status"`
+	WarmHint *transfusion.PlanSummary `json:"warm_hint,omitempty"`
 }
 
 // decodePlanResponse turns one wire response into a PlanResponse or an
@@ -564,6 +587,7 @@ func apiErrorFrom(status int, retryAfter string, body []byte) *APIError {
 	var eb errorBody
 	if err := json.Unmarshal(body, &eb); err == nil && eb.Error != "" {
 		e.Message = eb.Error
+		e.WarmHint = eb.WarmHint
 	} else {
 		e.Message = summarise(body)
 	}

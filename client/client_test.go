@@ -247,7 +247,11 @@ func TestClientHonoursHTTPDateRetryAfter(t *testing.T) {
 		switch calls.Add(1) {
 		case 1:
 			firstAt.Store(time.Now().UnixNano())
-			w.Header().Set("Retry-After", time.Now().Add(time.Second).UTC().Format(http.TimeFormat))
+			// Truncate before adding: HTTP-dates drop sub-second precision,
+			// so "now + 1s" could land mere milliseconds in the future when
+			// now is late in its second. Truncating first guarantees the
+			// date is 1-2s out and the asserted gap below always holds.
+			w.Header().Set("Retry-After", time.Now().Truncate(time.Second).Add(2*time.Second).UTC().Format(http.TimeFormat))
 			w.WriteHeader(http.StatusServiceUnavailable)
 		default:
 			secondAt.Store(time.Now().UnixNano())

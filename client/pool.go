@@ -63,6 +63,29 @@ func (p *Pool) For(baseURL string) *Client {
 	return c
 }
 
+// Prune drops the Clients for every endpoint not in keep (same
+// trailing-slash normalisation as For), releasing their breaker and jitter
+// state, and returns how many were dropped. A long-lived pool under dynamic
+// cluster membership calls this on every reconfiguration so departed
+// replicas don't accumulate per-endpoint state forever; an endpoint that
+// later rejoins gets a fresh Client — and a closed breaker — from For.
+func (p *Pool) Prune(keep []string) int {
+	keepSet := make(map[string]bool, len(keep))
+	for _, u := range keep {
+		keepSet[strings.TrimRight(u, "/")] = true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dropped := 0
+	for k := range p.clients {
+		if !keepSet[k] {
+			delete(p.clients, k)
+			dropped++
+		}
+	}
+	return dropped
+}
+
 // Endpoints lists the base URLs the pool has built Clients for, sorted.
 func (p *Pool) Endpoints() []string {
 	p.mu.Lock()

@@ -85,3 +85,36 @@ func TestPoolReusesClientPerURL(t *testing.T) {
 		t.Fatalf("Endpoints() = %v", got)
 	}
 }
+
+// Prune must drop exactly the endpoints that left the member set — their
+// breaker state with them, so a rejoining endpoint starts with a closed
+// breaker — and leave survivors' Clients (and accumulated state) untouched.
+func TestPoolPruneDropsDepartedEndpoints(t *testing.T) {
+	pool := NewPool(Options{})
+	a := pool.For("http://peer-a:8080")
+	b := pool.For("http://peer-b:8080")
+	pool.For("http://peer-c:8080")
+
+	// Keep-list normalisation matches For's: a trailing slash is the same
+	// endpoint.
+	if dropped := pool.Prune([]string{"http://peer-a:8080/", "http://peer-b:8080"}); dropped != 1 {
+		t.Fatalf("Prune dropped %d, want 1", dropped)
+	}
+	got := pool.Endpoints()
+	if len(got) != 2 || got[0] != "http://peer-a:8080" || got[1] != "http://peer-b:8080" {
+		t.Fatalf("Endpoints() after prune = %v", got)
+	}
+	if pool.For("http://peer-a:8080") != a || pool.For("http://peer-b:8080") != b {
+		t.Fatal("prune rebuilt a surviving endpoint's Client")
+	}
+	// The departed endpoint gets a fresh Client if it ever rejoins.
+	if pool.For("http://peer-c:8080") == nil {
+		t.Fatal("rejoining endpoint got no Client")
+	}
+	if dropped := pool.Prune(nil); dropped != 3 {
+		t.Fatalf("Prune(nil) dropped %d, want 3", dropped)
+	}
+	if len(pool.Endpoints()) != 0 {
+		t.Fatalf("Endpoints() after full prune = %v", pool.Endpoints())
+	}
+}

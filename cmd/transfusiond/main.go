@@ -22,7 +22,11 @@
 // the owner's singleflight computes each plan once cluster-wide; an
 // unreachable or degraded owner falls back to a local search. POST
 // /v1/plan/batch resolves many plan requests in one round trip with
-// per-entry status and source.
+// per-entry status and source. With -peers-file, membership is dynamic: the
+// file is re-read on SIGHUP, an active prober walks unresponsive peers
+// through alive -> suspect -> dead (dead members leave the ring; revived
+// ones rejoin), and a key whose ownership moved is first fetched — cache-
+// only, one hop — from its previous owner before being re-searched.
 //
 // Usage:
 //
@@ -82,9 +86,15 @@ func run() error {
 	specChain := flag.Int("spec-chain", 0, "speculation replay steps on the master PRNG stream in the parallel tile search (0 = default; never changes results)")
 	specLookahead := flag.Int("spec-lookahead", 0, "total speculation replay steps per snapshot in the parallel tile search (0 = default; never changes results)")
 	peers := flag.String("peers", "", "comma-separated base URLs of every replica, self included (e.g. 'http://a:8080,http://b:8080'; empty disables clustering)")
+	peersFile := flag.String("peers-file", "", "file listing replica base URLs, one per line (# comments allowed; alternative to -peers, re-read on SIGHUP for live membership changes)")
 	self := flag.String("self", "", "this replica's own base URL, exactly as listed in -peers (required with -peers)")
 	peerVNodes := flag.Int("peer-vnodes", 0, "virtual nodes per replica on the consistent-hash ring (0 = default)")
-	peerTimeout := flag.Duration("peer-timeout", 0, "bound on one peer plan fetch before falling back to local search (0 = default)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "bound on one peer plan fetch before falling back to local search (0 = default; clamped per-peer by the prober's latency EWMA)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "base gap between health probes of one peer, jittered per probe (0 disables the prober: membership stays static)")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "bound on one health probe round-trip")
+	probeSuspect := flag.Int("probe-suspect", 2, "consecutive probe failures before a peer is suspect (kept in the ring, clamped fetch timeout)")
+	probeDead := flag.Int("probe-dead", 4, "consecutive probe failures before a peer is dead and leaves the ring")
+	probeRevive := flag.Int("probe-revive", 2, "consecutive probe successes before a suspect or dead peer is alive again")
 	chaosSpec := flag.String("chaos", "", "fault-injection schedule, e.g. 'serve.cache.leader=latency:2s@every=5;serve.admission=error@p=0.01' (empty disables)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for probabilistic -chaos schedules (deterministic replay)")
 	logLevel := flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
@@ -170,14 +180,30 @@ func run() error {
 	}
 
 	var clust *cluster.Cluster
-	if *peers != "" {
+	if *peers != "" || *peersFile != "" {
+		if *peers != "" && *peersFile != "" {
+			return fmt.Errorf("-peers and -peers-file are mutually exclusive")
+		}
 		if *self == "" {
-			return fmt.Errorf("-peers requires -self")
+			return fmt.Errorf("-peers/-peers-file requires -self")
 		}
 		var list []string
-		for _, p := range strings.Split(*peers, ",") {
-			if p = strings.TrimSpace(p); p != "" {
-				list = append(list, p)
+		if *peersFile != "" {
+			list, err = readPeersFile(*peersFile)
+			if err != nil {
+				return err
+			}
+			if len(list) == 0 {
+				// An empty peers file is single-node mode, not an error: the
+				// file is the live membership source and may legitimately
+				// shrink to just this replica.
+				list = []string{*self}
+			}
+		} else {
+			for _, p := range strings.Split(*peers, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					list = append(list, p)
+				}
 			}
 		}
 		clust, err = cluster.New(cluster.Config{
@@ -185,13 +211,61 @@ func run() error {
 			Peers:        list,
 			VNodes:       *peerVNodes,
 			FetchTimeout: *peerTimeout,
+			Metrics:      metrics,
+			Probe: cluster.ProbeConfig{
+				Interval:     *probeInterval,
+				Timeout:      *probeTimeout,
+				SuspectAfter: *probeSuspect,
+				DeadAfter:    *probeDead,
+				ReviveAfter:  *probeRevive,
+				Seed:         *chaosSeed,
+			},
+			OnChange: func(gen uint64, members []string) {
+				logger.Info("transfusiond: cluster ring rebuilt",
+					"generation", gen,
+					"members", strings.Join(members, ","))
+			},
 		})
 		if err != nil {
 			return err
 		}
 		logger.Info("transfusiond: clustering enabled",
 			"self", clust.Self(),
-			"members", len(clust.Members()))
+			"members", len(clust.Members()),
+			"peers_file", *peersFile)
+		if *probeInterval > 0 {
+			prober := clust.StartProber(ctx)
+			defer prober.Stop()
+		}
+		if *peersFile != "" {
+			// SIGHUP re-reads the peers file and reconfigures the ring live.
+			// The channel buffer of 1 coalesces back-to-back signals: a burst
+			// of SIGHUPs converges on one reload of the file's final content.
+			hup := make(chan os.Signal, 1)
+			signal.Notify(hup, syscall.SIGHUP)
+			defer signal.Stop(hup)
+			go func() {
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-hup:
+					}
+					list, err := readPeersFile(*peersFile)
+					if err != nil {
+						logger.Error("transfusiond: peers file reload failed; keeping current ring", "err", err)
+						continue
+					}
+					if err := clust.Reload(list); err != nil {
+						logger.Error("transfusiond: peers reload rejected; keeping current ring", "err", err)
+						continue
+					}
+					logger.Info("transfusiond: peers file reloaded",
+						"peers", len(clust.Peers()),
+						"generation", clust.Generation())
+				}
+			}()
+		}
 	}
 
 	srv := serve.New(serve.Config{
@@ -236,4 +310,24 @@ func run() error {
 	err = srv.Serve(ctx, l)
 	logger.Info("transfusiond: drained, exiting")
 	return err
+}
+
+// readPeersFile parses a peers file: one replica base URL per line, blank
+// lines and #-comments ignored. An empty result is legal — the caller
+// decides whether that means single-node mode (boot, reload) or an error.
+func readPeersFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading peers file: %w", err)
+	}
+	var list []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		if line = strings.TrimSpace(line); line != "" {
+			list = append(list, line)
+		}
+	}
+	return list, nil
 }

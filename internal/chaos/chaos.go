@@ -1,8 +1,9 @@
 // Package chaos is the deterministic fault-injection framework behind the
 // serving path's resilience tests. Production code registers named *injection
 // sites* — `serve.admission`, `serve.cache.leader`, `serve.peer.fetch`,
-// `tileseek.rollout`, `dpipe.candidate`, and the persistent plan store's
-// disk-fault sites `store.write`, `store.read`, `store.fsync` — at the points
+// `cluster.probe`, `tileseek.rollout`, `dpipe.candidate`, and the persistent
+// plan store's disk-fault sites `store.write`, `store.read`, `store.fsync` —
+// at the points
 // where a real deployment fails: a stuck evaluation, a panicking cache
 // leader, a partitioned cluster peer, a slow
 // enumeration, a torn record write. A seeded
@@ -67,6 +68,13 @@ const (
 	// request — and latency models a slow or partitioned owner (bounded by
 	// the fetch context, so it converts to the same local fallback).
 	SiteServePeerFetch = "serve.peer.fetch"
+	// SiteClusterProbe fires once per membership health probe, before the
+	// prober's /readyz round-trip goes out. Errors here simulate a
+	// partitioned or crashed peer (consecutive strikes walk it through
+	// suspect into dead); latency simulates a slow-but-alive peer — it
+	// rides the probe's own timeout, inflates the latency EWMA, and must
+	// never flap the ring on a single strike (hysteresis).
+	SiteClusterProbe = "cluster.probe"
 )
 
 // ErrInjected marks every chaos-injected error (Kinds KindError and

@@ -260,6 +260,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/v1/plan/batch", s.handlePlanBatch)
 	mux.HandleFunc("/v1/peer/plan", s.handlePeerPlan)
+	mux.HandleFunc("/v1/peer/cached", s.handlePeerCached)
 	mux.HandleFunc("/v1/compare", s.handleCompare)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
@@ -377,10 +378,14 @@ type CompareResponse struct {
 	ElapsedMS     float64 `json:"elapsed_ms"`
 }
 
-// errorResponse is the JSON body of every non-2xx reply.
+// errorResponse is the JSON body of every non-2xx reply. WarmHint rides only
+// on peer-route refusals and cache-only misses: the refusing replica's
+// nearest stored recipe, so the requester's local fallback search can start
+// warm instead of cold.
 type errorResponse struct {
-	Error  string `json:"error"`
-	Status int    `json:"status"`
+	Error    string                   `json:"error"`
+	Status   int                      `json:"status"`
+	WarmHint *transfusion.PlanSummary `json:"warm_hint,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -560,13 +565,16 @@ func (s *Server) applyLadder(spec transfusion.RunSpec) (transfusion.RunSpec, str
 }
 
 // Plan-source labels for the X-Plan-Source response header: which tier of
-// the memory -> disk -> peer -> search stack answered.
+// the memory -> disk -> peer -> search stack answered. "peer-warm" is the
+// hybrid: a peer fetch missed, but its miss body carried the owner's nearest
+// stored recipe and the local search started from it.
 const (
-	sourceMemory = "memory"
-	sourceDisk   = "disk"
-	sourcePeer   = "peer"
-	sourceWarm   = "warm-search"
-	sourceSearch = "search"
+	sourceMemory   = "memory"
+	sourceDisk     = "disk"
+	sourcePeer     = "peer"
+	sourceWarm     = "warm-search"
+	sourcePeerWarm = "peer-warm"
+	sourceSearch   = "search"
 )
 
 // sourceOf maps a doEval outcome onto a plan-source label: cached means the
@@ -666,11 +674,35 @@ func (s *Server) resolvePlan(reqCtx context.Context, spec transfusion.RunSpec, a
 	// degraded body that arrives anyway is discarded, so degraded plans
 	// cannot cross replicas. Degraded (ladder-rewritten) requests and specs
 	// not expressible on the wire never forward.
-	if cl := s.cfg.Cluster; cl != nil && allowPeer && mode == "" && !spec.HeuristicOnly &&
+	//
+	// When this replica owns the key itself but the ring generation just
+	// moved ownership here, the remap path runs instead: one cache-only
+	// fetch from the previous generation's owner, so a membership change
+	// costs at most one extra peer hop — not a cluster-wide re-search of
+	// every remapped key. The remap fetch is deliberately not gated on
+	// allowPeer: it is loop-free (the cache-only route never forwards or
+	// searches), so even an owner answering a peer fetch may take the hop.
+	//
+	// Either fetch that fails may still return the remote side's nearest
+	// stored recipe (peerHint); the warm tier below seeds the local search
+	// from it.
+	var peerHint *transfusion.PlanSummary
+	if cl := s.cfg.Cluster; cl != nil && mode == "" && !spec.HeuristicOnly &&
 		!s.draining.Load() && peerForwardable(spec) {
-		if owner := cl.Owner(fullKey); owner != "" && !cl.IsSelf(owner) {
-			if res, ok := s.peerFetch(reqCtx, owner, spec, fullKey); ok {
+		switch owner := cl.Owner(fullKey); {
+		case owner != "" && !cl.IsSelf(owner) && allowPeer:
+			res, hint, ok := s.peerFetch(reqCtx, owner, spec, fullKey)
+			if ok {
 				return res, false, fullKey, "", sourcePeer, nil
+			}
+			peerHint = hint
+		case owner != "" && cl.IsSelf(owner):
+			if prev := cl.PrevOwner(fullKey); prev != "" && cl.CanFetch(prev) {
+				res, hint, ok := s.remapFetch(reqCtx, prev, spec, fullKey)
+				if ok {
+					return res, false, fullKey, "", sourcePeer, nil
+				}
+				peerHint = hint
 			}
 		}
 	}
@@ -686,7 +718,20 @@ func (s *Server) resolvePlan(reqCtx context.Context, spec transfusion.RunSpec, a
 	// carry degraded fidelity; heuristic-only requests run no search and have
 	// nothing to warm.
 	warmed := false
-	if s.store != nil && mode == "" && !spec.HeuristicOnly {
+	warmSrc := sourceWarm
+	if peerHint != nil && mode == "" && !spec.HeuristicOnly {
+		// A replica-aware warm hint from the failed peer fetch above beats
+		// consulting the local store: the remote owner's nearest neighbour is
+		// at least as close as ours (it owned this key family), and using it
+		// skips a disk scan on the request path.
+		spec.WarmHint = peerHint
+		warmed = true
+		warmSrc = sourcePeerWarm
+		s.reg.Counter("serve.peer.warm_hints").Inc()
+		if sp := obs.SpanFromContext(reqCtx); sp != nil {
+			sp.SetAttr("warm_from", "peer")
+		}
+	} else if s.store != nil && mode == "" && !spec.HeuristicOnly {
 		diskCtx, cancel := s.boundDiskCtx(reqCtx)
 		ne, ok := s.store.Nearest(diskCtx, fullKey)
 		cancel()
@@ -700,11 +745,11 @@ func (s *Server) resolvePlan(reqCtx context.Context, spec transfusion.RunSpec, a
 		}
 	}
 	// src maps a doEval outcome to the plan-source label, distinguishing a
-	// warm-seeded evaluation from a cold one; a cache hit inside Do is a
-	// memory answer regardless of the hint.
+	// warm-seeded evaluation (and which side supplied the hint) from a cold
+	// one; a cache hit inside Do is a memory answer regardless of the hint.
 	src := func(cached bool) string {
 		if !cached && warmed {
-			return sourceWarm
+			return warmSrc
 		}
 		return sourceOf(cached)
 	}
@@ -801,20 +846,43 @@ func peerForwardable(spec transfusion.RunSpec) bool {
 	return spec.ArchFile == "" && spec.CustomModel == nil
 }
 
+// wireRequest expresses a forwardable spec as the peer-route body.
+func wireRequest(spec transfusion.RunSpec) client.PlanRequest {
+	return client.PlanRequest{
+		Arch: spec.Arch, Model: spec.Model, SeqLen: spec.SeqLen, System: spec.System,
+		Batch: spec.Batch, SearchBudget: spec.SearchBudget, Causal: spec.Causal,
+	}
+}
+
+// hintFrom extracts the replica-aware warm hint, if any, from a failed peer
+// call: the remote side attaches its store.Nearest recipe to refusals and
+// cache-only misses.
+func hintFrom(err error) *transfusion.PlanSummary {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.WarmHint
+	}
+	return nil
+}
+
 // peerFetch asks the key's owner for the plan over the internal peer RPC,
-// returning (result, true) on a usable full-fidelity answer. It runs under
-// its own timeout derived from the server's base context — like the disk
-// tier, it must not consume the whole request deadline, and it must carry
-// the chaos injector so the serve.peer.fetch site can strike. The fetched
-// result fills the local memory cache immediately and the local disk tier
-// asynchronously (off the request path), so subsequent requests for the key
-// on this replica answer locally. On any failure it reports (zero, false)
-// and the caller falls through to local search — serve.peer.hits +
-// serve.peer.fallbacks always sums to serve.peer.forwards.
-func (s *Server) peerFetch(reqCtx context.Context, owner string, spec transfusion.RunSpec, fullKey string) (transfusion.RunResult, bool) {
+// returning (result, nil, true) on a usable full-fidelity answer. It runs
+// under its own timeout derived from the server's base context — like the
+// disk tier, it must not consume the whole request deadline, and it must
+// carry the chaos injector so the serve.peer.fetch site can strike. The
+// bound is the cluster's per-peer timeout: flat normally, clamped down by
+// the prober's latency EWMA for a peer known to be running slow. The
+// fetched result fills the local memory cache immediately and the local
+// disk tier asynchronously (off the request path), so subsequent requests
+// for the key on this replica answer locally. On any failure it reports
+// (zero, hint, false) — hint carrying the owner's nearest stored recipe
+// when the refusal included one — and the caller falls through to local
+// search: serve.peer.hits + serve.peer.fallbacks always sums to
+// serve.peer.forwards.
+func (s *Server) peerFetch(reqCtx context.Context, owner string, spec transfusion.RunSpec, fullKey string) (transfusion.RunResult, *transfusion.PlanSummary, bool) {
 	s.reg.Counter("serve.peer.forwards").Inc()
 	cl := s.cfg.Cluster
-	ctx, cancel := context.WithTimeout(s.baseCtx, cl.FetchTimeout())
+	ctx, cancel := context.WithTimeout(s.baseCtx, cl.PeerTimeout(owner))
 	defer cancel()
 	if sp := obs.SpanFromContext(reqCtx); sp != nil {
 		ctx = obs.ContextWithSpan(ctx, sp)
@@ -824,10 +892,7 @@ func (s *Server) peerFetch(reqCtx context.Context, owner string, spec transfusio
 	var resp *client.PlanResponse
 	err := chaos.SiteFrom(ctx, chaos.SiteServePeerFetch).Strike(ctx)
 	if err == nil {
-		resp, err = cl.Fetch(ctx, owner, client.PlanRequest{
-			Arch: spec.Arch, Model: spec.Model, SeqLen: spec.SeqLen, System: spec.System,
-			Batch: spec.Batch, SearchBudget: spec.SearchBudget, Causal: spec.Causal,
-		})
+		resp, err = cl.Fetch(ctx, owner, wireRequest(spec))
 	}
 	if err == nil && resp.Result.Degraded {
 		// Owners answer 503 rather than ship a degraded plan; a body that
@@ -838,14 +903,54 @@ func (s *Server) peerFetch(reqCtx context.Context, owner string, spec transfusio
 	if err != nil {
 		s.reg.Counter("serve.peer.fallbacks").Inc()
 		sp.EndErr(err)
-		return transfusion.RunResult{}, false
+		return transfusion.RunResult{}, hintFrom(err), false
 	}
 	s.reg.Counter("serve.peer.hits").Inc()
 	sp.SetAttr("peer_source", resp.Source)
 	sp.End()
 	s.cache.Put(fullKey, resp.Result)
 	s.storeFillAsync(ctx, fullKey, resp.Result)
-	return resp.Result, true
+	return resp.Result, nil, true
+}
+
+// remapFetch is the one-hop previous-owner protocol: this replica owns
+// fullKey under the current ring generation, but the previous generation's
+// ring named prev the owner — so prev's caches, not a local search, are the
+// cheapest place the plan can be. One cache-only fetch (the remote side
+// never searches or forwards on that route) either adopts the plan here or
+// falls through to the local search, converting a membership change into at
+// most one extra peer hop per key instead of a cold-search stampede. After
+// the first hop the plan (fetched or searched) is in the local cache, so
+// the hop never repeats for the key. Counters: cluster.remap.fetches per
+// attempt, cluster.remap.hits per adopted plan.
+func (s *Server) remapFetch(reqCtx context.Context, prev string, spec transfusion.RunSpec, fullKey string) (transfusion.RunResult, *transfusion.PlanSummary, bool) {
+	s.reg.Counter("cluster.remap.fetches").Inc()
+	cl := s.cfg.Cluster
+	ctx, cancel := context.WithTimeout(s.baseCtx, cl.PeerTimeout(prev))
+	defer cancel()
+	if sp := obs.SpanFromContext(reqCtx); sp != nil {
+		ctx = obs.ContextWithSpan(ctx, sp)
+	}
+	ctx, sp := obs.StartSpan(ctx, "cluster.remap")
+	sp.SetAttr("prev_owner", prev)
+	var resp *client.PlanResponse
+	err := chaos.SiteFrom(ctx, chaos.SiteServePeerFetch).Strike(ctx)
+	if err == nil {
+		resp, err = cl.FetchCached(ctx, prev, wireRequest(spec))
+	}
+	if err == nil && resp.Result.Degraded {
+		err = faults.Invalidf("serve: peer %s returned a degraded result", prev)
+	}
+	if err != nil {
+		sp.EndErr(err)
+		return transfusion.RunResult{}, hintFrom(err), false
+	}
+	s.reg.Counter("cluster.remap.hits").Inc()
+	sp.SetAttr("peer_source", resp.Source)
+	sp.End()
+	s.cache.Put(fullKey, resp.Result)
+	s.storeFillAsync(ctx, fullKey, resp.Result)
+	return resp.Result, nil, true
 }
 
 // WarmGrid precomputes plans for gaps in the store's seq-length grid, warm-
@@ -1064,11 +1169,6 @@ func (s *Server) handlePeerPlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	if s.draining.Load() {
-		s.reg.Counter("serve.peer.rejects").Inc()
-		s.writeError(w, faults.Overloadedf("serve: draining; peer fetches refused"))
-		return
-	}
 	var req PlanRequest
 	if err := decodeStrict(r, &req); err != nil {
 		s.writeError(w, err)
@@ -1078,14 +1178,18 @@ func (s *Server) handlePeerPlan(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	if s.degradeTier() > 0 {
-		s.reg.Counter("serve.peer.rejects").Inc()
-		s.writeError(w, faults.Overloadedf("serve: overloaded; peer fetch would degrade"))
-		return
-	}
 	spec := transfusion.RunSpec{
 		Arch: req.Arch, Model: req.Model, SeqLen: req.SeqLen, System: req.System,
 		Batch: req.Batch, SearchBudget: req.SearchBudget, Causal: req.Causal,
+	}
+	fullKey := spec.CanonicalKey()
+	if s.draining.Load() {
+		s.peerRefuse(w, r.Context(), fullKey, faults.Overloadedf("serve: draining; peer fetches refused"))
+		return
+	}
+	if s.degradeTier() > 0 {
+		s.peerRefuse(w, r.Context(), fullKey, faults.Overloadedf("serve: overloaded; peer fetch would degrade"))
+		return
 	}
 	res, cached, key, mode, source, err := s.evalPlan(r.Context(), spec, false)
 	if err != nil {
@@ -1093,8 +1197,7 @@ func (s *Server) handlePeerPlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if mode != "" || res.Degraded {
-		s.reg.Counter("serve.peer.rejects").Inc()
-		s.writeError(w, faults.Overloadedf("serve: degraded result withheld from peer fetch"))
+		s.peerRefuse(w, r.Context(), fullKey, faults.Overloadedf("serve: degraded result withheld from peer fetch"))
 		return
 	}
 	s.reg.Counter("serve.peer.serves").Inc()
@@ -1103,6 +1206,98 @@ func (s *Server) handlePeerPlan(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, PlanResponse{
 		Result: res, Cached: cached, Key: key, Source: source,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
+// peerRefuse answers a peer route with a refusal that still helps: alongside
+// the 503 the body carries this replica's nearest stored recipe for the key
+// (when one exists), so the requester's mandatory local fallback search can
+// start warm. Counted in serve.peer.rejects like every peer refusal.
+func (s *Server) peerRefuse(w http.ResponseWriter, ctx context.Context, fullKey string, err error) {
+	s.reg.Counter("serve.peer.rejects").Inc()
+	status := faults.HTTPStatus(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
+	writeJSON(w, status, errorResponse{
+		Error: err.Error(), Status: status, WarmHint: s.nearestHint(ctx, fullKey),
+	})
+}
+
+// nearestHint looks up the nearest stored recipe for fullKey for use as a
+// replica-aware warm hint. Store absence, misses, and disk faults all report
+// nil — hints are an optimisation, never an obligation. Nearest never
+// returns a degraded or plan-less record, so a hint is always a full-
+// fidelity seed.
+func (s *Server) nearestHint(reqCtx context.Context, fullKey string) *transfusion.PlanSummary {
+	if s.store == nil {
+		return nil
+	}
+	diskCtx, cancel := s.boundDiskCtx(reqCtx)
+	defer cancel()
+	ne, ok := s.store.Nearest(diskCtx, fullKey)
+	if !ok || ne.Result.Plan == nil {
+		return nil
+	}
+	return ne.Result.Plan
+}
+
+// handlePeerCached answers the cache-only peer route (/v1/peer/cached): the
+// one-hop previous-owner fetch a replica makes when ring reconfiguration
+// just moved ownership of a key onto it. The contract is strictly cheaper
+// than /v1/peer/plan: answer from the local memory or disk tier, never
+// search, never forward — which is what makes the remap path loop-free and
+// safe to run even while answering a peer's own fetch. A miss is a 404
+// carrying the nearest stored recipe as a warm hint. The route stays open
+// while draining: it is bounded read-only work, and the draining replica's
+// caches are exactly what the surviving owners need to take over its keys.
+func (s *Server) handlePeerCached(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only", Status: http.StatusMethodNotAllowed})
+		return
+	}
+	start := time.Now()
+	var req PlanRequest
+	if err := decodeStrict(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := s.validateLimits(req.SeqLen, req.SearchBudget); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	spec := transfusion.RunSpec{
+		Arch: req.Arch, Model: req.Model, SeqLen: req.SeqLen, System: req.System,
+		Batch: req.Batch, SearchBudget: req.SearchBudget, Causal: req.Causal,
+	}
+	fullKey := spec.CanonicalKey()
+	answer := func(res transfusion.RunResult, source string) {
+		s.reg.Counter("serve.peer.cached.hits").Inc()
+		w.Header().Set("X-Plan-Source", source)
+		writeJSON(w, http.StatusOK, PlanResponse{
+			Result: res, Cached: true, Key: fullKey, Source: source,
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+		})
+	}
+	if res, ok := s.cache.Get(fullKey); ok && !res.Degraded {
+		answer(res, sourceMemory)
+		return
+	}
+	if s.store != nil {
+		diskCtx, cancel := s.boundDiskCtx(r.Context())
+		res, ok := s.store.Get(diskCtx, fullKey)
+		cancel()
+		if ok && !res.Degraded {
+			s.cache.Put(fullKey, res)
+			answer(res, sourceDisk)
+			return
+		}
+	}
+	s.reg.Counter("serve.peer.cached.misses").Inc()
+	writeJSON(w, http.StatusNotFound, errorResponse{
+		Error:  "serve: no cached plan for " + fullKey,
+		Status: http.StatusNotFound, WarmHint: s.nearestHint(r.Context(), fullKey),
 	})
 }
 
